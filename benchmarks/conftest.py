@@ -1,0 +1,34 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper artifact (table or figure), prints
+the same rows/series the paper reports, and archives them under
+``benchmarks/results/`` for EXPERIMENTS.md.  Benchmarks run the experiment
+once (``pedantic`` with a single round) — the interesting output is the
+data, not the wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _save
+
+
+def quick_mode() -> bool:
+    """Set REPRO_QUICK=1 to shrink the heavy sweeps (CI-sized runs)."""
+    return os.environ.get("REPRO_QUICK", "0") == "1"

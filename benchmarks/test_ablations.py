@@ -1,0 +1,127 @@
+"""Ablations of PolarStar's design choices (DESIGN.md §5)."""
+
+from repro.experiments import ablations
+from benchmarks.conftest import quick_mode
+
+
+def test_supernode_kind(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.supernode_kind_ablation, kwargs={"q": 7, "dprime": 4}, rounds=1, iterations=1
+    )
+    save_result("ablation_supernode_kind", ablations.format_supernode_kind(result))
+
+    rows = {r["kind"]: r for r in result["rows"] if r["feasible"]}
+    # All kinds give diameter <= 3 on the same ER structure ...
+    for r in rows.values():
+        assert r["diameter"] <= 3
+    # ... but IQ yields the largest network (2d'+2 > 2d'+1 > 2d' > d'+1).
+    orders = [rows[k]["order"] for k in ("inductive-quad", "paley", "bdf", "complete")]
+    assert orders == sorted(orders, reverse=True)
+
+
+def test_degree_split(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.degree_split_ablation, kwargs={"radix": 16}, rounds=1, iterations=1
+    )
+    save_result("ablation_degree_split", ablations.format_degree_split(result))
+
+    rows = result["rows"]
+    # Eq. 1: order is maximized near q ≈ 2·radix/3 ≈ 10.7 -> best feasible q=11.
+    best = max(rows, key=lambda r: r["order"])
+    assert best["q"] == 11
+    # Order falls off on both sides of the optimum.
+    qs = [r["q"] for r in rows]
+    orders = [r["order"] for r in rows]
+    peak = orders.index(max(orders))
+    assert all(orders[i] <= orders[i + 1] for i in range(peak))
+    assert all(orders[i] >= orders[i + 1] for i in range(peak, len(orders) - 1))
+
+
+def test_minpath_diversity(benchmark, save_result):
+    names = ("PS-IQ", "BF") if quick_mode() else ("PS-IQ", "BF", "SF")
+    result = benchmark.pedantic(
+        ablations.minpath_diversity_ablation, kwargs={"names": names}, rounds=1, iterations=1
+    )
+    save_result("ablation_minpath_diversity", ablations.format_minpath(result))
+
+    rows = {r["topology"]: r for r in result["rows"]}
+    # §9.3: SF/BF lose substantially when restricted to one minpath on
+    # uniform traffic; PolarStar's single-path penalty is smaller.
+    ps_penalty = rows["PS-IQ"]["uniform_all"] / max(rows["PS-IQ"]["uniform_single"], 1e-9)
+    bf_penalty = rows["BF"]["uniform_all"] / max(rows["BF"]["uniform_single"], 1e-9)
+    assert bf_penalty >= ps_penalty * 0.9
+    for r in rows.values():
+        assert r["uniform_all"] >= r["uniform_single"] - 1e-9
+        assert r["perm_all"] >= r["perm_single"] - 1e-9
+
+
+def test_ugal_samples(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablations.ugal_samples_ablation, kwargs={"samples": (1, 4, 8)}, rounds=1, iterations=1
+    )
+    save_result("ablation_ugal_samples", ablations.format_ugal_samples(result))
+
+    rows = result["rows"]
+    # More Valiant samples never hurt adversarial throughput much; 4 (the
+    # paper's pick) performs within 10% of 8.
+    thr = {r["samples"]: r["throughput"] for r in rows}
+    assert thr[4] >= thr[1] * 0.9
+    assert thr[4] >= thr[8] * 0.9
+
+
+def test_routing_storage(benchmark, save_result):
+    """§9.3: PolarStar's analytic routing needs far less state than the
+    all-minpath tables SF and BF require."""
+    result = benchmark.pedantic(
+        ablations.routing_storage_comparison,
+        kwargs={"names": ("PS-IQ", "BF", "DF")},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_routing_storage", ablations.format_routing_storage(result))
+
+    rows = {r["topology"]: r for r in result["rows"]}
+    # PS analytic state is at least 5x smaller than full minpath tables.
+    assert rows["PS-IQ"]["ratio"] > 5
+    # DF's gateway table is tiny too (hierarchical routing).
+    assert rows["DF"]["ratio"] > 5
+    # BF has no analytic scheme: it pays the full table cost.
+    assert rows["BF"]["ratio"] == 1.0
+
+
+def test_collective_algorithms(benchmark, save_result):
+    """Extension: Allreduce algorithm x topology interaction (Rabenseifner
+    2004, cited in §10.1)."""
+    from repro.experiments import collectives
+
+    ranks = 512 if quick_mode() else 1024
+    result = benchmark.pedantic(
+        collectives.run, kwargs={"ranks": ranks, "iterations": 2}, rounds=1, iterations=1
+    )
+    save_result("ablation_collectives", collectives.format_figure(result))
+
+    for row in result["rows"]:
+        # At 1 MiB messages the bandwidth-optimal algorithms beat
+        # recursive doubling on every topology.
+        assert min(row["ring"], row["rabenseifner"]) < row["recursive-doubling"]
+
+
+def test_diameter2_context(benchmark, save_result):
+    """§2.3: diameter-2 networks top out near d²; diameter-3 PolarStar
+    scales ~d³/3 beyond them at every radix."""
+    from repro.experiments import diameter2
+
+    result = benchmark.pedantic(diameter2.run, rounds=1, iterations=1)
+    save_result("ablation_diameter2_context", diameter2.format_figure(result))
+
+    for row in result["rows"]:
+        assert row["polarstar"] <= row["moore3"]
+        if row["polarfly"]:
+            assert row["polarfly"] <= row["moore2"]
+            # the scalability gap grows with radix
+            if row["radix"] >= 18:
+                assert row["polarstar"] > 4 * row["polarfly"]
+            if row["radix"] >= 48:
+                assert row["polarstar"] > 12 * row["polarfly"]
+    # PolarFly performs well — scale, not performance, is its limit.
+    assert result["polarfly_uniform_saturation_analytic"] > 0.6

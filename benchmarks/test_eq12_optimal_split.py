@@ -1,0 +1,17 @@
+"""Eq. 1 / Eq. 2: scaling laws vs the exhaustive design-space search."""
+
+from repro.experiments import eq12
+
+
+def test_eq12(benchmark, save_result):
+    result = benchmark.pedantic(eq12.run, rounds=1, iterations=1)
+    save_result("eq12_optimal_split", eq12.format_figure(result))
+
+    for row in result["rows"]:
+        # Eq. 1: best feasible q lies near the analytic optimum (prime-power
+        # gaps allowing).
+        assert abs(row["q_best"] - row["q_eq1"]) <= 6
+        # Eq. 2: closed form tracks the exhaustive maximum within 10%.
+        assert 0.90 <= row["order_best"] / row["order_eq2"] <= 1.10
+        # The Moore fraction approaches 8/27 from above.
+        assert 0.27 < row["moore_fraction"] < 0.36

@@ -1,0 +1,32 @@
+"""Fig. 1: Moore-bound efficiency of diameter-3 topologies.
+
+Regenerates the scalability sweep and the §1.3 headline geometric-mean
+ratios (paper: 1.3x over Bundlefly, 1.9x over Dragonfly, 6.7x over 3-D
+HyperX).
+"""
+
+from repro.experiments import fig01
+from benchmarks.conftest import quick_mode
+
+
+def test_fig01(benchmark, save_result):
+    hi = 32 if quick_mode() else 64
+    ratio_hi = 64 if quick_mode() else 128
+    result = benchmark.pedantic(
+        fig01.run,
+        kwargs={"radix_lo": 8, "radix_hi": hi, "ratio_hi": ratio_hi},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig01_moore_efficiency", fig01.format_figure(result))
+
+    g = result["geomean_ratios"]
+    # Paper: 1.3x / 1.9x / 6.7x geometric-mean scale gains.
+    assert 1.15 < g["bundlefly"] < 1.45
+    assert 1.7 < g["dragonfly"] < 2.1
+    assert 6.0 < g["hyperx"] < 7.5
+    # PolarStar below StarMax, above every rival, at every radix.
+    for row in result["rows"]:
+        assert row["polarstar"] <= row["starmax"] <= row["moore"]
+        assert row["polarstar"] >= row["dragonfly"]
+        assert row["polarstar"] >= row["hyperx"]

@@ -1,0 +1,19 @@
+"""Fig. 7: feasible (radix, order) combinations of PolarStar."""
+
+from repro.experiments import fig07
+
+
+def test_fig07(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig07.run, kwargs={"radix_lo": 8, "radix_hi": 128}, rounds=1, iterations=1
+    )
+    save_result("fig07_design_space", fig07.format_figure(result))
+
+    rows = result["rows"]
+    # §1.3: configurations exist for every radix in [8, 128] ...
+    assert {r["radix"] for r in rows} == set(range(8, 129))
+    # ... with a wide range of orders per radix.
+    assert all(r["num_configs"] >= 2 for r in rows)
+    assert all(r["max_order"] > 2 * r["min_order"] for r in rows if r["radix"] >= 12)
+    # §7.2: Paley wins exactly at k = 23, 50, 56, 80.
+    assert result["paley_win_radixes"] == [23, 50, 56, 80]

@@ -1,0 +1,20 @@
+"""Fig. 10: adversarial group-to-group traffic."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, save_result):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    save_result("fig10_adversarial", fig10.format_figure(result))
+
+    sat = {r["topology"]: r for r in result["rows"]}
+    # DF and MF saturate lowest: a single link per group pair (§9.6).
+    assert sat["DF"]["min_saturation"] < sat["PS-IQ"]["min_saturation"]
+    assert sat["MF"]["min_saturation"] < sat["PS-IQ"]["min_saturation"]
+    assert sat["DF"]["min_saturation"] < sat["BF"]["min_saturation"]
+    # PS-IQ beats PS-Pal and BF (§9.6: larger share of global links).
+    assert sat["PS-IQ"]["min_saturation"] >= sat["PS-Pal"]["min_saturation"]
+    assert sat["PS-IQ"]["min_saturation"] >= sat["BF"]["min_saturation"] * 0.9
+    # UGAL recovers substantial load everywhere.
+    for name, row in sat.items():
+        assert row["ugal_saturation"] >= row["min_saturation"]

@@ -1,0 +1,25 @@
+"""Fig. 11: Allreduce and Sweep3D motifs (SST/Ember substitute)."""
+
+from repro.experiments import fig11
+from benchmarks.conftest import quick_mode
+
+
+def test_fig11(benchmark, save_result):
+    ranks = 1024 if quick_mode() else 4096
+    iters = 4 if quick_mode() else 10
+    result = benchmark.pedantic(
+        fig11.run, kwargs={"ranks": ranks, "iterations": iters}, rounds=1, iterations=1
+    )
+    save_result("fig11_motifs", fig11.format_figure(result))
+
+    rows = {r["topology"]: r for r in result["rows"]}
+    # §10.2: UGAL helps the direct low-diameter networks on Allreduce ...
+    for name in ("PS-IQ", "DF", "HX"):
+        assert rows[name]["allreduce_ugal"] <= rows[name]["allreduce_min"] * 1.3
+    # ... and PolarStar beats Dragonfly (paper: 2.4x MIN, 1.4x UGAL).
+    assert rows["PS-IQ"]["allreduce_min"] <= rows["DF"]["allreduce_min"]
+    assert rows["PS-IQ"]["allreduce_ugal"] <= rows["DF"]["allreduce_ugal"] * 1.1
+    # Sweep3D: PolarStar within a small margin of Dragonfly (paper:
+    # "marginally faster" with MIN; our message-level engine lands within
+    # ~20% either way on this nearest-neighbor-dominated motif).
+    assert rows["PS-IQ"]["sweep3d_min"] <= rows["DF"]["sweep3d_min"] * 1.25

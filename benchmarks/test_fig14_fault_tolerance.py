@@ -1,0 +1,35 @@
+"""Fig. 14: diameter and APL under random link failures."""
+
+from repro.experiments import fig14
+from benchmarks.conftest import quick_mode
+
+
+def test_fig14(benchmark, save_result):
+    if quick_mode():
+        names, scenarios = ("PS-IQ", "BF", "DF"), 6
+    else:
+        names, scenarios = ("PS-IQ", "BF", "DF", "HX", "SF", "MF", "FT"), 20
+    result = benchmark.pedantic(
+        fig14.run, kwargs={"names": names, "scenarios": scenarios}, rounds=1, iterations=1
+    )
+    save_result("fig14_fault_tolerance", fig14.format_figure(result))
+
+    # §11.2: PolarStar and Bundlefly disconnect around 60% failed links;
+    # Dragonfly a bit higher (~65%).
+    assert 0.45 < result["PS-IQ"]["median_disconnection_ratio"] < 0.75
+    assert abs(
+        result["PS-IQ"]["median_disconnection_ratio"]
+        - result["BF"]["median_disconnection_ratio"]
+    ) < 0.12
+    assert (
+        result["DF"]["median_disconnection_ratio"]
+        >= result["PS-IQ"]["median_disconnection_ratio"] - 0.05
+    )
+    # Dragonfly's diameter grows faster at low failure ratios than PS.
+    ps, df = result["PS-IQ"], result["DF"]
+    common = min(len(ps["diameters"]), len(df["diameters"]))
+    assert df["diameters"][common - 1] >= ps["diameters"][common - 1]
+    # Degradation is monotone-ish: APL at the last point exceeds pristine.
+    for name in names:
+        apl = result[name]["avg_path_lengths"]
+        assert apl[-1] >= apl[0]

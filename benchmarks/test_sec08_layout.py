@@ -1,0 +1,19 @@
+"""§8: layout and bundling arithmetic measured on real PolarStar graphs."""
+
+from repro.experiments import sec08
+
+
+def test_sec08(benchmark, save_result):
+    result = benchmark.pedantic(sec08.run, rounds=1, iterations=1)
+    save_result("sec08_layout", sec08.format_figure(result))
+
+    for row in result["rows"]:
+        # 2(d* - q) parallel links between adjacent supernodes.
+        assert row["links_per_pair"] == row["expected_links_per_pair"]
+        # MCF bundles = structure-graph edges = q(q+1)²/2 (undirected).
+        assert row["bundles"] == row["expected_bundles"]
+        # Bundling cuts global cables by the links-per-pair factor ≈ 2d*/3.
+        assert abs(row["cable_reduction"] - row["links_per_pair"]) < 1e-9
+        # q+1 supernode clusters with ≈ q bundles between pairs.
+        assert row["clusters"] == row["q"] + 1
+        assert 0.5 * row["q"] <= row["mean_cluster_bundles"] <= 1.5 * row["q"]

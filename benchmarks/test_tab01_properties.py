@@ -1,0 +1,28 @@
+"""Table 1: network-property assessment, computed on the Table 3 instances."""
+
+from repro.experiments import tab01
+
+
+def test_tab01(benchmark, save_result):
+    result = benchmark.pedantic(tab01.run, rounds=1, iterations=1)
+    save_result("tab01_properties", tab01.format_figure(result))
+
+    rows = {r["name"]: r for r in result["rows"]}
+    # Directness (Table 1 column 1): FT and MF are indirect, the rest direct.
+    for name in ("PS-IQ", "PS-Pal", "BF", "HX", "DF"):
+        assert rows[name]["direct"]
+    for name in ("MF", "FT"):
+        assert not rows[name]["direct"]
+    # Scalability: PolarStar has the best Moore efficiency of the family.
+    ps = rows["PS-IQ"]["efficiency"]
+    for name in ("BF", "DF", "HX"):
+        assert ps > rows[name]["efficiency"]
+    # Diameter <= 3 for endpoint traffic everywhere.
+    for r in result["rows"]:
+        assert r["endpoint_diameter"] <= 3 or r["name"] == "FT" and r["endpoint_diameter"] <= 4
+    # Bundlability: star products have many parallel inter-group links,
+    # DF and MF exactly one.
+    assert rows["PS-IQ"]["max_parallel_group_links"] >= 8
+    assert rows["BF"]["max_parallel_group_links"] >= 8
+    assert rows["DF"]["max_parallel_group_links"] == 1
+    assert rows["MF"]["max_parallel_group_links"] == 1

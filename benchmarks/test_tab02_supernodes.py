@@ -1,0 +1,25 @@
+"""Table 2: supernode-family comparison with verified properties."""
+
+from repro.experiments import tab02
+
+
+def test_tab02(benchmark, save_result):
+    result = benchmark.pedantic(tab02.run, rounds=1, iterations=1)
+    save_result("tab02_supernodes", tab02.format_figure(result))
+
+    fam = result["families"]
+    # Property columns of Table 2.
+    assert fam["Inductive-Quad"]["rstar"]
+    assert fam["Paley"]["r1"]
+    assert fam["BDF"]["rstar"]
+    assert fam["Complete"]["rstar"] and fam["Complete"]["r1"]
+    # Order ranking at any common degree: IQ (2d'+2) > Paley (2d'+1) > BDF (2d').
+    iq = fam["Inductive-Quad"]["orders"]
+    pal = fam["Paley"]["orders"]
+    bdf = fam["BDF"]["orders"]
+    for d, n in iq.items():
+        assert n == 2 * d + 2
+    for d, n in pal.items():
+        assert n == 2 * d + 1
+    for d, n in bdf.items():
+        assert n == 2 * d

@@ -1,0 +1,18 @@
+"""Table 3: simulated network configurations, rebuilt and cross-checked."""
+
+from repro.experiments import tab03
+
+
+def test_tab03(benchmark, save_result):
+    result = benchmark.pedantic(tab03.run, rounds=1, iterations=1)
+    save_result("tab03_configs", tab03.format_figure(result))
+
+    rows = {r["name"]: r for r in result["rows"]}
+    # Everything except PS-Pal matches the printed table exactly; PS-Pal's
+    # stated construction gives 949 routers (the printed 993 is unreachable
+    # by any (q²+q+1)(2d'+1) product at radix 15 — see table3.py).
+    for name, r in rows.items():
+        if name == "PS-Pal":
+            assert r["routers"] == 949 and r["radix"] == 15
+        else:
+            assert r["match"], name

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""§8 walk-through: modular layout and multi-core-fiber bundling.
+
+Shows, for a PolarStar of your chosen radix, how the deployment story of
+§8 plays out: supernodes as blades, parallel links per adjacent supernode
+pair (one MCF), supernode clusters, and the resulting cable-count
+reduction.
+
+Run:  python examples/bundling_layout.py [radix]
+"""
+
+import sys
+
+from repro.core.polarstar import best_config
+from repro.layout import bundling_report
+from repro.topologies import polarstar_topology
+
+
+def main() -> None:
+    radix = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    cfg = best_config(radix)
+    if cfg is None:
+        raise SystemExit(f"no PolarStar at radix {radix}")
+    topo = polarstar_topology(cfg, p=1)
+    rep = bundling_report(topo)
+    q, dstar = cfg.q, cfg.radix
+
+    print(f"=== {cfg.name}: {cfg.order} routers of radix {radix} ===\n")
+    print(f"building block (blade): one {('IQ' if cfg.supernode_kind == 'iq' else 'Paley')}"
+          f"_{cfg.dprime} supernode of {cfg.supernode_order} routers,")
+    print(f"replicated {cfg.structure_order} times (once per ER_{q} vertex).\n")
+
+    print(f"links between adjacent supernodes : {rep.links_per_supernode_pair}"
+          f"   (paper: 2(d*-q) = {2 * (dstar - q)})")
+    print(f"multi-core fibers needed          : {rep.num_bundles}"
+          f"   (= ER_{q} edges = q(q+1)^2/2 = {q * (q + 1) ** 2 // 2})")
+    print(f"global links before bundling      : {rep.total_global_links}")
+    print(f"cable-count reduction             : {rep.cable_reduction:.1f}x"
+          f"   (paper: ~2d*/3 = {2 * dstar / 3:.1f})")
+    print(f"supernode clusters (racks)        : {rep.num_clusters} (= q+1)")
+    print(f"bundles between cluster pairs     : {rep.mean_bundles_between_clusters:.1f}"
+          f"   (paper: ~q = {q})")
+
+
+if __name__ == "__main__":
+    main()

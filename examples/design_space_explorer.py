@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Design-space exploration: size a diameter-3 network for a target system.
+
+Scenario from the paper's introduction: you are planning a co-packaged
+system that must reach a target number of endpoints with the smallest
+switch radix (radix drives cost and power).  For each candidate topology
+family this script reports the minimum radix that reaches the target and
+the concrete configuration — the Fig. 1 story as a planning tool.
+
+Run:  python examples/design_space_explorer.py [target_endpoints]
+"""
+
+import sys
+
+from repro.core.moore import moore_bound_diameter3
+from repro.core.polarstar import best_config, polarstar_order
+from repro.topologies.bundlefly import bundlefly_max_order
+from repro.topologies.dragonfly import dragonfly_max_order
+from repro.topologies.hyperx import hyperx_max_order
+
+FAMILIES = {
+    "PolarStar": polarstar_order,
+    "Bundlefly": bundlefly_max_order,
+    "Dragonfly": dragonfly_max_order,
+    "3-D HyperX": hyperx_max_order,
+}
+
+
+def min_radix_for(order_fn, target_routers: int, max_radix: int = 160) -> int | None:
+    for radix in range(4, max_radix + 1):
+        if order_fn(radix) >= target_routers:
+            return radix
+    return None
+
+
+def main() -> None:
+    target_endpoints = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+
+    print(f"=== Sizing a diameter-3 network for {target_endpoints:,} endpoints ===\n")
+    print("Rule of thumb (paper §9.1): endpoints per router p = radix / 3,")
+    print("so routers needed ~ 3 * endpoints / radix at each candidate radix.\n")
+
+    print(f"{'family':12s} {'min radix':>9s} {'routers':>9s} {'endpoints':>10s} "
+          f"{'Moore eff':>9s}")
+    for name, order_fn in FAMILIES.items():
+        found = None
+        for radix in range(8, 160):
+            p = max(1, radix // 3)
+            routers_needed = -(-target_endpoints // p)  # ceil
+            if order_fn(radix) >= routers_needed:
+                found = (radix, order_fn(radix), p)
+                break
+        if found is None:
+            print(f"{name:12s} {'-':>9s}")
+            continue
+        radix, order, p = found
+        eff = order / moore_bound_diameter3(radix)
+        print(f"{name:12s} {radix:9d} {order:9,d} {order * p:10,d} {eff:9.1%}")
+
+    print("\nPolarStar configurations near the winning radix:")
+    radix = min_radix_for(
+        lambda r: polarstar_order(r) * max(1, r // 3), target_endpoints
+    )
+    if radix:
+        for r in range(radix, radix + 3):
+            cfg = best_config(r)
+            if cfg:
+                p = max(1, r // 3)
+                print(f"  radix {r}: {cfg.name:34s} {cfg.order:7,d} routers x "
+                      f"{p} endpoints = {cfg.order * p:9,d} endpoints")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Export the Table 3 networks to external simulator formats.
+
+Writes, for each Table 3 topology:
+
+* a Booksim2 ``anynet`` file (usable with the original simulator of §9),
+* SST-style link/endpoint CSVs,
+* a plain edge list,
+
+into an output directory (default ``./exported_topologies``).
+
+Run:  python examples/export_topologies.py [outdir] [names...]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.graphs.io import write_edgelist
+from repro.topologies import TABLE3_BUILDERS, build_table3_topology
+from repro.topologies.export import write_booksim_anynet, write_sst_edge_csv
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("exported_topologies")
+    names = sys.argv[2:] or [n for n in TABLE3_BUILDERS if n != "SF"] + ["SF"]
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        topo = build_table3_topology(name)
+        base = outdir / name.lower().replace("-", "_")
+        write_booksim_anynet(topo, base.with_suffix(".anynet"))
+        write_sst_edge_csv(topo, base.with_suffix(".links.csv"), base.with_suffix(".endpoints.csv"))
+        write_edgelist(topo.graph, base.with_suffix(".edges"))
+        print(f"{name:7s} -> {base}.{{anynet,links.csv,endpoints.csv,edges}} "
+              f"({topo.num_routers} routers, {topo.graph.m} links)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Traffic simulation: latency-vs-load on PolarStar vs Dragonfly.
+
+Exercises both simulation substrates on the same workload:
+
+1. the flow-level model at full Table 3 scale — exact saturation loads;
+2. the event-driven packet simulator (VCs + credit flow control) at
+   reduced scale — real queueing latency curves.
+
+This reproduces the Fig. 9 methodology end to end for one pattern.
+
+Run:  python examples/traffic_simulation.py [uniform|permutation|bitshuffle|bitreverse]
+"""
+
+import sys
+
+from repro.experiments.common import table3_instance, table3_router
+from repro.experiments.fig09 import PATTERNS
+from repro.sim.flow import link_loads, saturation_load, ugal_saturation_load
+from repro.sim.packet import PacketSimConfig, latency_load_sweep
+
+TOPOLOGIES = ("PS-IQ", "DF")
+
+
+def main() -> None:
+    pattern = sys.argv[1] if len(sys.argv) > 1 else "uniform"
+    if pattern not in PATTERNS:
+        raise SystemExit(f"unknown pattern {pattern!r}; options: {list(PATTERNS)}")
+
+    print(f"=== {pattern} traffic: PolarStar (PS-IQ) vs Dragonfly ===\n")
+
+    print("-- flow-level model, full Table 3 scale --")
+    for name in TOPOLOGIES:
+        topo = table3_instance(name)
+        router, mode = table3_router(name)
+        demand = PATTERNS[pattern](topo).router_demand()
+        sat = saturation_load(topo, router, demand, mode=mode)
+        ugal = ugal_saturation_load(topo, router, demand, mode=mode)
+        print(f"  {name:6s} ({topo.num_routers} routers): "
+              f"MIN saturates at {sat:.2f}, UGAL at {ugal:.2f} "
+              f"of full injection bandwidth")
+
+    print("\n-- packet-level simulation, reduced scale --")
+    cfg = PacketSimConfig(warmup_cycles=400, measure_cycles=1600, drain_cycles=2000)
+    for name in TOPOLOGIES:
+        topo = table3_instance(name, scale="reduced")
+        router, _ = table3_router(name, scale="reduced")
+        pat = PATTERNS[pattern](topo)
+        print(f"  {name} ({topo.num_routers} routers, "
+              f"{topo.num_endpoints} endpoints):")
+        results = latency_load_sweep(
+            topo, router, pat, loads=[0.1, 0.3, 0.5, 0.7, 0.9], config=cfg
+        )
+        for r in results:
+            status = "stable" if r.stable else "SATURATED"
+            print(f"    load {r.offered_load:.1f}: avg latency "
+                  f"{r.avg_latency:7.1f} cycles, throughput {r.throughput:.3f}  "
+                  f"[{status}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""PolarStar reproduction library.
+
+Python implementation of *PolarStar: Expanding the Horizon of Diameter-3
+Networks* (SPAA 2024): the star-product topology family, every baseline
+topology it is evaluated against, analytic + adaptive routing, cycle-level
+and flow-level network simulation, and the structural-analysis tooling
+needed to regenerate all of the paper's tables and figures.
+
+Quickstart::
+
+    from repro import best_config, build_polarstar
+    cfg = best_config(15)          # largest radix-15 PolarStar
+    ps = build_polarstar(cfg)      # StarProduct with 1064 routers
+    ps.graph.n, cfg.order          # (1064, 1064)
+"""
+
+from repro.core import (
+    PolarStarConfig,
+    StarProduct,
+    best_config,
+    build_polarstar,
+    design_space,
+    moore_bound,
+    moore_bound_diameter3,
+    moore_efficiency,
+    polarstar_order,
+    star_product,
+    starmax_bound,
+)
+from repro.graphs import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "PolarStarConfig",
+    "StarProduct",
+    "best_config",
+    "build_polarstar",
+    "design_space",
+    "moore_bound",
+    "moore_bound_diameter3",
+    "moore_efficiency",
+    "polarstar_order",
+    "star_product",
+    "starmax_bound",
+]

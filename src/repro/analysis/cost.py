@@ -1,0 +1,104 @@
+"""Network cost and power modeling (§1.2, §2.3).
+
+The paper's cost-effectiveness argument: higher Moore-bound efficiency
+realizes a target system size with lower-radix switches and fewer cables.
+This module quantifies that with a simple standard model:
+
+* switch cost grows with port count (routers x radix ports, plus endpoint
+  ports);
+* cable cost splits local (intra-group, short, cheap) vs global
+  (inter-group, long, expensive — or bundled into multi-core fibers when
+  the topology supports it);
+* power ∝ total ports.
+
+Absolute dollar/Watt constants are configurable; defaults are unit-free
+ratios adequate for topology *comparisons*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topologies.base import Topology
+
+
+@dataclass
+class CostParameters:
+    port_cost: float = 1.0  # per switch port
+    local_cable_cost: float = 1.0  # intra-group link
+    global_cable_cost: float = 4.0  # inter-group link (longer, optical)
+    mcf_bundle_discount: float = 0.5  # bundled global links cost this x each
+    port_power: float = 1.0  # per port, arbitrary units
+
+
+@dataclass
+class CostReport:
+    topology: str
+    routers: int
+    endpoints: int
+    total_ports: int
+    local_links: int
+    global_links: int
+    bundled: bool
+    cable_cost: float
+    switch_cost: float
+    power: float
+
+    @property
+    def total_cost(self) -> float:
+        return self.cable_cost + self.switch_cost
+
+    @property
+    def cost_per_endpoint(self) -> float:
+        return self.total_cost / max(self.endpoints, 1)
+
+
+def cost_report(topology: Topology, params: CostParameters | None = None) -> CostReport:
+    """Compute the cost/power breakdown for a topology.
+
+    Links are "global" when they cross group boundaries (topologies without
+    groups are treated as all-global, the conservative choice for flat
+    low-diameter networks).  Bundling applies when >1 parallel link joins
+    some group pair (§8): all global links then get the MCF discount.
+    """
+    p = params or CostParameters()
+    e = topology.graph.edge_array
+    if topology.groups is not None and len(e):
+        cross = topology.groups[e[:, 0]] != topology.groups[e[:, 1]]
+        global_links = int(cross.sum())
+        local_links = int(len(e) - global_links)
+        pair_counts: dict[tuple[int, int], int] = {}
+        for u, v in e[cross]:
+            key = (int(topology.groups[u]), int(topology.groups[v]))
+            key = (min(key), max(key))
+            pair_counts[key] = pair_counts.get(key, 0) + 1
+        bundled = bool(pair_counts) and max(pair_counts.values()) > 1
+    else:
+        global_links = int(len(e))
+        local_links = 0
+        bundled = False
+
+    total_ports = int(topology.graph.degrees.sum() + topology.num_endpoints)
+    global_unit = p.global_cable_cost * (p.mcf_bundle_discount if bundled else 1.0)
+    cable_cost = local_links * p.local_cable_cost + global_links * global_unit
+    switch_cost = total_ports * p.port_cost
+    power = total_ports * p.port_power
+    return CostReport(
+        topology=topology.name,
+        routers=topology.num_routers,
+        endpoints=topology.num_endpoints,
+        total_ports=total_ports,
+        local_links=local_links,
+        global_links=global_links,
+        bundled=bundled,
+        cable_cost=cable_cost,
+        switch_cost=switch_cost,
+        power=power,
+    )
+
+
+def cost_per_endpoint_comparison(
+    topologies: list[Topology], params: CostParameters | None = None
+) -> dict[str, float]:
+    """Cost-per-endpoint of several topologies (lower is better)."""
+    return {t.name: cost_report(t, params).cost_per_endpoint for t in topologies}

@@ -1,0 +1,95 @@
+"""Random link-failure resilience (Fig. 14, §11.2).
+
+The paper removes random links until the network disconnects, reporting the
+evolution of diameter and average shortest-path length, plus the
+*disconnection ratio* (fraction of links removed when the network first
+disconnects), median over 100 scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.analysis.distances import average_path_length, diameter
+from repro.graphs.base import Graph
+
+
+@dataclass
+class FaultSweepResult:
+    """Diameter/APL trajectory of one link-failure scenario."""
+
+    fractions: list[float] = field(default_factory=list)
+    diameters: list[float] = field(default_factory=list)
+    avg_path_lengths: list[float] = field(default_factory=list)
+    disconnection_ratio: float = 1.0
+
+
+def _is_connected_subset(graph: Graph, keep_mask: np.ndarray) -> bool:
+    e = graph.edge_array[keep_mask]
+    if graph.n > 1 and len(e) == 0:
+        return False
+    data = np.ones(len(e), dtype=np.int8)
+    mat = sp.coo_matrix((data, (e[:, 0], e[:, 1])), shape=(graph.n, graph.n))
+    ncomp, _ = sp.csgraph.connected_components(mat, directed=False)
+    return ncomp == 1
+
+
+def disconnection_ratio(graph: Graph, seed: int = 0) -> float:
+    """Fraction of links whose (random-order) removal first disconnects the
+    graph, found by binary search over one random removal order."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(graph.m)
+    lo, hi = 0, graph.m  # lo: connected after removing `lo` links; hi: not
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        keep = np.ones(graph.m, dtype=bool)
+        keep[order[:mid]] = False
+        if _is_connected_subset(graph, keep):
+            lo = mid
+        else:
+            hi = mid
+    return hi / graph.m
+
+
+def link_failure_sweep(
+    graph: Graph,
+    fractions,
+    seed: int = 0,
+    sample_sources: int | None = 64,
+) -> FaultSweepResult:
+    """Remove cumulative random link subsets and track diameter / APL.
+
+    ``fractions`` is an increasing sequence of failed-link fractions; each
+    step reuses the same random removal order (cumulative failures, as in
+    the paper).  Diameter/APL are estimated from ``sample_sources`` BFS
+    sources.  Stops early at the first disconnecting step and records the
+    disconnection ratio for this scenario.
+    """
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(graph.m)
+    result = FaultSweepResult()
+    for frac in fractions:
+        k = int(round(frac * graph.m))
+        keep = np.ones(graph.m, dtype=bool)
+        keep[order[:k]] = False
+        if not _is_connected_subset(graph, keep):
+            result.disconnection_ratio = frac
+            break
+        sub = Graph(graph.n, graph.edge_array[keep], name=graph.name)
+        result.fractions.append(frac)
+        result.diameters.append(diameter(sub, sample=sample_sources, seed=seed))
+        result.avg_path_lengths.append(
+            average_path_length(sub, sample=sample_sources, seed=seed)
+        )
+    else:
+        result.disconnection_ratio = disconnection_ratio(graph, seed=seed)
+    return result
+
+
+def median_disconnection_ratio(graph: Graph, scenarios: int = 100, seed: int = 0) -> float:
+    """Median disconnection ratio over independent random scenarios (§11.2)."""
+    ratios = [disconnection_ratio(graph, seed=seed + i) for i in range(scenarios)]
+    return float(np.median(ratios))

@@ -1,0 +1,96 @@
+"""Minimal-path diversity analysis (§9.3).
+
+SF and BF "saw poor performance when using a single minpath per router
+pair" and need all-minpath tables; PolarStar routes well on one analytic
+minpath.  The underlying structural quantity is the number of distinct
+minimal paths per router pair, computed here by dynamic programming over
+the shortest-path DAG (vectorized per destination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+
+@dataclass
+class PathDiversity:
+    """Distribution statistics of minimal-path counts over vertex pairs."""
+
+    mean: float
+    median: float
+    min: int
+    max: int
+    frac_single_path: float  # fraction of pairs with exactly one minpath
+
+    def __repr__(self) -> str:
+        return (
+            f"PathDiversity(mean={self.mean:.2f}, median={self.median:.0f}, "
+            f"range=[{self.min}, {self.max}], "
+            f"single={self.frac_single_path:.1%})"
+        )
+
+
+def minimal_path_counts(graph: Graph, dest: int, dist: np.ndarray | None = None) -> np.ndarray:
+    """Number of minimal paths from every vertex to *dest*.
+
+    DP over the BFS DAG: ``count[u] = sum count[v]`` over minimal next hops
+    *v*, processed by increasing distance from *dest*.  ``dist`` may pass a
+    precomputed full distance matrix row basis (``dist[:, dest]`` is used).
+    """
+    if dist is None:
+        from repro.analysis.distances import bfs_distances
+
+        d = bfs_distances(graph, dest)
+    else:
+        d = dist[:, dest]
+    n = graph.n
+    counts = np.zeros(n, dtype=np.float64)
+    counts[dest] = 1.0
+    u_arr = np.repeat(np.arange(n), np.diff(graph.indptr))
+    v_arr = graph.indices
+    dag = d[u_arr] == d[v_arr] + 1  # edge u->v on a minimal path toward dest
+    eu, ev = u_arr[dag], v_arr[dag]
+    order = np.argsort(d[eu], kind="stable")
+    eu, ev = eu[order], ev[order]
+    start = 0
+    while start < len(eu):
+        level = d[eu[start]]
+        stop = start
+        while stop < len(eu) and d[eu[stop]] == level:
+            stop += 1
+        np.add.at(counts, eu[start:stop], counts[ev[start:stop]])
+        start = stop
+    return counts
+
+
+def path_diversity(
+    graph: Graph,
+    sample_dests: int | None = 64,
+    seed: int = 0,
+) -> PathDiversity:
+    """Minimal-path-count statistics over (sampled) vertex pairs."""
+    rng = np.random.default_rng(seed)
+    if sample_dests is None or sample_dests >= graph.n:
+        dests = np.arange(graph.n)
+    else:
+        dests = rng.choice(graph.n, size=sample_dests, replace=False)
+
+    all_counts = []
+    for t in dests:
+        c = minimal_path_counts(graph, int(t))
+        mask = np.ones(graph.n, dtype=bool)
+        mask[t] = False
+        all_counts.append(c[mask])
+    counts = np.concatenate(all_counts)
+    counts = counts[counts > 0]  # reachable pairs only
+    return PathDiversity(
+        mean=float(counts.mean()),
+        median=float(np.median(counts)),
+        min=int(counts.min()),
+        max=int(counts.max()),
+        frac_single_path=float((counts == 1).mean()),
+    )

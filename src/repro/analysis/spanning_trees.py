@@ -1,0 +1,109 @@
+"""Edge-disjoint spanning trees (EDSTs) on star-product networks.
+
+The paper's companion work (Lakhotia et al. 2023; Dawkins et al. 2024,
+cited in §6.1.1) uses multiple edge-disjoint spanning trees for in-network
+Allreduce on PolarFly/star products; a d-regular d-edge-connected graph
+admits up to ``d/2`` of them (Nash-Williams/Tutte).
+
+We use a randomized-Kruskal heuristic with restarts: each round draws a
+uniformly random edge order over the *unused* edges and keeps a spanning
+tree if one exists; whole extractions are retried with different seeds and
+the best run wins.  The result is a certified lower bound — every returned
+tree is a real spanning tree and all are pairwise edge-disjoint (checked by
+:func:`verify_edst`); the exact Nash-Williams number would need matroid
+union (Roskind–Tarjan), overkill for the bandwidth estimates here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+def _extract_once(
+    graph: Graph, rng: np.random.Generator, max_trees: int
+) -> list[list[tuple[int, int]]]:
+    edges = [tuple(e) for e in graph.edge_array.tolist()]
+    remaining = np.ones(len(edges), dtype=bool)
+    trees: list[list[tuple[int, int]]] = []
+    while len(trees) < max_trees:
+        order = rng.permutation(len(edges))
+        uf = _UnionFind(graph.n)
+        tree: list[int] = []
+        for i in order:
+            if not remaining[i]:
+                continue
+            u, v = edges[i]
+            if uf.union(u, v):
+                tree.append(int(i))
+                if len(tree) == graph.n - 1:
+                    break
+        if len(tree) != graph.n - 1:
+            break
+        remaining[tree] = False
+        trees.append([edges[i] for i in tree])
+    return trees
+
+
+def greedy_edst(
+    graph: Graph,
+    max_trees: int | None = None,
+    restarts: int = 5,
+    seed: int = 0,
+) -> list[list[tuple[int, int]]]:
+    """Extract edge-disjoint spanning trees (randomized, deterministic for a
+    given seed).  Returns the best extraction over ``restarts`` attempts."""
+    if graph.n <= 1 or not graph.is_connected():
+        return []
+    limit = max_trees if max_trees is not None else max(1, graph.max_degree // 2)
+    best: list[list[tuple[int, int]]] = []
+    for r in range(restarts):
+        rng = np.random.default_rng(seed + r)
+        trees = _extract_once(graph, rng, limit)
+        if len(trees) > len(best):
+            best = trees
+            if len(best) == limit:
+                break
+    return best
+
+
+def verify_edst(graph: Graph, trees: list[list[tuple[int, int]]]) -> bool:
+    """Check that the trees are spanning, acyclic and pairwise edge-disjoint."""
+    seen_edges: set[tuple[int, int]] = set()
+    for tree in trees:
+        canon = [(min(u, v), max(u, v)) for u, v in tree]
+        if len(canon) != graph.n - 1:
+            return False
+        if any(e in seen_edges for e in canon):
+            return False
+        if any(not graph.has_edge(u, v) for u, v in canon):
+            return False
+        seen_edges.update(canon)
+        t = Graph(graph.n, canon)
+        if not t.is_connected():
+            return False
+    return True
+
+
+def allreduce_bandwidth_factor(graph: Graph, max_trees: int | None = None) -> int:
+    """Number of EDSTs usable to pipeline an in-network Allreduce."""
+    return len(greedy_edst(graph, max_trees))

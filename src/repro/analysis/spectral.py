@@ -1,0 +1,65 @@
+"""Spectral analysis: expansion properties of the topologies (§11.1).
+
+Fig. 12's discussion attributes Spectralfly's large bisection to the
+optimal expansion of Ramanujan graphs.  This module computes the relevant
+spectral quantities so that claim is checkable:
+
+* ``second_eigenvalue`` — λ₂ of the adjacency matrix (for a d-regular
+  graph, λ₂ ≤ 2√(d−1) is the Ramanujan bound);
+* ``spectral_gap`` — d − λ₂;
+* ``cheeger_lower_bound`` — the expansion lower bound (d − λ₂)/2;
+* ``algebraic_connectivity`` — the Laplacian Fiedler value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graphs.base import Graph
+
+
+def adjacency_eigenvalues(graph: Graph, k: int = 3) -> np.ndarray:
+    """The *k* largest-magnitude adjacency eigenvalues, descending by value."""
+    if graph.n <= k + 1:
+        dense = graph.csr().toarray().astype(float)
+        return np.sort(np.linalg.eigvalsh(dense))[::-1][:k]
+    vals = spla.eigsh(
+        graph.csr().astype(np.float64), k=k, which="LA", return_eigenvectors=False
+    )
+    return np.sort(vals)[::-1]
+
+
+def second_eigenvalue(graph: Graph) -> float:
+    """λ₂ of the adjacency matrix (the expansion-controlling eigenvalue)."""
+    return float(adjacency_eigenvalues(graph, k=2)[1])
+
+
+def spectral_gap(graph: Graph) -> float:
+    """``d − λ₂`` for a d-regular graph (larger = better expander)."""
+    vals = adjacency_eigenvalues(graph, k=2)
+    return float(vals[0] - vals[1])
+
+
+def is_ramanujan(graph: Graph) -> bool:
+    """``λ₂ ≤ 2·sqrt(d−1)`` — the Ramanujan property LPS graphs satisfy."""
+    if not graph.is_regular():
+        raise ValueError("Ramanujan test needs a regular graph")
+    d = graph.max_degree
+    return second_eigenvalue(graph) <= 2.0 * np.sqrt(d - 1) + 1e-9
+
+
+def cheeger_lower_bound(graph: Graph) -> float:
+    """Expansion lower bound ``(d − λ₂) / 2`` (Cheeger/Alon–Milman):
+    every balanced cut crosses at least this many edges per vertex."""
+    return spectral_gap(graph) / 2.0
+
+
+def algebraic_connectivity(graph: Graph) -> float:
+    """The Laplacian Fiedler value λ₂(L) (0 iff disconnected)."""
+    lap = sp.csgraph.laplacian(graph.csr().astype(np.float64))
+    if graph.n <= 3:
+        return float(np.sort(np.linalg.eigvalsh(lap.toarray()))[1])
+    vals = spla.eigsh(lap, k=2, sigma=-1e-3, which="LM", return_eigenvectors=False)
+    return float(np.sort(vals)[1])

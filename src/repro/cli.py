@@ -1,0 +1,141 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro topology ps --radix 15          # build + report
+    python -m repro topology df --a 12 --h 6
+    python -m repro design-space 24                 # feasible configs
+    python -m repro experiment fig01                # regenerate an artifact
+    python -m repro experiment tab03
+    python -m repro route --radix 15 --src 0 --dst 900
+
+``experiment`` accepts any module name from :mod:`repro.experiments`
+(fig01, fig04, fig07, fig09, fig10, fig11, fig12, fig13, fig14, tab01,
+tab02, tab03, eq12, sec08).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+EXPERIMENTS = [
+    "fig01",
+    "fig04",
+    "fig07",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "tab01",
+    "tab02",
+    "tab03",
+    "eq12",
+    "sec08",
+]
+
+
+def _cmd_topology(args) -> int:
+    from repro.analysis import diameter
+    from repro.topologies import (
+        dragonfly_topology,
+        hyperx_topology,
+        polarstar_topology,
+    )
+
+    if args.kind == "ps":
+        topo = polarstar_topology(args.radix, p=args.p)
+    elif args.kind == "df":
+        topo = dragonfly_topology(a=args.a, h=args.h, p=args.p)
+    elif args.kind == "hx":
+        dims = tuple(int(x) for x in args.dims.split("x"))
+        topo = hyperx_topology(dims, p=args.p)
+    else:
+        raise SystemExit(f"unknown topology kind {args.kind!r}")
+
+    g = topo.graph
+    print(f"{topo.name}: {g.n} routers, {g.m} links, network radix "
+          f"{topo.network_radix}, {topo.num_endpoints} endpoints")
+    print(f"diameter: {diameter(g, sample=min(g.n, 64)):.0f}")
+    if topo.groups is not None:
+        print(f"groups: {topo.num_groups}")
+    return 0
+
+
+def _cmd_design_space(args) -> int:
+    from repro.core.polarstar import design_space
+
+    for cfg in design_space(args.radix):
+        marker = " <- largest" if cfg == design_space(args.radix)[0] else ""
+        print(f"{cfg.name:36s} {cfg.order:8d} routers{marker}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.name not in EXPERIMENTS:
+        raise SystemExit(f"unknown experiment {args.name!r}; options: {EXPERIMENTS}")
+    mod = importlib.import_module(f"repro.experiments.{args.name}")
+    result = mod.run()
+    print(mod.format_figure(result))
+    return 0
+
+
+def _cmd_route(args) -> int:
+    from repro.core.polarstar import best_config, build_polarstar
+    from repro.routing import PolarStarRouter, route_path
+
+    cfg = best_config(args.radix)
+    if cfg is None:
+        raise SystemExit(f"no PolarStar at radix {args.radix}")
+    star = build_polarstar(cfg)
+    router = PolarStarRouter(star)
+    path = route_path(router, args.src, args.dst)
+    print(f"{cfg.name}: {args.src} -> {args.dst} in {len(path) - 1} hops")
+    for v in path:
+        x, xp = star.split(v)
+        print(f"  router {v} = (supernode {x}, local {xp})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("topology", help="build a topology and report basics")
+    t.add_argument("kind", choices=["ps", "df", "hx"])
+    t.add_argument("--radix", type=int, default=15)
+    t.add_argument("--p", type=int, default=None, help="endpoints per router")
+    t.add_argument("--a", type=int, default=12, help="dragonfly group size")
+    t.add_argument("--h", type=int, default=6, help="dragonfly global links")
+    t.add_argument("--dims", default="9x9x8", help="hyperx dims, e.g. 9x9x8")
+    t.set_defaults(fn=_cmd_topology)
+
+    d = sub.add_parser("design-space", help="list feasible PolarStar configs")
+    d.add_argument("radix", type=int)
+    d.set_defaults(fn=_cmd_design_space)
+
+    e = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    e.add_argument("name", help=f"one of {EXPERIMENTS}")
+    e.set_defaults(fn=_cmd_experiment)
+
+    r = sub.add_parser("route", help="route analytically on a PolarStar")
+    r.add_argument("--radix", type=int, default=15)
+    r.add_argument("--src", type=int, required=True)
+    r.add_argument("--dst", type=int, required=True)
+    r.set_defaults(fn=_cmd_route)
+
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

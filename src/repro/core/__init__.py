@@ -1,0 +1,37 @@
+"""PolarStar's primary contribution: low-diameter star products.
+
+* :mod:`repro.core.moore` — degree/diameter bounds and efficiency metrics.
+* :mod:`repro.core.star_product` — the star product of Definition 1 and its
+  single-bijection low-diameter specialization (Theorems 4 & 5).
+* :mod:`repro.core.polarstar` — the PolarStar family (ER_q * IQ / Paley),
+  including the per-radix design-space search of §7.
+"""
+
+from repro.core.moore import (
+    moore_bound,
+    moore_bound_diameter3,
+    moore_efficiency,
+    starmax_bound,
+)
+from repro.core.star_product import StarProduct, star_product
+from repro.core.polarstar import (
+    PolarStarConfig,
+    best_config,
+    build_polarstar,
+    design_space,
+    polarstar_order,
+)
+
+__all__ = [
+    "moore_bound",
+    "moore_bound_diameter3",
+    "moore_efficiency",
+    "starmax_bound",
+    "StarProduct",
+    "star_product",
+    "PolarStarConfig",
+    "best_config",
+    "build_polarstar",
+    "design_space",
+    "polarstar_order",
+]

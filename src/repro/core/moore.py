@@ -1,0 +1,70 @@
+"""Moore bounds and scalability metrics (§2.2, Fig. 1).
+
+The Moore bound caps the order of any graph of degree *d* and diameter *D*;
+"Moore-bound efficiency" (order / bound) is the paper's scalability metric
+for comparing topologies at equal radix.
+"""
+
+from __future__ import annotations
+
+
+def moore_bound(degree: int, diameter: int) -> int:
+    """Upper bound on the order of a (degree, diameter) graph:
+    ``1 + d * sum_{i<D} (d-1)^i``."""
+    if degree < 1 or diameter < 0:
+        raise ValueError("need degree >= 1, diameter >= 0")
+    total = 1
+    term = degree
+    for _ in range(diameter):
+        total += term
+        term *= degree - 1
+    return total
+
+
+def moore_bound_diameter3(degree: int) -> int:
+    """The diameter-3 Moore bound ``d³ - d² + d + 1``."""
+    d = degree
+    return d**3 - d**2 + d + 1
+
+
+def moore_efficiency(order: int, degree: int, diameter: int = 3) -> float:
+    """Fraction of the Moore bound achieved by a topology."""
+    return order / moore_bound(degree, diameter)
+
+
+def starmax_bound(radix: int) -> int:
+    """Upper bound on diameter-3 star products built from the known
+    factor-graph properties (the "StarMax" curve in Fig. 1).
+
+    A diameter-3 star product needs a diameter-2 structure graph (order at
+    most the diameter-2 Moore bound ``d² + 1``) and a supernode with one of
+    the P/P*/R*/R_1 properties (order at most ``2d' + 2``, the R* bound of
+    Proposition 2, which dominates the others).  Maximize the product over
+    all degree splits ``d + d' = radix``.
+    """
+    best = 0
+    for d in range(1, radix + 1):
+        dp = radix - d
+        best = max(best, (d * d + 1) * (2 * dp + 2))
+    return best
+
+
+def asymptotic_polarstar_order(radix: int) -> float:
+    """Eq. 2: the smooth approximation ``(8r³ + 12r² + 18r) / 27`` of the
+    maximum PolarStar order with an Inductive-Quad supernode."""
+    r = radix
+    return (8 * r**3 + 12 * r**2 + 18 * r) / 27
+
+
+def optimal_structure_q(radix: int) -> float:
+    """Eq. 1: the (real-valued) optimizer ``q`` of the PolarStar order
+    ``(q² + q + 1)(2·radix − 2q)`` — approximately ``2·radix / 3``.
+
+    Setting the derivative to zero gives ``3q² − 2(d−1)q − (d−1) = 0``,
+    i.e. ``q = ((d−1) + sqrt((d−1)(d+2))) / 3``.  (The paper prints
+    ``sqrt((d−1)(d−2))``, which differs from the exact optimizer by a
+    rounding-level amount; both are ≈ 2d/3 and the design-space search is
+    exhaustive anyway.)
+    """
+    d = radix
+    return ((d - 1) + ((d - 1) * (d + 2)) ** 0.5) / 3

@@ -1,0 +1,116 @@
+"""PolarStar: the paper's topology family (§6, §7).
+
+A PolarStar of network radix ``d*`` is the star product of
+
+* an Erdős–Rényi polarity graph ``ER_q`` (structure, degree ``q + 1``), and
+* an Inductive-Quad ``IQ_{d'}`` or Paley supernode of degree ``d'``,
+
+with ``(q + 1) + d' == d*``.  :func:`design_space` enumerates every feasible
+``(q, d', supernode)`` combination for a radix; :func:`best_config` picks the
+largest (what Fig. 1 plots); :func:`build_polarstar` materializes the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.fields import prime_powers_up_to
+from repro.graphs.er_polarity import er_order, er_polarity_graph
+from repro.graphs.inductive_quad import inductive_quad, iq_order
+from repro.graphs.paley import paley_feasible_degrees, paley_graph, paley_order
+from repro.core.star_product import StarProduct, star_product
+
+#: Supported supernode kinds.
+SUPERNODE_KINDS = ("iq", "paley")
+
+
+@dataclass(frozen=True, order=True)
+class PolarStarConfig:
+    """One feasible PolarStar design point."""
+
+    q: int
+    dprime: int
+    supernode_kind: str
+
+    @property
+    def structure_degree(self) -> int:
+        return self.q + 1
+
+    @property
+    def radix(self) -> int:
+        return self.q + 1 + self.dprime
+
+    @property
+    def structure_order(self) -> int:
+        return er_order(self.q)
+
+    @property
+    def supernode_order(self) -> int:
+        if self.supernode_kind == "iq":
+            return iq_order(self.dprime)
+        return paley_order(self.dprime)
+
+    @property
+    def order(self) -> int:
+        return self.structure_order * self.supernode_order
+
+    @property
+    def name(self) -> str:
+        kind = "IQ" if self.supernode_kind == "iq" else "Paley"
+        return f"PolarStar(q={self.q}, d'={self.dprime}, {kind})"
+
+
+def _iq_degree_ok(d: int) -> bool:
+    return d >= 0 and d % 4 in (0, 3)
+
+
+@lru_cache(maxsize=None)
+def design_space(radix: int, kinds: tuple[str, ...] = SUPERNODE_KINDS) -> tuple[PolarStarConfig, ...]:
+    """All feasible PolarStar configurations of the given network radix,
+    sorted by decreasing order.  This realizes the Fig. 7 sweep.
+
+    Structure degree must be at least 3 (``q >= 2``) so the ER graph is a
+    genuine diameter-2 graph; the supernode degree takes the remainder.
+    """
+    configs: list[PolarStarConfig] = []
+    paley_ok = set(paley_feasible_degrees(radix))
+    for q in prime_powers_up_to(radix - 1):
+        dprime = radix - (q + 1)
+        if dprime < 0:
+            continue
+        if "iq" in kinds and _iq_degree_ok(dprime):
+            configs.append(PolarStarConfig(q, dprime, "iq"))
+        if "paley" in kinds and dprime in paley_ok:
+            configs.append(PolarStarConfig(q, dprime, "paley"))
+    configs.sort(key=lambda c: c.order, reverse=True)
+    return tuple(configs)
+
+
+def best_config(radix: int, kinds: tuple[str, ...] = SUPERNODE_KINDS) -> PolarStarConfig | None:
+    """Largest-order feasible configuration at this radix (Fig. 1 points)."""
+    space = design_space(radix, kinds)
+    return space[0] if space else None
+
+
+def polarstar_order(radix: int, kinds: tuple[str, ...] = SUPERNODE_KINDS) -> int:
+    """Order of the largest PolarStar at this radix (0 if infeasible)."""
+    cfg = best_config(radix, kinds)
+    return cfg.order if cfg else 0
+
+
+def build_polarstar(config: PolarStarConfig) -> StarProduct:
+    """Materialize the PolarStar graph for a configuration.
+
+    The involution (IQ) or R_1 bijection (Paley) supplied by the supernode
+    constructor is used on every structure arc, and ER_q's quadric self-loops
+    become intra-supernode matching edges (§6.1.2).
+    """
+    structure = er_polarity_graph(config.q)
+    if config.supernode_kind == "iq":
+        supernode, f = inductive_quad(config.dprime)
+    elif config.supernode_kind == "paley":
+        supernode, f = paley_graph(2 * config.dprime + 1)
+    else:
+        raise ValueError(f"unknown supernode kind {config.supernode_kind!r}")
+    return star_product(structure, supernode, f, name=config.name)

@@ -1,0 +1,28 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+Each module exposes ``run(...) -> dict`` returning the data behind the
+paper's artifact, plus a ``format_*`` helper that renders the same rows /
+series the paper reports.  The ``benchmarks/`` tree wraps these in
+pytest-benchmark entries; the ``examples/`` scripts reuse them directly.
+
+| module   | artifact                                           |
+|----------|-----------------------------------------------------|
+| fig01    | Moore-bound efficiency of diameter-3 topologies     |
+| fig04    | diameter-2 graph families vs Moore bound            |
+| fig07    | PolarStar feasible (radix, order) design space      |
+| tab01    | qualitative network properties (computed)           |
+| tab02    | supernode family comparison                         |
+| tab03    | simulated configurations                            |
+| fig09    | latency/saturation under synthetic traffic          |
+| fig10    | adversarial traffic                                 |
+| fig11    | Allreduce & Sweep3D motifs                          |
+| fig12    | bisection fraction across topologies                |
+| fig13    | PolarStar bisection: IQ vs Paley supernodes         |
+| fig14    | diameter/APL under random link failures             |
+| eq12     | Eq. 1/2 scaling laws vs exhaustive search           |
+| sec08    | layout & bundling arithmetic                        |
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

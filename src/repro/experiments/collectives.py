@@ -1,0 +1,60 @@
+"""Extension experiment: Allreduce algorithm comparison across topologies.
+
+§10 evaluates one Allreduce implementation; the cited Rabenseifner (2004)
+line of work is about *algorithm* choice.  This experiment pits recursive
+doubling, ring, and Rabenseifner's reduce-scatter+allgather against each
+other on the Table 3 networks — showing how topology and algorithm
+interact (rings love neighbor locality; halving/doubling loves low
+diameter).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, table3_instance, table3_router
+from repro.sim.motif import MotifEngine, MotifNetworkConfig
+from repro.traffic.collectives import (
+    rabenseifner_allreduce_events,
+    recursive_doubling_allreduce,
+    ring_allreduce_events,
+)
+
+ALGORITHMS = {
+    "recursive-doubling": recursive_doubling_allreduce,
+    "ring": ring_allreduce_events,
+    "rabenseifner": rabenseifner_allreduce_events,
+}
+
+CFG = MotifNetworkConfig(link_bw=4e9, link_latency=20e-9, router_latency=20e-9)
+
+
+def run(
+    names=("PS-IQ", "DF", "HX", "FT"),
+    ranks: int = 1024,
+    size: int = 1024 * 1024,
+    iterations: int = 4,
+) -> dict:
+    """Run every Allreduce algorithm on every topology; seconds per cell."""
+    rows = []
+    for name in names:
+        topo = table3_instance(name)
+        router, _ = table3_router(name)
+        nranks = min(ranks, topo.num_endpoints)
+        row = {"topology": name, "ranks": nranks}
+        for alg, gen in ALGORITHMS.items():
+            msgs = gen(nranks, size=size, iterations=iterations)
+            row[alg] = MotifEngine(topo, router, CFG).run(msgs)
+        rows.append(row)
+    return {"rows": rows, "size": size, "iterations": iterations}
+
+
+def format_figure(result: dict) -> str:
+    """Render the comparison table."""
+    headers = ["topology", "ranks"] + [f"{a} (ms)" for a in ALGORITHMS]
+    rows = [
+        [r["topology"], r["ranks"]] + [1e3 * r[a] for a in ALGORITHMS]
+        for r in result["rows"]
+    ]
+    return (
+        f"Allreduce of {result['size'] // 1024} KiB x {result['iterations']} iterations:\n"
+        + format_table(headers, rows)
+    )

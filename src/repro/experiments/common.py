@@ -1,0 +1,87 @@
+"""Shared experiment utilities: routers per topology, table rendering,
+geometric means."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing import (
+    DragonflyRouter,
+    HyperXRouter,
+    PolarStarRouter,
+    TableRouter,
+)
+from repro.routing.base import Router
+from repro.topologies import build_table3_topology
+from repro.topologies.base import Topology
+from repro.topologies.table3 import build_reduced_topology
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of the positive entries (0.0 if none)."""
+    arr = np.asarray([v for v in values if v > 0], dtype=float)
+    if not len(arr):
+        return 0.0
+    return float(np.exp(np.log(arr).mean()))
+
+
+def paper_router(topology: Topology) -> tuple[Router, str]:
+    """The §9.3 routing policy for each topology:
+
+    * PolarStar — analytic single-minpath routing (§9.2);
+    * Dragonfly — hierarchical l-g-l (Booksim's built-in);
+    * HyperX — dimension-aligned all-minpath (no tables);
+    * SF / BF / MF / FT — all-minpath routing tables.
+
+    Returns ``(router, flow_mode)`` where ``flow_mode`` is "single" or "all"
+    for the flow-level model.
+    """
+    if "star" in topology.meta and topology.name.startswith("PS"):
+        return PolarStarRouter(topology.meta["star"]), "single"
+    if "a" in topology.meta and topology.name == "DF":
+        return DragonflyRouter(topology), "single"
+    if "dims" in topology.meta:
+        return HyperXRouter(topology), "all"
+    return TableRouter(topology.graph), "all"
+
+
+@lru_cache(maxsize=None)
+def table3_instance(name: str, scale: str = "full") -> Topology:
+    """Cached Table 3 topology (``scale='reduced'`` for packet-sim work)."""
+    if scale == "reduced":
+        return build_reduced_topology(name)
+    return build_table3_topology(name)
+
+
+_ROUTER_CACHE: dict[tuple[str, str], tuple[Router, str]] = {}
+
+
+def table3_router(name: str, scale: str = "full") -> tuple[Router, str]:
+    """Cached (router, flow-mode) pair for a Table 3 topology."""
+    key = (name, scale)
+    if key not in _ROUTER_CACHE:
+        _ROUTER_CACHE[key] = paper_router(table3_instance(name, scale))
+    return _ROUTER_CACHE[key]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], floatfmt: str = ".3f") -> str:
+    """Render a plain-text table (monospace, right-aligned numbers)."""
+
+    def fmt(x):
+        if isinstance(x, float):
+            return format(x, floatfmt)
+        return str(x)
+
+    cells = [[fmt(x) for x in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)

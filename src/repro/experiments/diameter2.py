@@ -1,0 +1,75 @@
+"""Context experiment (§2.3): why diameter-2 networks are not enough.
+
+PolarFly and SlimFly approach the diameter-2 Moore bound but that bound is
+only ``d² + 1`` — a few thousand routers at feasible radixes.  This
+experiment quantifies the scalability ceiling and shows the networks
+themselves perform well (uniform saturation) — scale, not performance, is
+their limit, exactly the paper's §2.3 framing.
+"""
+
+from __future__ import annotations
+
+from repro.core.moore import moore_bound
+from repro.experiments.common import format_table
+from repro.fields import is_prime_power
+from repro.graphs.er_polarity import er_order
+from repro.graphs.mms import mms_degree, mms_order
+from repro.core.polarstar import polarstar_order
+from repro.routing import TableRouter
+from repro.sim.flow import saturation_load
+from repro.topologies.polarfly import PolarFlyRouter, polarfly_topology
+from repro.traffic import UniformRandomPattern
+
+
+def run(radixes=(8, 12, 18, 24, 32, 48, 64), sim_q: int = 11) -> dict:
+    """Scalability ceiling per radix + PolarFly uniform saturation."""
+    rows = []
+    for r in radixes:
+        q = r - 1
+        pf = er_order(q) if q >= 2 and is_prime_power(q) else 0
+        sf = 0
+        from repro.fields import prime_powers_up_to
+
+        for qq in prime_powers_up_to(r):
+            if mms_degree(qq) == r:
+                sf = mms_order(qq)
+        rows.append(
+            {
+                "radix": r,
+                "moore2": moore_bound(r, 2),
+                "polarfly": pf,
+                "slimfly": sf,
+                "moore3": moore_bound(r, 3),
+                "polarstar": polarstar_order(r),
+            }
+        )
+
+    # Performance check: PolarFly sustains high uniform load with its
+    # analytic router, like its diameter-3 descendant.
+    topo = polarfly_topology(sim_q, p=max(1, (sim_q + 1) // 2))
+    router = PolarFlyRouter(topo)
+    demand = UniformRandomPattern(topo).router_demand()
+    pf_sat = saturation_load(topo, router, demand, mode="single")
+    table_sat = saturation_load(topo, TableRouter(topo.graph), demand, mode="all")
+
+    return {
+        "rows": rows,
+        "polarfly_uniform_saturation_analytic": pf_sat,
+        "polarfly_uniform_saturation_tables": table_sat,
+        "sim_q": sim_q,
+    }
+
+
+def format_figure(result: dict) -> str:
+    """Render the scalability table."""
+    headers = ["radix", "Moore-2", "PolarFly", "SlimFly", "Moore-3", "PolarStar"]
+    rows = [
+        [r["radix"], r["moore2"], r["polarfly"] or "-", r["slimfly"] or "-", r["moore3"], r["polarstar"]]
+        for r in result["rows"]
+    ]
+    tail = (
+        f"\nPolarFly(q={result['sim_q']}) uniform saturation: "
+        f"{result['polarfly_uniform_saturation_analytic']:.2f} (analytic single minpath), "
+        f"{result['polarfly_uniform_saturation_tables']:.2f} (all minpaths)"
+    )
+    return format_table(headers, rows) + tail

@@ -1,0 +1,55 @@
+"""Eq. 1 / Eq. 2: the PolarStar scaling laws vs exhaustive search.
+
+Eq. 1 gives the real-valued structure parameter q maximizing the order at
+fixed radix (≈ 2d*/3); Eq. 2 the resulting maximum order
+(≈ (8d*³ + 12d*² + 18d*)/27, i.e. 8/27 of the Moore bound asymptotically).
+We compare both against the exhaustive feasible search.
+"""
+
+from __future__ import annotations
+
+from repro.core.moore import (
+    asymptotic_polarstar_order,
+    moore_bound_diameter3,
+    optimal_structure_q,
+)
+from repro.core.polarstar import best_config, polarstar_order
+from repro.experiments.common import format_table
+
+
+def run(radixes=(16, 24, 32, 48, 64, 96, 128)) -> dict:
+    """Evaluate Eq. 1/2 against the exhaustive design-space search."""
+    rows = []
+    for radix in radixes:
+        cfg = best_config(radix, kinds=("iq",))
+        rows.append(
+            {
+                "radix": radix,
+                "q_eq1": optimal_structure_q(radix),
+                "q_best": cfg.q if cfg else None,
+                "order_eq2": asymptotic_polarstar_order(radix),
+                "order_best": polarstar_order(radix),
+                "moore_fraction": polarstar_order(radix) / moore_bound_diameter3(radix),
+            }
+        )
+    return {"rows": rows, "asymptote": 8 / 27}
+
+
+def format_figure(result: dict) -> str:
+    """Render the scaling-law table."""
+    headers = ["radix", "q (Eq.1)", "best feasible q", "order (Eq.2)", "best order", "Moore fraction"]
+    rows = [
+        [
+            r["radix"],
+            r["q_eq1"],
+            r["q_best"],
+            r["order_eq2"],
+            r["order_best"],
+            r["moore_fraction"],
+        ]
+        for r in result["rows"]
+    ]
+    return (
+        format_table(headers, rows, floatfmt=".2f")
+        + f"\nasymptotic Moore fraction 8/27 = {result['asymptote']:.4f}"
+    )

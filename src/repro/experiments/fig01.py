@@ -1,0 +1,112 @@
+"""Fig. 1: scalability of direct diameter-3 topologies vs the Moore bound.
+
+For each network radix we compute the largest achievable order of every
+topology family and its Moore-bound efficiency, plus the StarMax upper
+bound.  The headline numbers — geometric-mean scale of PolarStar over
+Bundlefly (1.3x), Dragonfly (1.9x) and 3-D HyperX (6.7x) — are derived
+exactly as in §7.2 (radix range [8, 128] for the ratios; the figure itself
+plots radix ≤ 64).
+"""
+
+from __future__ import annotations
+
+from repro.core.moore import moore_bound_diameter3, starmax_bound
+from repro.core.polarstar import polarstar_order
+from repro.experiments.common import format_table, geometric_mean
+from repro.graphs.kautz import kautz_order
+from repro.topologies.bundlefly import bundlefly_max_order
+from repro.topologies.dragonfly import dragonfly_max_order
+from repro.topologies.hyperx import hyperx_max_order
+
+
+def kautz_bidirectional_order(radix: int) -> int:
+    """Largest diameter-3 Kautz order when every link is bidirectional
+    (doubling the degree): ``K(radix // 2, 3)``."""
+    d = radix // 2
+    return kautz_order(d, 3) if d >= 1 else 0
+
+
+def spectralfly_orders(max_radix: int, max_order: int = 6000) -> dict[int, int]:
+    """Diameter-3 Spectralfly design points (order capped for scan cost;
+    the Table 3 point SF(23, 13) is checked separately in tab03)."""
+    from repro.topologies.spectralfly import spectralfly_design_points
+
+    pts = spectralfly_design_points(max_radix, max_order=max_order)
+    return {radix: order for radix, order, _, _ in pts}
+
+
+def run(radix_lo: int = 8, radix_hi: int = 64, ratio_hi: int = 128, with_sf: bool = True) -> dict:
+    """Compute the Fig. 1 sweep and the §1.3 geometric-mean ratios."""
+    sf = spectralfly_orders(radix_hi) if with_sf else {}
+    rows = []
+    for r in range(radix_lo, radix_hi + 1):
+        moore = moore_bound_diameter3(r)
+        rows.append(
+            {
+                "radix": r,
+                "moore": moore,
+                "starmax": starmax_bound(r),
+                "polarstar": polarstar_order(r),
+                "bundlefly": bundlefly_max_order(r),
+                "dragonfly": dragonfly_max_order(r),
+                "hyperx": hyperx_max_order(r),
+                "kautz": kautz_bidirectional_order(r),
+                "spectralfly": sf.get(r, 0),
+            }
+        )
+
+    ratios = {}
+    for rival in ("bundlefly", "dragonfly", "hyperx"):
+        vals = []
+        for r in range(radix_lo, ratio_hi + 1):
+            ps = polarstar_order(r)
+            other = {
+                "bundlefly": bundlefly_max_order,
+                "dragonfly": dragonfly_max_order,
+                "hyperx": hyperx_max_order,
+            }[rival](r)
+            if ps > 0 and other > 0:
+                vals.append(ps / other)
+        ratios[rival] = geometric_mean(vals)
+
+    return {"rows": rows, "geomean_ratios": ratios}
+
+
+def format_figure(result: dict) -> str:
+    """Render the Fig. 1 sweep plus geomean ratios."""
+    headers = [
+        "radix",
+        "Moore",
+        "StarMax",
+        "PolarStar",
+        "eff%",
+        "Bundlefly",
+        "Dragonfly",
+        "HyperX",
+        "Kautz",
+        "Spectralfly",
+    ]
+    rows = []
+    for row in result["rows"]:
+        rows.append(
+            [
+                row["radix"],
+                row["moore"],
+                row["starmax"],
+                row["polarstar"],
+                100.0 * row["polarstar"] / row["moore"],
+                row["bundlefly"],
+                row["dragonfly"],
+                row["hyperx"],
+                row["kautz"],
+                row["spectralfly"] or "-",
+            ]
+        )
+    table = format_table(headers, rows, floatfmt=".1f")
+    g = result["geomean_ratios"]
+    tail = (
+        f"\ngeomean scale gain of PolarStar (radix 8..128): "
+        f"{g['bundlefly']:.2f}x over Bundlefly, {g['dragonfly']:.2f}x over "
+        f"Dragonfly, {g['hyperx']:.2f}x over 3-D HyperX"
+    )
+    return table + tail

@@ -1,0 +1,58 @@
+"""Fig. 7: feasible combinations of radix and order in PolarStar.
+
+For every radix in [8, 128] the design space contains multiple (q, d',
+supernode) combinations; the figure plots all feasible orders per radix.
+We also report the per-radix config count and which supernode kind wins —
+§7.2's "Paley wins only at k = 23, 50, 56, 80".
+"""
+
+from __future__ import annotations
+
+from repro.core.polarstar import best_config, design_space
+from repro.experiments.common import format_table
+
+
+def run(radix_lo: int = 8, radix_hi: int = 128) -> dict:
+    """Enumerate the PolarStar design space per radix."""
+    rows = []
+    paley_wins = []
+    for r in range(radix_lo, radix_hi + 1):
+        space = design_space(r)
+        best = best_config(r)
+        if best is None:
+            continue
+        orders = [c.order for c in space]
+        rows.append(
+            {
+                "radix": r,
+                "num_configs": len(space),
+                "min_order": min(orders),
+                "max_order": max(orders),
+                "best_kind": best.supernode_kind,
+                "best_q": best.q,
+                "best_dprime": best.dprime,
+                "orders": orders,
+            }
+        )
+        if best.supernode_kind == "paley":
+            paley_wins.append(r)
+    return {"rows": rows, "paley_win_radixes": paley_wins}
+
+
+def format_figure(result: dict) -> str:
+    """Render the Fig. 7 table."""
+    headers = ["radix", "#configs", "min order", "max order", "best (q, d', kind)"]
+    rows = [
+        [
+            r["radix"],
+            r["num_configs"],
+            r["min_order"],
+            r["max_order"],
+            f"({r['best_q']}, {r['best_dprime']}, {r['best_kind']})",
+        ]
+        for r in result["rows"]
+    ]
+    return (
+        format_table(headers, rows)
+        + f"\nPaley supernode wins at radixes: {result['paley_win_radixes']}"
+    )

@@ -1,0 +1,115 @@
+"""Fig. 9: performance under synthetic traffic (MIN and UGAL).
+
+Two reproductions at different fidelity:
+
+* :func:`run` — flow-level saturation loads at **full Table 3 scale** for
+  every topology x pattern x routing combination.  The paper's latency
+  curves saturate exactly at these loads, so "who saturates where" — the
+  figure's message — is reproduced directly; :func:`run` also returns the
+  open-loop latency curves from the M/M/1 model.
+* :func:`packet_sim_curves` — event-driven packet simulation (VCs, credit
+  flow control) of latency vs load on the reduced-scale analogues of
+  ``table3.REDUCED_BUILDERS``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import format_table, table3_instance, table3_router
+from repro.sim.flow import latency_curve, link_loads, saturation_load, ugal_saturation_load
+from repro.sim.packet import PacketSimConfig, latency_load_sweep
+from repro.topologies.base import Topology
+from repro.traffic import (
+    BitReversePattern,
+    BitShufflePattern,
+    RandomPermutationPattern,
+    UniformRandomPattern,
+)
+
+PATTERNS = {
+    "uniform": UniformRandomPattern,
+    "permutation": lambda t: RandomPermutationPattern(t, seed=0),
+    "bitreverse": BitReversePattern,
+    "bitshuffle": BitShufflePattern,
+}
+
+DEFAULT_TOPOLOGIES = ("PS-IQ", "PS-Pal", "BF", "HX", "DF", "MF", "FT", "SF")
+
+
+def pattern_demand(topo: Topology, pattern: str) -> np.ndarray:
+    """Router demand matrix of a named pattern on a topology."""
+    return PATTERNS[pattern](topo).router_demand()
+
+
+def run(
+    names=DEFAULT_TOPOLOGIES,
+    patterns=("uniform", "permutation", "bitreverse", "bitshuffle"),
+    with_ugal: bool = True,
+    with_curves: bool = False,
+) -> dict:
+    """Flow-level saturation (and optional latency curves) per combination."""
+    rows = []
+    curves = {}
+    for name in names:
+        topo = table3_instance(name)
+        router, mode = table3_router(name)
+        for pattern in patterns:
+            demand = pattern_demand(topo, pattern)
+            loads = link_loads(topo, router, demand, mode=mode)
+            peak = loads.max() if len(loads) else 0.0
+            sat_min = min(1.0, 1.0 / peak) if peak > 0 else 1.0
+            row = {"topology": name, "pattern": pattern, "min_saturation": sat_min}
+            if with_ugal:
+                row["ugal_saturation"] = ugal_saturation_load(
+                    topo, router, demand, mode=mode
+                )
+            rows.append(row)
+            if with_curves:
+                curves[(name, pattern)] = latency_curve(
+                    topo, router, demand, loads=loads, mode=mode
+                )
+    return {"rows": rows, "curves": curves}
+
+
+def packet_sim_curves(
+    names=("PS-IQ", "PS-Pal", "BF", "DF", "HX"),
+    pattern: str = "uniform",
+    loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    adaptive: bool = False,
+    config: PacketSimConfig | None = None,
+) -> dict:
+    """Packet-level latency-vs-load curves on the reduced-scale analogues."""
+    out = {}
+    for name in names:
+        topo = table3_instance(name, scale="reduced")
+        router, _ = table3_router(name, scale="reduced")
+        pat = PATTERNS[pattern](topo)
+        results = latency_load_sweep(
+            topo, router, pat, loads, config=config, adaptive=adaptive
+        )
+        out[name] = [
+            {
+                "load": r.offered_load,
+                "latency": r.avg_latency,
+                "throughput": r.throughput,
+                "stable": r.stable,
+            }
+            for r in results
+        ]
+    return out
+
+
+def format_figure(result: dict) -> str:
+    """Render the saturation table."""
+    has_ugal = result["rows"] and "ugal_saturation" in result["rows"][0]
+    headers = ["topology", "pattern", "MIN saturation"] + (
+        ["UGAL saturation"] if has_ugal else []
+    )
+    rows = []
+    for r in result["rows"]:
+        row = [r["topology"], r["pattern"], r["min_saturation"]]
+        if has_ugal:
+            row.append(r["ugal_saturation"])
+        rows.append(row)
+    return format_table(headers, rows)

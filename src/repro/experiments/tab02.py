@@ -1,0 +1,78 @@
+"""Table 2: supernode family comparison.
+
+For each candidate supernode we report the order formula, permitted
+degrees, and *verify* the claimed structural properties (R*, R_1) with the
+checkers of :mod:`repro.graphs.properties` at sample degrees.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.graphs.bdf import bdf_feasible_degrees, bdf_supernode
+from repro.graphs.complete import complete_supernode
+from repro.graphs.inductive_quad import inductive_quad, iq_feasible_degrees
+from repro.graphs.paley import paley_feasible_degrees, paley_graph
+from repro.graphs.properties import has_property_r1, has_property_rstar
+
+
+def _check(builder, degrees) -> dict:
+    """Verify R*/R_1 at each sample degree; report orders."""
+    out = {"orders": {}, "rstar": True, "r1": True}
+    for d in degrees:
+        g, f = builder(d)
+        out["orders"][d] = g.n
+        out["rstar"] &= has_property_rstar(g, f)
+        out["r1"] &= has_property_r1(g, f)
+    return out
+
+
+def run(sample_max_degree: int = 12) -> dict:
+    """Verify and tabulate every supernode family."""
+    families = {}
+
+    iq_degs = [d for d in iq_feasible_degrees(sample_max_degree) if d > 0]
+    families["Inductive-Quad"] = {
+        "order_formula": "2d'+2",
+        "permitted": "d' ≡ 0 or 3 (mod 4)",
+        **_check(inductive_quad, iq_degs),
+    }
+
+    pal_degs = paley_feasible_degrees(sample_max_degree)
+    families["Paley"] = {
+        "order_formula": "2d'+1",
+        "permitted": "d' even, 2d'+1 prime power ≡ 1 (mod 4)",
+        **_check(lambda d: paley_graph(2 * d + 1), pal_degs),
+    }
+
+    bdf_degs = [d for d in bdf_feasible_degrees(sample_max_degree) if d >= 4]
+    families["BDF"] = {
+        "order_formula": "2d'",
+        "permitted": "all (our explicit build: d' ≡ 0, 1 mod 4)",
+        **_check(bdf_supernode, bdf_degs),
+    }
+
+    families["Complete"] = {
+        "order_formula": "d'+1",
+        "permitted": "all",
+        **_check(complete_supernode, list(range(1, sample_max_degree + 1))),
+    }
+
+    return {"families": families}
+
+
+def format_figure(result: dict) -> str:
+    """Render the Table 2 comparison."""
+    headers = ["supernode", "order", "permitted d'", "R*", "R1", "orders checked"]
+    rows = []
+    for name, fam in result["families"].items():
+        rows.append(
+            [
+                name,
+                fam["order_formula"],
+                fam["permitted"],
+                "Y" if fam["rstar"] else "N",
+                "Y" if fam["r1"] else "N",
+                ", ".join(f"{d}->{n}" for d, n in sorted(fam["orders"].items())),
+            ]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,32 @@
+"""Finite-field arithmetic substrate.
+
+The PolarStar construction needs arithmetic over :math:`\\mathbb{F}_q` for
+prime powers *q*: the Erdős–Rényi polarity graph :math:`ER_q` is defined by
+orthogonality of projective vectors over :math:`\\mathbb{F}_q`, Paley graphs
+by quadratic residues, and McKay–Miller–Širáň graphs (used by Bundlefly) by
+coset structure in :math:`\\mathbb{F}_q^2`.
+
+Everything here is pure Python + NumPy.  Fields are represented by
+:class:`GF`, which precomputes dense add/mul lookup tables so that graph
+constructions can be fully vectorized.
+"""
+
+from repro.fields.primes import (
+    factorize,
+    is_prime,
+    is_prime_power,
+    prime_power_root,
+    prime_powers_up_to,
+    primes_up_to,
+)
+from repro.fields.gf import GF
+
+__all__ = [
+    "GF",
+    "factorize",
+    "is_prime",
+    "is_prime_power",
+    "prime_power_root",
+    "prime_powers_up_to",
+    "primes_up_to",
+]

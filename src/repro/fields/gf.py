@@ -1,0 +1,250 @@
+"""Galois field :math:`GF(p^k)` with dense lookup tables.
+
+Elements of :math:`GF(p^k)` are encoded as integers in ``[0, q)``: the
+integer ``e`` stands for the polynomial whose base-*p* digits are its
+coefficients (least-significant digit = constant term).  For prime fields
+(``k == 1``) this is ordinary arithmetic mod *p*.
+
+The class precomputes dense ``q x q`` addition and multiplication tables so
+that graph constructions (e.g. the all-pairs orthogonality test in
+:math:`ER_q`) can be expressed as vectorized NumPy gathers instead of Python
+loops — the dominant cost of building a radix-128 PolarStar otherwise.
+
+Sizes are tiny (``q <= ~512`` in any realistic network), so the ``O(q^2)``
+tables are a few hundred KB at most.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.fields.primes import prime_power_root
+
+
+def _poly_mul_mod(a: tuple[int, ...], b: tuple[int, ...], p: int) -> tuple[int, ...]:
+    """Multiply coefficient tuples *a*, *b* over GF(p) (no reduction)."""
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai:
+            for j, bj in enumerate(b):
+                out[i + j] = (out[i + j] + ai * bj) % p
+    return tuple(out)
+
+
+def _all_monic(p: int, k: int) -> list[tuple[int, ...]]:
+    """All monic polynomials of degree exactly *k* over GF(p), as coeff tuples
+    (constant term first, leading coefficient 1 last)."""
+    polys = []
+    for e in range(p**k):
+        digits = []
+        x = e
+        for _ in range(k):
+            digits.append(x % p)
+            x //= p
+        polys.append(tuple(digits) + (1,))
+    return polys
+
+
+@lru_cache(maxsize=None)
+def irreducible_poly(p: int, k: int) -> tuple[int, ...]:
+    """Return a monic irreducible polynomial of degree *k* over GF(p).
+
+    Found by sieving: every reducible monic polynomial of degree *k* is a
+    product of two monic polynomials of lower degree, so we enumerate those
+    products and return the first survivor.  Deterministic, so field tables
+    are reproducible across runs.
+    """
+    if k == 1:
+        return (0, 1)  # x
+    composites: set[tuple[int, ...]] = set()
+    lower = {d: _all_monic(p, d) for d in range(1, k)}
+    for da in range(1, k // 2 + 1):
+        db = k - da
+        for a in lower[da]:
+            for b in lower[db]:
+                composites.add(_poly_mul_mod(a, b, p))
+    for cand in _all_monic(p, k):
+        if cand not in composites:
+            return cand
+    raise RuntimeError(f"no irreducible polynomial of degree {k} over GF({p})")
+
+
+class GF:
+    """The finite field with ``q = p**k`` elements.
+
+    Parameters
+    ----------
+    q:
+        Field order; must be a prime power.
+
+    Attributes
+    ----------
+    q, p, k:
+        Order, characteristic, and extension degree.
+    add_table, mul_table:
+        ``(q, q)`` uint16 arrays: ``add_table[a, b] == a + b`` etc.
+    neg_table, inv_table:
+        Unary tables; ``inv_table[0]`` is 0 by convention (never used).
+    squares:
+        Sorted array of nonzero quadratic residues.
+
+    Examples
+    --------
+    >>> F = GF(9)
+    >>> int(F.mul(F.add(1, 1), 2)) == int(F.mul(2, 2))
+    True
+    """
+
+    _cache: dict[int, "GF"] = {}
+
+    def __new__(cls, q: int) -> "GF":
+        # Fields are immutable; share instances so tables are built once.
+        if q in cls._cache:
+            return cls._cache[q]
+        self = super().__new__(cls)
+        cls._cache[q] = self
+        return self
+
+    def __init__(self, q: int):
+        if getattr(self, "_initialized", False):
+            return
+        p, k = prime_power_root(q)
+        self.q = q
+        self.p = p
+        self.k = k
+        self._build_tables()
+        self._initialized = True
+
+    # -- construction ------------------------------------------------------
+
+    def _digits(self, e: int) -> tuple[int, ...]:
+        out = []
+        for _ in range(self.k):
+            out.append(e % self.p)
+            e //= self.p
+        return tuple(out)
+
+    def _undigits(self, coeffs) -> int:
+        e = 0
+        for c in reversed(list(coeffs)):
+            e = e * self.p + (c % self.p)
+        return e
+
+    def _build_tables(self) -> None:
+        p, k, q = self.p, self.k, self.q
+        dtype = np.uint32 if q > 65535 else np.uint16
+
+        # Addition: digit-wise mod-p addition, fully vectorized.
+        elems = np.arange(q)
+        digits = np.empty((q, k), dtype=np.int64)
+        x = elems.copy()
+        for i in range(k):
+            digits[:, i] = x % p
+            x //= p
+        sum_digits = (digits[:, None, :] + digits[None, :, :]) % p
+        weights = p ** np.arange(k)
+        self.add_table = (sum_digits * weights).sum(axis=2).astype(dtype)
+        self.neg_table = ((-digits % p) * weights).sum(axis=1).astype(dtype)
+
+        # Multiplication: build via a generator of the multiplicative group
+        # when k > 1, else plain modular arithmetic.
+        if k == 1:
+            self.mul_table = ((elems[:, None] * elems[None, :]) % p).astype(dtype)
+        else:
+            modulus = irreducible_poly(p, k)
+            mul = np.zeros((q, q), dtype=dtype)
+            polys = [self._digits(e) for e in range(q)]
+            for a in range(q):
+                pa = polys[a]
+                for b in range(a, q):
+                    prod = _poly_mul_mod(pa, polys[b], p)
+                    r = self._reduce(prod, modulus)
+                    v = self._undigits(r)
+                    mul[a, b] = v
+                    mul[b, a] = v
+            self.mul_table = mul
+
+        # Inverses: for each nonzero a find b with a*b == 1.
+        inv = np.zeros(q, dtype=dtype)
+        ones = np.argwhere(self.mul_table == 1)
+        for a, b in ones:
+            inv[a] = b
+        self.inv_table = inv
+
+        sq = np.unique(self.mul_table[elems, elems])
+        self.squares = sq[sq != 0]
+
+    def _reduce(self, poly: tuple[int, ...], modulus: tuple[int, ...]) -> tuple[int, ...]:
+        """Reduce *poly* modulo the monic *modulus* over GF(p)."""
+        p = self.p
+        coeffs = list(poly)
+        dm = len(modulus) - 1
+        while len(coeffs) > dm:
+            lead = coeffs[-1]
+            if lead:
+                shift = len(coeffs) - 1 - dm
+                for i, m in enumerate(modulus):
+                    coeffs[shift + i] = (coeffs[shift + i] - lead * m) % p
+            coeffs.pop()
+        coeffs += [0] * (dm - len(coeffs))
+        return tuple(coeffs)
+
+    # -- arithmetic (scalar or ndarray, via table gathers) -------------------
+
+    def add(self, a, b):
+        """Field addition; accepts scalars or ndarrays (broadcast)."""
+        return self.add_table[a, b]
+
+    def sub(self, a, b):
+        return self.add_table[a, self.neg_table[b]]
+
+    def mul(self, a, b):
+        """Field multiplication; accepts scalars or ndarrays (broadcast)."""
+        return self.mul_table[a, b]
+
+    def neg(self, a):
+        return self.neg_table[a]
+
+    def inv(self, a):
+        """Multiplicative inverse of nonzero *a* (``inv(0) == 0`` sentinel)."""
+        return self.inv_table[a]
+
+    def dot3(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Dot product of 3-vectors over the field.
+
+        ``u``: ``(..., 3)``, ``v``: ``(..., 3)`` — broadcastable.  Returns the
+        field element ``u0*v0 + u1*v1 + u2*v2`` with the same broadcast shape.
+        """
+        prods = self.mul_table[u, v]
+        return self.add_table[self.add_table[prods[..., 0], prods[..., 1]], prods[..., 2]]
+
+    def is_square(self, a) -> np.ndarray:
+        """Boolean mask: is *a* a nonzero quadratic residue?"""
+        return np.isin(np.asarray(a), self.squares)
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation by squaring; ``pow(0, 0) == 1`` by
+        convention."""
+        if e < 0:
+            a, e = int(self.inv(a)), -e
+        result, base = 1, int(a)
+        while e:
+            if e & 1:
+                result = int(self.mul(result, base))
+            base = int(self.mul(base, base))
+            e >>= 1
+        return result
+
+    def legendre(self, a: int) -> int:
+        """Quadratic character: 1 for nonzero squares, -1 for non-squares,
+        0 for zero.  (In characteristic 2 every element is a square.)"""
+        if a % self.q == 0:
+            return 0
+        if self.p == 2:
+            return 1
+        return 1 if bool(self.is_square(a)) else -1
+
+    def __repr__(self) -> str:
+        return f"GF({self.q})"

@@ -1,0 +1,104 @@
+"""Primality and prime-power utilities.
+
+All graph families in this package exist only for particular integer
+parameters (primes, prime powers, residue classes).  These helpers answer
+"which parameters are feasible?" questions for the design-space search in
+:mod:`repro.core.polarstar`.
+
+The sizes involved are tiny (network radixes are at most a few hundred), so
+simple deterministic trial division is both adequate and obviously correct.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def is_prime(n: int) -> bool:
+    """Return ``True`` iff *n* is prime.
+
+    Deterministic trial division; intended for small *n* (graph parameters),
+    not cryptographic sizes.
+    """
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+@lru_cache(maxsize=None)
+def factorize(n: int) -> tuple[tuple[int, int], ...]:
+    """Return the prime factorization of *n* as ``((p1, e1), (p2, e2), ...)``.
+
+    Factors are returned in increasing order of prime.
+
+    >>> factorize(360)
+    ((2, 3), (3, 2), (5, 1))
+    """
+    if n < 1:
+        raise ValueError(f"factorize() needs a positive integer, got {n}")
+    out: list[tuple[int, int]] = []
+    remaining = n
+    p = 2
+    while p * p <= remaining:
+        if remaining % p == 0:
+            e = 0
+            while remaining % p == 0:
+                remaining //= p
+                e += 1
+            out.append((p, e))
+        p += 1 if p == 2 else 2
+    if remaining > 1:
+        out.append((remaining, 1))
+    return tuple(out)
+
+
+def is_prime_power(n: int) -> bool:
+    """Return ``True`` iff ``n == p**k`` for a prime *p* and ``k >= 1``."""
+    if n < 2:
+        return False
+    return len(factorize(n)) == 1
+
+
+def prime_power_root(n: int) -> tuple[int, int]:
+    """Return ``(p, k)`` such that ``n == p**k`` with *p* prime.
+
+    Raises :class:`ValueError` if *n* is not a prime power.
+    """
+    fac = factorize(n) if n >= 2 else ()
+    if len(fac) != 1:
+        raise ValueError(f"{n} is not a prime power")
+    return fac[0]
+
+
+def primes_up_to(n: int) -> list[int]:
+    """Return all primes ``<= n`` (sieve of Eratosthenes)."""
+    if n < 2:
+        return []
+    sieve = bytearray([1]) * (n + 1)
+    sieve[0] = sieve[1] = 0
+    p = 2
+    while p * p <= n:
+        if sieve[p]:
+            sieve[p * p :: p] = bytearray(len(sieve[p * p :: p]))
+        p += 1
+    return [i for i in range(n + 1) if sieve[i]]
+
+
+def prime_powers_up_to(n: int) -> list[int]:
+    """Return all prime powers ``p**k <= n`` with ``k >= 1``, sorted."""
+    out = []
+    for p in primes_up_to(n):
+        q = p
+        while q <= n:
+            out.append(q)
+            q *= p
+    return sorted(out)

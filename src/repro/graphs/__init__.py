@@ -1,0 +1,43 @@
+"""Graph constructions used by PolarStar and its baselines.
+
+This package contains the *factor graphs* of the star product (Erdős–Rényi
+polarity graphs, Inductive-Quad, Paley, BDF, complete graphs) as well as the
+graph families needed by the paper's comparison topologies (McKay–Miller–
+Širáň, Kautz, LPS Ramanujan, random regular) and checkers for the structural
+properties R, R* and R_1 from §5 of the paper.
+"""
+
+from repro.graphs.base import Graph
+from repro.graphs.er_polarity import er_polarity_graph
+from repro.graphs.inductive_quad import inductive_quad, iq_feasible_degrees
+from repro.graphs.paley import paley_graph, paley_feasible_degrees
+from repro.graphs.bdf import bdf_supernode
+from repro.graphs.complete import complete_graph
+from repro.graphs.mms import mms_graph, mms_feasible_degrees
+from repro.graphs.kautz import kautz_graph
+from repro.graphs.lps import lps_graph
+from repro.graphs.random_regular import random_regular_graph
+from repro.graphs.properties import (
+    has_property_r,
+    has_property_r1,
+    has_property_rstar,
+)
+
+__all__ = [
+    "Graph",
+    "er_polarity_graph",
+    "inductive_quad",
+    "iq_feasible_degrees",
+    "paley_graph",
+    "paley_feasible_degrees",
+    "bdf_supernode",
+    "complete_graph",
+    "mms_graph",
+    "mms_feasible_degrees",
+    "kautz_graph",
+    "lps_graph",
+    "random_regular_graph",
+    "has_property_r",
+    "has_property_r1",
+    "has_property_rstar",
+]

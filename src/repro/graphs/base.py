@@ -1,0 +1,165 @@
+"""Core undirected-graph container.
+
+A deliberately small, NumPy-backed graph type.  Vertices are integers
+``0..n-1``; the adjacency structure is stored in CSR form (``indptr`` /
+``indices``) so BFS sweeps, degree queries and conversion to
+:mod:`scipy.sparse` are allocation-free views rather than Python loops.
+
+Self-loops are kept in a *separate* set rather than in the CSR structure:
+the Erdős–Rényi polarity graph has self-orthogonal ("quadric") vertices
+whose self-loops matter for Property R and for the star product (they turn
+into intra-supernode matching edges, §6.1.2), but must not pollute
+neighbor lists used by routing and simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class Graph:
+    """Simple undirected graph on vertices ``0..n-1`` with optional self-loops.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``u != v``.  Duplicates (in either
+        orientation) are merged.
+    self_loops:
+        Vertices that carry a self-loop (stored separately; see module doc).
+    name:
+        Human-readable label used in reports and plots.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int]],
+        self_loops: Iterable[int] = (),
+        name: str = "graph",
+    ):
+        self.n = int(n)
+        self.name = name
+
+        earr = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        if earr.size:
+            if earr.min() < 0 or earr.max() >= n:
+                raise ValueError(f"edge endpoint out of range [0, {n})")
+            if (earr[:, 0] == earr[:, 1]).any():
+                raise ValueError("explicit (u, u) edges are not allowed; use self_loops")
+            earr = np.sort(earr, axis=1)
+            earr = np.unique(earr, axis=0)
+        self._edges = earr
+        self.m = len(earr)
+
+        loops = np.unique(np.asarray(list(self_loops), dtype=np.int64))
+        if loops.size and (loops.min() < 0 or loops.max() >= n):
+            raise ValueError("self-loop vertex out of range")
+        self.self_loops = loops
+
+        # CSR adjacency (self-loops excluded).
+        both = np.concatenate([earr, earr[:, ::-1]]) if self.m else earr
+        order = np.lexsort((both[:, 1], both[:, 0])) if self.m else np.array([], dtype=np.int64)
+        both = both[order]
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        if self.m:
+            np.add.at(self.indptr, both[:, 0] + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+        self.indices = both[:, 1].copy() if self.m else np.array([], dtype=np.int64)
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex, *not* counting self-loops."""
+        return np.diff(self.indptr)
+
+    @property
+    def max_degree(self) -> int:
+        return int(self.degrees.max()) if self.n else 0
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of *v* (a view, do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge test in O(log deg) via binary search (self-loops excluded)."""
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        return bool(i < len(nbrs) and nbrs[i] == v)
+
+    def has_self_loop(self, v: int) -> bool:
+        i = np.searchsorted(self.self_loops, v)
+        return bool(i < len(self.self_loops) and self.self_loops[i] == v)
+
+    @property
+    def edge_array(self) -> np.ndarray:
+        """``(m, 2)`` array of canonical (u < v) edges, lexicographically sorted."""
+        return self._edges
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u, v in self._edges:
+            yield int(u), int(v)
+
+    def is_regular(self) -> bool:
+        d = self.degrees
+        return bool(self.n == 0 or (d == d[0]).all())
+
+    # -- conversions ---------------------------------------------------------
+
+    def csr(self) -> sp.csr_matrix:
+        """Adjacency matrix as ``scipy.sparse.csr_matrix`` (self-loops excluded)."""
+        data = np.ones(len(self.indices), dtype=np.int8)
+        return sp.csr_matrix((data, self.indices, self.indptr), shape=(self.n, self.n))
+
+    def to_networkx(self, include_self_loops: bool = False):
+        import networkx as nx
+
+        g = nx.Graph(name=self.name)
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(map(tuple, self._edges))
+        if include_self_loops:
+            g.add_edges_from((int(v), int(v)) for v in self.self_loops)
+        return g
+
+    # -- derived graphs --------------------------------------------------------
+
+    def without_edges(self, removed: Iterable[tuple[int, int]]) -> "Graph":
+        """Copy of this graph with the given edges deleted (for fault studies)."""
+        kill = {(min(u, v), max(u, v)) for u, v in removed}
+        kept = [e for e in map(tuple, self._edges) if (e[0], e[1]) not in kill]
+        return Graph(self.n, kept, self.self_loops, name=self.name)
+
+    def relabeled(self, perm: np.ndarray, name: str | None = None) -> "Graph":
+        """Graph with vertex *v* renamed ``perm[v]`` (``perm`` a permutation)."""
+        perm = np.asarray(perm)
+        edges = perm[self._edges]
+        return Graph(self.n, edges, perm[self.self_loops], name=name or self.name)
+
+    def is_connected(self) -> bool:
+        if self.n <= 1:
+            return True
+        n_comp, _ = sp.csgraph.connected_components(self.csr(), directed=False)
+        return n_comp == 1
+
+    def __repr__(self) -> str:
+        return f"Graph({self.name!r}, n={self.n}, m={self.m}, loops={len(self.self_loops)})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Graph)
+            and self.n == other.n
+            and np.array_equal(self._edges, other._edges)
+            and np.array_equal(self.self_loops, other.self_loops)
+        )
+
+    def __hash__(self):  # graphs are mutated never, hash by identity
+        return id(self)

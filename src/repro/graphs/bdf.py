@@ -1,0 +1,97 @@
+"""BDF supernodes — order ``2d'`` graphs with Property R* (Table 2).
+
+Bermond, Delorme and Farhi (1982) used supernodes of order ``2d'`` in their
+star products; PolarStar's Inductive-Quad improves this to ``2d' + 2``.
+The 1982 construction is not reproduced verbatim here (the paper is not
+machine-readable); instead we give our own explicit order-``2d'`` family
+with an embedded fixed-point-free involution satisfying Property R*, which
+is what Table 2 and the star-product machinery actually require.
+
+Construction.  Vertices come in ``d'`` *blocks* of two, the involution *f*
+swapping each block.  Property R* (for an involution) says ``E ∪ f(E)``
+must cover every cross-block pair, so we pick exactly one edge from each
+orbit of *f* acting on cross-block pairs, plus the block matching itself.
+Choosing one edge per orbit so the result is regular amounts to orienting
+the complete block graph :math:`K_{d'}` with all in-degrees even, which is
+possible iff :math:`\\binom{d'}{2}` is even, i.e. ``d' ≡ 0 or 1 (mod 4)``.
+For other degrees this scheme provably cannot be regular, and we raise —
+the Table 2 comparison uses the order formula, which is unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+
+def _even_indegree_tournament(k: int) -> list[tuple[int, int]]:
+    """Orient K_k so every in-degree is even (needs C(k,2) even).
+
+    Returns arcs ``(winner, loser)``; the loser is the block the pair
+    "unbalances" in the BDF edge-selection below.
+    """
+    if (k * (k - 1) // 2) % 2 != 0:
+        raise ValueError(f"no all-even-indegree orientation of K_{k}")
+    if k % 4 == 1:
+        # Rotational tournament: i beats i+1 .. i+(k-1)/2; in-degree (k-1)/2,
+        # which is even exactly when k ≡ 1 (mod 4).
+        return [
+            ((j - d) % k, j)
+            for j in range(k)
+            for d in range(1, (k - 1) // 2 + 1)
+        ]
+    # k ≡ 0 (mod 4): rotational tournament on k-1 ≡ 3 (mod 4) vertices has odd
+    # in-degrees ((k-2)/2); a final vertex beating everyone fixes all parities.
+    arcs = [
+        ((j - d) % (k - 1), j)
+        for j in range(k - 1)
+        for d in range(1, (k - 2) // 2 + 1)
+    ]
+    arcs.extend((k - 1, j) for j in range(k - 1))
+    return arcs
+
+
+def bdf_feasible_degrees(max_degree: int) -> list[int]:
+    """Degrees for which our explicit regular BDF construction exists."""
+    return [d for d in range(1, max_degree + 1) if d % 4 in (0, 1)]
+
+
+def bdf_supernode(degree: int) -> tuple[Graph, np.ndarray]:
+    """Order-``2*degree`` regular graph with Property R* and its involution.
+
+    Only ``degree ≡ 0 or 1 (mod 4)`` is constructible in this scheme (see
+    module docstring); ``bdf_order`` still reports the Table 2 order for any
+    degree.
+    """
+    if degree % 4 not in (0, 1):
+        raise ValueError(
+            f"regular BDF construction implemented for degree ≡ 0,1 (mod 4); got {degree}"
+        )
+    k = degree
+    n = 2 * k
+    # Vertices: block i -> {2i, 2i+1}; involution swaps within a block.
+    f = np.arange(n) ^ 1
+    edges: list[tuple[int, int]] = [(2 * i, 2 * i + 1) for i in range(k)]
+    if k == 1:
+        return Graph(n, edges, name=f"BDF_{degree}"), f
+
+    arcs = _even_indegree_tournament(k)
+    # For each block pair, pick one edge from each of the two f-orbits so
+    # that the "loser" block takes a 2/0 degree split and the winner a 1/1
+    # split; alternate which loser vertex doubles so degrees balance.
+    double_toggle = [0] * k
+    for winner, loser in arcs:
+        a, a2 = 2 * winner, 2 * winner + 1
+        b = 2 * loser + double_toggle[loser]
+        double_toggle[loser] ^= 1
+        # Orbits between blocks {a,a2},{b,b^1}: {(a,b),(a2,b^1)} and
+        # {(a,b^1),(a2,b)}; picking (a,b) and (a2,b) doubles vertex b.
+        edges.append((a, b))
+        edges.append((a2, b))
+    return Graph(n, edges, name=f"BDF_{degree}"), f
+
+
+def bdf_order(degree: int) -> int:
+    """Order of the BDF supernode: ``2d'`` (Table 2)."""
+    return 2 * degree

@@ -1,0 +1,26 @@
+"""Complete-graph supernodes (Table 2).
+
+:math:`K_{d'+1}` trivially satisfies R* (with the identity involution every
+pair is an edge) and R_1, and provides dense local neighborhoods — the
+Dragonfly group structure is exactly a complete-graph supernode.  Order is
+only ``d' + 1``, half of what Paley/IQ achieve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph :math:`K_n`."""
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Graph(n, edges, name=f"K_{n}")
+
+
+def complete_supernode(degree: int) -> tuple[Graph, np.ndarray]:
+    """:math:`K_{d'+1}` with the identity bijection (Property R* holds:
+    every distinct pair is an edge, so cases (a)/(c) always apply)."""
+    g = complete_graph(degree + 1)
+    return g, np.arange(degree + 1, dtype=np.int64)

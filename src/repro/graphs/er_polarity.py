@@ -1,0 +1,86 @@
+"""Erdős–Rényi polarity graphs :math:`ER_q` (§6.1 of the paper).
+
+Vertices are the points of the projective plane :math:`PG(2, q)` —
+left-normalized nonzero triples over :math:`GF(q)` — and two vertices are
+adjacent iff their dot product (over the field) vanishes.  Order is
+:math:`q^2 + q + 1`; non-quadric vertices have degree ``q + 1``, and the
+``q + 1`` self-orthogonal *quadric* vertices have degree ``q`` plus a
+self-loop.
+
+With self-loops admitted as path edges, :math:`ER_q` has **Property R**
+(Theorem 1): every vertex pair is joined by a walk of length exactly 2,
+via the "cross-product" vertex.  This is what the PolarStar star product
+exploits for its diameter-3 guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields import GF, is_prime_power
+from repro.graphs.base import Graph
+
+
+def projective_points(q: int) -> np.ndarray:
+    """All left-normalized points of PG(2, q) as an ``(q*q+q+1, 3)`` array.
+
+    Points appear in the canonical order ``(1, a, b)``, then ``(0, 1, a)``,
+    then ``(0, 0, 1)``; entries are field-element codes (see
+    :mod:`repro.fields.gf`).
+    """
+    a, b = np.meshgrid(np.arange(q), np.arange(q), indexing="ij")
+    affine = np.stack(
+        [np.ones(q * q, dtype=np.int64), a.ravel(), b.ravel()], axis=1
+    )
+    line = np.stack(
+        [np.zeros(q, dtype=np.int64), np.ones(q, dtype=np.int64), np.arange(q)], axis=1
+    )
+    infinity = np.array([[0, 0, 1]], dtype=np.int64)
+    return np.concatenate([affine, line, infinity])
+
+
+def er_polarity_graph(q: int, block_rows: int = 512) -> Graph:
+    """Build :math:`ER_q` for a prime power *q*.
+
+    The all-pairs orthogonality test is evaluated in row blocks of the
+    ``N x N`` dot-product matrix to bound peak memory (``N`` is ~16k at the
+    largest radix we sweep).
+
+    Returns a :class:`Graph` whose ``self_loops`` are the quadric vertices.
+    """
+    if not is_prime_power(q):
+        raise ValueError(f"ER_q needs a prime power q, got {q}")
+    field = GF(q)
+    pts = projective_points(q)
+    n = len(pts)
+
+    edges: list[np.ndarray] = []
+    loops: list[np.ndarray] = []
+    for start in range(0, n, block_rows):
+        stop = min(start + block_rows, n)
+        # (block, N) field dot products via table gathers.
+        dots = field.dot3(pts[start:stop, None, :], pts[None, :, :])
+        rows, cols = np.nonzero(dots == 0)
+        rows = rows + start
+        mask = rows < cols
+        edges.append(np.stack([rows[mask], cols[mask]], axis=1))
+        loops.append(rows[rows == cols])
+    edge_arr = np.concatenate(edges)
+    loop_arr = np.concatenate(loops)
+
+    return Graph(n, edge_arr, loop_arr, name=f"ER_{q}")
+
+
+def er_order(q: int) -> int:
+    """Order of :math:`ER_q` (``q^2 + q + 1``)."""
+    return q * q + q + 1
+
+
+def er_degree(q: int) -> int:
+    """Network degree of :math:`ER_q`: ``q + 1``.
+
+    Quadric vertices have ``q`` graph neighbors, but in PolarStar their
+    self-loop becomes a real link (intra-supernode matching), so the uniform
+    switch radix contribution is ``q + 1`` for every vertex.
+    """
+    return q + 1

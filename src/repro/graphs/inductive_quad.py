@@ -1,0 +1,103 @@
+"""Inductive-Quad supernode graphs :math:`IQ_{d'}` (§6.2.1 of the paper).
+
+The paper's new supernode family: for every degree ``d' ≡ 0 or 3 (mod 4)``
+there is a graph with ``2d' + 2`` vertices and an embedded fixed-point-free
+involution *f* satisfying **Property R\\***, which is the maximum order any
+R\\* graph can have (Proposition 2).  Construction is inductive:
+
+* ``IQ_0``: two isolated vertices swapped by *f*;
+* ``IQ_3``: eight vertices of degree 3 (see below);
+* step: given ``IQ_d`` partitioned into representative sets ``A`` and
+  ``f(A)``, glue in a fresh copy of ``IQ_3`` and join two of its f-pairs to
+  every vertex of ``A`` and the other two f-pairs to every vertex of
+  ``f(A)``, producing ``IQ_{d+4}``.
+
+Property R\\* for an involution *f* is equivalent to: ``E ∪ f(E)`` covers
+every vertex pair except the matching ``{v, f(v)}``.  Our hard-coded
+``IQ_3`` instance satisfies this by construction — ``E`` picks exactly one
+edge from each orbit of *f* acting on the 24 edges of ``K_8`` minus the
+matching, chosen so the result is 3-regular.  Tests verify the property
+directly for every generated degree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+#: Edges of the base degree-3 Inductive-Quad graph on vertices 0..7 with
+#: involution f(i) = i XOR 1.  One edge chosen from each f-orbit of
+#: K8-minus-matching such that the graph is 3-regular (verified in tests).
+IQ3_EDGES: tuple[tuple[int, int], ...] = (
+    (0, 2),
+    (0, 6),
+    (0, 7),
+    (1, 2),
+    (1, 4),
+    (1, 5),
+    (2, 4),
+    (3, 4),
+    (3, 6),
+    (3, 7),
+    (5, 6),
+    (5, 7),
+)
+
+
+def iq_feasible_degrees(max_degree: int) -> list[int]:
+    """Degrees ``<= max_degree`` for which an Inductive-Quad graph exists
+    (``d' ≡ 0 or 3 (mod 4)``, Proposition 2)."""
+    return [d for d in range(max_degree + 1) if d % 4 in (0, 3)]
+
+
+def inductive_quad(degree: int) -> tuple[Graph, np.ndarray]:
+    """Build :math:`IQ_{degree}` and its involution.
+
+    Returns
+    -------
+    (graph, f):
+        ``graph`` has ``2*degree + 2`` vertices; ``f`` is an integer array
+        with ``f[f[v]] == v`` and ``f[v] != v`` implementing the Property-R*
+        bijection.
+    """
+    if degree % 4 not in (0, 3):
+        raise ValueError(
+            f"Inductive-Quad exists only for degree ≡ 0 or 3 (mod 4), got {degree}"
+        )
+
+    if degree % 4 == 0:
+        n, edges, f = 2, [], [1, 0]
+        base_degree = 0
+    else:
+        n = 8
+        edges = list(IQ3_EDGES)
+        f = [v ^ 1 for v in range(8)]
+        base_degree = 3
+
+    for _ in range((degree - base_degree) // 4):
+        # Representatives: one endpoint of each f-pair of the current graph.
+        rep = [v for v in range(n) if v < f[v]]
+        a_side = np.array(rep)
+        fa_side = np.array([f[v] for v in rep])
+
+        # Fresh IQ3 copy on vertices n..n+7.
+        edges.extend((n + u, n + v) for u, v in IQ3_EDGES)
+        f.extend(n + (i ^ 1) for i in range(8))
+
+        # Two f-pairs of the copy join A, the other two join f(A).
+        group_a = (n + 0, n + 1, n + 4, n + 5)
+        group_fa = (n + 2, n + 3, n + 6, n + 7)
+        for g in group_a:
+            edges.extend((g, int(v)) for v in a_side)
+        for g in group_fa:
+            edges.extend((g, int(v)) for v in fa_side)
+        n += 8
+
+    graph = Graph(n, edges, name=f"IQ_{degree}")
+    return graph, np.array(f, dtype=np.int64)
+
+
+def iq_order(degree: int) -> int:
+    """Order of :math:`IQ_{d'}`: ``2d' + 2`` (meets the R* bound)."""
+    return 2 * degree + 2

@@ -1,0 +1,70 @@
+"""Graph serialization: edge-list and DOT export, edge-list import.
+
+Deployment tooling (caburic generators, SST/Booksim configs, visualization)
+consumes plain edge lists; these helpers round-trip :class:`Graph` objects
+including self-loop markers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+
+def write_edgelist(graph: Graph, path: str | Path) -> None:
+    """Write ``u v`` lines (plus ``v v`` lines for self-loops) with a header
+    comment recording order and name."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# {graph.name} n={graph.n} m={graph.m} loops={len(graph.self_loops)}\n")
+        for u, v in graph.edges():
+            fh.write(f"{u} {v}\n")
+        for v in graph.self_loops:
+            fh.write(f"{v} {v}\n")
+
+
+def read_edgelist(path: str | Path, name: str | None = None) -> Graph:
+    """Inverse of :func:`write_edgelist`."""
+    path = Path(path)
+    edges = []
+    loops = []
+    n_header = None
+    graph_name = name or path.stem
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            for token in line.split():
+                if token.startswith("n="):
+                    n_header = int(token[2:])
+            continue
+        u, v = map(int, line.split())
+        if u == v:
+            loops.append(u)
+        else:
+            edges.append((u, v))
+    arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    max_seen = int(max(arr.max(initial=-1), max(loops, default=-1)))
+    n = n_header if n_header is not None else max_seen + 1
+    return Graph(n, arr, loops, name=graph_name)
+
+
+def write_dot(graph: Graph, path: str | Path, groups=None) -> None:
+    """GraphViz DOT export; optional per-vertex group ids become colors."""
+    path = Path(path)
+    lines = [f'graph "{graph.name}" {{']
+    if groups is not None:
+        palette = ["lightblue", "lightgreen", "salmon", "gold", "plum", "gray"]
+        for v in range(graph.n):
+            color = palette[int(groups[v]) % len(palette)]
+            lines.append(f'  {v} [style=filled, fillcolor={color}];')
+    for u, v in graph.edges():
+        lines.append(f"  {u} -- {v};")
+    for v in graph.self_loops:
+        lines.append(f"  {v} -- {v};")
+    lines.append("}")
+    path.write_text("\n".join(lines) + "\n")

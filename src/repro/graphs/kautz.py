@@ -1,0 +1,57 @@
+"""Kautz graphs (Fig. 1 baseline).
+
+The Kautz graph ``K(d, n)`` is the directed graph whose vertices are
+length-``n`` strings over an alphabet of ``d + 1`` symbols with no two
+consecutive symbols equal; ``s_1..s_n -> s_2..s_n t`` for every valid
+``t``.  It has ``(d+1)·d^{n-1}`` vertices, out-degree ``d`` and directed
+diameter ``n`` — near the directed Moore bound.
+
+The paper compares against *bidirectional* Kautz (every link cabled as a
+bidirectional pair), which doubles the network radix to ``2d``; for
+diameter 3 the asymptotic Moore-bound efficiency is then < 13%.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.graphs.base import Graph
+
+
+def kautz_order(d: int, n: int) -> int:
+    """Number of vertices of ``K(d, n)``: ``(d+1) * d**(n-1)``."""
+    return (d + 1) * d ** (n - 1)
+
+
+def kautz_graph(d: int, n: int) -> Graph:
+    """Undirected (bidirectionalized) Kautz graph ``K(d, n)``.
+
+    Each directed arc becomes an undirected edge; vertex degree is at most
+    ``2d`` (an arc and its reverse, when both exist, merge into one edge).
+    """
+    if d < 1 or n < 1:
+        raise ValueError("Kautz graph needs d >= 1, n >= 1")
+    # Enumerate vertices: first symbol from d+1 choices, each next symbol
+    # any of the d symbols different from its predecessor.
+    verts: list[tuple[int, ...]] = []
+    for first in range(d + 1):
+        for rest in product(range(d), repeat=n - 1):
+            s = [first]
+            for r in rest:
+                # map 0..d-1 onto symbols != previous
+                nxt = r if r < s[-1] else r + 1
+                s.append(nxt)
+            verts.append(tuple(s))
+    index = {v: i for i, v in enumerate(verts)}
+
+    edges = []
+    for v, i in index.items():
+        suffix = v[1:]
+        for t in range(d + 1):
+            if t == v[-1]:
+                continue
+            w = suffix + (t,)
+            j = index[w]
+            if i != j:
+                edges.append((min(i, j), max(i, j)))
+    return Graph(len(verts), edges, name=f"Kautz({d},{n})")

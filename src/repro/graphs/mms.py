@@ -1,0 +1,139 @@
+"""McKay–Miller–Širáň (MMS) diameter-2 graphs.
+
+These are the largest known diameter-2 graphs after :math:`ER_q` (Fig. 4)
+and are the *structure graph* of Bundlefly (Lei et al. 2020), PolarStar's
+closest competitor.
+
+We use the Hafner-style affine presentation.  Vertices are two copies of
+:math:`\\mathbb{F}_q^2`: "points" ``P(x, y)`` and "lines" ``L(m, c)``.
+
+* ``P(x,y) ~ P(x,y')``  iff ``y - y' ∈ S_P``   (within a column),
+* ``L(m,c) ~ L(m,c')``  iff ``c - c' ∈ S_L``   (within a slope class),
+* ``P(x,y) ~ L(m,c)``   iff ``y = m·x + c``    (incidence).
+
+Diameter 2 holds whenever (i) ``S_P ∪ S_L = F_q \\ {0}`` (covers the
+point-to-line non-incident case), and (ii) each Cayley graph
+``(F_q, S_P)``, ``(F_q, S_L)`` has diameter ≤ 2 (within-class case); the
+cross-class cases are covered by unique incidence.  We realize the three
+residue classes of the classic construction:
+
+* ``q ≡ 1 (mod 4)``: ``S_P`` = quadratic residues, ``S_L`` = non-residues
+  (both symmetric since −1 is a residue); degree ``(3q−1)/2``.
+* ``q ≡ 3 (mod 4)``: symmetric sets must have even size, so an exact
+  partition of the ``q−1`` nonzero elements is impossible; we take
+  ``±``-pair splits overlapping in one pair; degree ``(3q+1)/2``.
+* ``q = 2^k``: ``S_P`` = the nontrivial coset of a hyperplane (index-2
+  subgroup), ``S_L`` = the hyperplane's nonzero elements plus one element
+  of the coset; degree ``3q/2``.
+
+Order is ``2q²`` in all cases.  Tests verify diameter 2 directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields import GF, is_prime_power, prime_power_root
+from repro.graphs.base import Graph
+
+
+def mms_degree(q: int) -> int:
+    """Network degree of the MMS graph on ``2q²`` vertices."""
+    if q % 2 == 0:
+        return 3 * q // 2
+    return (3 * q - 1) // 2 if q % 4 == 1 else (3 * q + 1) // 2
+
+
+def mms_order(q: int) -> int:
+    """Order of the MMS graph: 2q²."""
+    return 2 * q * q
+
+
+def mms_feasible_degrees(max_degree: int) -> list[tuple[int, int]]:
+    """All ``(q, degree)`` pairs with ``degree <= max_degree``."""
+    out = []
+    q = 2
+    while True:
+        if mms_degree(q) > max_degree:
+            break
+        if is_prime_power(q):
+            out.append((q, mms_degree(q)))
+        q += 1
+    return out
+
+
+def _connection_sets(field: GF) -> tuple[np.ndarray, np.ndarray]:
+    """Choose symmetric ``S_P``, ``S_L`` with union ``F_q \\ {0}`` per the
+    residue-class rules in the module docstring."""
+    q = field.q
+    nonzero = np.arange(1, q)
+    if q % 2 == 0:
+        # F_{2^k}: elements are k-bit vectors; hyperplane = "last bit 0",
+        # i.e. codes < q/2 (the top base-2 digit of the code is the top
+        # polynomial coefficient).
+        coset = nonzero[nonzero >= q // 2]
+        hyper = nonzero[nonzero < q // 2]
+        s_p = coset
+        s_l = np.concatenate([hyper, coset[:1]])
+        return s_p, np.sort(s_l)
+    if q % 4 == 1:
+        s_p = field.squares
+        s_l = np.setdiff1d(nonzero, s_p)
+        return s_p, s_l
+    # q ≡ 3 (mod 4): split the (q−1)/2 ±-pairs, sharing exactly one pair.
+    pairs = []
+    seen = set()
+    for t in range(1, q):
+        if t in seen:
+            continue
+        nt = int(field.neg(t))
+        seen.update((t, nt))
+        pairs.append((t, nt))
+    half = (len(pairs) + 1) // 2  # ceil: both sides get ceil with one shared
+    s_p_pairs = pairs[:half]
+    s_l_pairs = pairs[half - 1 :]  # share pair index half-1
+    s_p = np.sort(np.array([v for pr in s_p_pairs for v in pr]))
+    s_l = np.sort(np.array([v for pr in s_l_pairs for v in pr]))
+    return s_p, s_l
+
+
+def mms_graph(q: int) -> Graph:
+    """Build the MMS graph for prime power ``q >= 3`` (order ``2q²``)."""
+    if not is_prime_power(q):
+        raise ValueError(f"MMS graph needs a prime power q, got {q}")
+    if q < 3:
+        raise ValueError("MMS construction needs q >= 3")
+    prime_power_root(q)  # validates
+    field = GF(q)
+    s_p, s_l = _connection_sets(field)
+
+    # Vertex ids: points P(x, y) -> x*q + y; lines L(m, c) -> q² + m*q + c.
+    def pid(x, y):
+        return x * q + y
+
+    def lid(m, c):
+        return q * q + m * q + c
+
+    edges: list[tuple[int, int]] = []
+
+    # Within-column / within-slope edges (Cayley structure on F_q).
+    ys = np.arange(q)
+    for delta in s_p:
+        y2 = field.add(ys, int(delta))
+        mask = ys < y2  # each undirected edge once
+        for x in range(q):
+            edges.extend(zip(pid(x, ys[mask]), pid(x, y2[mask])))
+    for delta in s_l:
+        c2 = field.add(ys, int(delta))
+        mask = ys < c2
+        for m in range(q):
+            edges.extend(zip(lid(m, ys[mask]), lid(m, c2[mask])))
+
+    # Incidence edges: P(x, y) ~ L(m, c) with y = m*x + c.
+    for m in range(q):
+        for x in range(q):
+            mx = int(field.mul(m, x))
+            c = field.sub(ys, mx)  # c = y - m*x for every y
+            edges.extend(zip(pid(x, ys), lid(m, c)))
+
+    return Graph(2 * q * q, edges, name=f"MMS_{q}")

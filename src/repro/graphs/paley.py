@@ -1,0 +1,64 @@
+"""Paley graphs (Table 2's alternative supernode; also a Fig. 4 family).
+
+For a prime power ``q ≡ 1 (mod 4)`` the Paley graph has vertex set
+:math:`GF(q)` with ``x ~ y`` iff ``x - y`` is a nonzero quadratic residue
+(the condition ``q ≡ 1 mod 4`` makes -1 a residue, hence the relation
+symmetric).  Degree is ``(q-1)/2``, so as a supernode of degree ``d'`` it
+has ``2d' + 1`` vertices — one fewer than Inductive-Quad.
+
+Paley graphs have **Property R_1**: with ``f(x) = ν·x`` for any non-residue
+``ν``, ``f`` maps residue differences to non-residue differences, so
+``E ∪ f(E)`` is the complete graph, and ``f²`` (multiplication by the
+residue ``ν²``) is an automorphism.  This is the Theorem 5 route to a
+diameter-3 star product (PS-Paley).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields import GF, is_prime_power
+from repro.graphs.base import Graph
+
+
+def paley_graph(q: int) -> tuple[Graph, np.ndarray]:
+    """Build the Paley graph on ``q`` vertices plus its R_1 bijection.
+
+    Returns
+    -------
+    (graph, f):
+        ``f[x] = ν·x`` for the smallest-coded non-residue ``ν``.  Note ``f``
+        is a bijection but *not* an involution (``f²`` is an automorphism).
+    """
+    if not is_prime_power(q) or q % 4 != 1:
+        raise ValueError(f"Paley graph needs a prime power q ≡ 1 (mod 4), got {q}")
+    field = GF(q)
+
+    elems = np.arange(q)
+    diffs = field.sub(elems[:, None], elems[None, :])
+    adjacency = field.is_square(diffs)
+    rows, cols = np.nonzero(adjacency)
+    mask = rows < cols
+    edges = np.stack([rows[mask], cols[mask]], axis=1)
+
+    non_residues = np.setdiff1d(elems[1:], field.squares)
+    nu = int(non_residues[0])
+    f = field.mul(nu, elems).astype(np.int64)
+
+    return Graph(q, edges, name=f"Paley_{q}"), f
+
+
+def paley_feasible_degrees(max_degree: int) -> list[int]:
+    """Even degrees ``d' <= max_degree`` with ``2d' + 1`` a prime power
+    ``≡ 1 (mod 4)`` (Table 2 feasibility row)."""
+    out = []
+    for d in range(0, max_degree + 1, 2):
+        q = 2 * d + 1
+        if q >= 5 and is_prime_power(q) and q % 4 == 1:
+            out.append(d)
+    return out
+
+
+def paley_order(degree: int) -> int:
+    """Order of the degree-``d'`` Paley graph: ``2d' + 1``."""
+    return 2 * degree + 1

@@ -1,0 +1,78 @@
+"""Checkers for the factor-graph properties of §5 (R, R*, R_1).
+
+These are used both by the test suite (verifying Theorem 1, Proposition 2,
+and the Paley R_1 claim) and by the design-space machinery to validate any
+user-supplied factor graph before building a star product with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+
+def _dense_adjacency(g: Graph, with_self_loops: bool) -> np.ndarray:
+    a = np.zeros((g.n, g.n), dtype=bool)
+    e = g.edge_array
+    if len(e):
+        a[e[:, 0], e[:, 1]] = True
+        a[e[:, 1], e[:, 0]] = True
+    if with_self_loops and len(g.self_loops):
+        a[g.self_loops, g.self_loops] = True
+    return a
+
+
+def has_property_r(g: Graph, diameter: int) -> bool:
+    """Property R: every vertex pair is joined by a *walk* of length exactly
+    ``diameter``, self-loops permitted as walk edges.
+
+    Checked by boolean matrix power; O(D · n³) with tiny constants, intended
+    for factor graphs (n up to a few thousand).
+    """
+    a = _dense_adjacency(g, with_self_loops=True)
+    walk = a.copy()
+    for _ in range(diameter - 1):
+        walk = (walk.astype(np.uint8) @ a.astype(np.uint8)) > 0
+    off_diag = walk | np.eye(g.n, dtype=bool)
+    return bool(off_diag.all())
+
+
+def has_property_rstar(g: Graph, f: np.ndarray) -> bool:
+    """Property R*: *f* is an involution and every pair ``x != y`` satisfies
+    ``y == f(x)`` or ``(x,y) ∈ E`` or ``(f(x),f(y)) ∈ E``."""
+    f = np.asarray(f)
+    if not np.array_equal(f[f], np.arange(g.n)):
+        return False
+    a = _dense_adjacency(g, with_self_loops=False)
+    covered = a | a[np.ix_(f, f)]
+    covered[np.arange(g.n), np.arange(g.n)] = True
+    covered[np.arange(g.n), f] = True
+    return bool(covered.all())
+
+
+def has_property_r1(g: Graph, f: np.ndarray) -> bool:
+    """Property R_1: *f* is a bijection, ``f²`` is an automorphism of the
+    graph, and ``E ∪ f(E)`` is the complete graph."""
+    f = np.asarray(f)
+    if sorted(f.tolist()) != list(range(g.n)):
+        return False
+    a = _dense_adjacency(g, with_self_loops=False)
+    f2 = f[f]
+    if not np.array_equal(a, a[np.ix_(f2, f2)]):
+        return False
+    covered = a | a[np.ix_(_inverse_perm(f), _inverse_perm(f))]
+    covered[np.arange(g.n), np.arange(g.n)] = True
+    return bool(covered.all())
+
+
+def _inverse_perm(f: np.ndarray) -> np.ndarray:
+    inv = np.empty_like(f)
+    inv[f] = np.arange(len(f))
+    return inv
+
+
+def rstar_order_bound(degree: int) -> int:
+    """Proposition 2: an R* graph of degree ``d'`` has at most ``2d'+2``
+    vertices."""
+    return 2 * degree + 2

@@ -1,0 +1,36 @@
+"""Random regular graphs — the Jellyfish topology substrate (Fig. 12).
+
+Jellyfish (Singla et al. 2012) wires switches as a uniform random regular
+graph.  Whole-graph rejection sampling of the configuration model fails
+with probability ``1 - e^{-Θ(d²)}`` per attempt, so we delegate to
+NetworkX's pairwise-repair sampler and retry (bumping the seed) until the
+sample is connected — which at the degrees used here is almost always the
+first draw.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.graphs.base import Graph
+
+
+def random_regular_graph(n: int, degree: int, seed: int = 0, max_tries: int = 20) -> Graph:
+    """Sample a simple connected ``degree``-regular graph on *n* vertices.
+
+    ``n * degree`` must be even and ``degree < n``.  Deterministic for a
+    given *seed*.
+    """
+    if n * degree % 2 != 0:
+        raise ValueError("n * degree must be even")
+    if degree >= n:
+        raise ValueError("degree must be < n")
+    for attempt in range(max_tries):
+        nxg = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(nxg):
+            edges = np.array(sorted(tuple(sorted(e)) for e in nxg.edges()), dtype=np.int64)
+            return Graph(n, edges, name=f"RandomRegular({n},{degree})")
+    raise RuntimeError(
+        f"failed to sample a connected {degree}-regular graph on {n} vertices"
+    )

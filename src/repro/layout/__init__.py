@@ -1,0 +1,5 @@
+"""Physical layout and bundling analysis (§8)."""
+
+from repro.layout.modular import BundlingReport, bundling_report, supernode_clusters
+
+__all__ = ["BundlingReport", "bundling_report", "supernode_clusters"]

@@ -1,0 +1,105 @@
+"""Hierarchical modular layout and link bundling (§8).
+
+PolarStar's physical story: the supernode is the blade/rack building block,
+adjacent supernodes are joined by ``2(d* - q)`` parallel links that can
+share one multi-core fiber (MCF), and the supernodes themselves organize
+into ``q + 1`` *supernode clusters* following the ER structure graph's
+modular layout, with ≈ q link bundles between cluster pairs.
+
+:func:`bundling_report` measures all of this on the actual graph; the
+clustering uses the projective-plane coordinate partition (affine points
+grouped by their first coordinate, plus the line at infinity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.star_product import StarProduct
+from repro.topologies.base import Topology
+
+
+def supernode_clusters(q: int) -> np.ndarray:
+    """Cluster id of every ER_q vertex: affine points ``(1, a, b)`` cluster
+    by *a* (q clusters of q points) and the line at infinity
+    ``(0, 1, a), (0, 0, 1)`` forms cluster *q* (q+1 points) — q+1 clusters
+    total, mirroring the PolarFly modular layout."""
+    n = q * q + q + 1
+    clusters = np.empty(n, dtype=np.int64)
+    clusters[: q * q] = np.repeat(np.arange(q), q)  # point (1, a, b) has id a*q+b
+    clusters[q * q :] = q
+    return clusters
+
+
+@dataclass
+class BundlingReport:
+    """Measured §8 layout quantities for a star-product topology."""
+
+    links_per_supernode_pair: int  # parallel links between adjacent supernodes
+    num_bundles: int  # inter-supernode MCFs (= structure-graph edges)
+    total_global_links: int  # inter-supernode links before bundling
+    cable_reduction: float  # global links / MCFs
+    num_clusters: int
+    mean_bundles_between_clusters: float
+
+    def __repr__(self) -> str:
+        return (
+            f"BundlingReport(links/pair={self.links_per_supernode_pair}, "
+            f"bundles={self.num_bundles}, reduction={self.cable_reduction:.1f}x, "
+            f"clusters={self.num_clusters})"
+        )
+
+
+def bundling_report(topology: Topology) -> BundlingReport:
+    """Compute the §8 bundling metrics for a star-product based topology
+    (PolarStar or Bundlefly — anything with ``meta['star']``)."""
+    star: StarProduct | None = topology.meta.get("star")
+    if star is None or topology.groups is None:
+        raise ValueError("bundling analysis needs a star-product topology")
+
+    groups = topology.groups
+    e = topology.graph.edge_array
+    cross = groups[e[:, 0]] != groups[e[:, 1]]
+    total_global = int(cross.sum())
+
+    # Parallel links per adjacent supernode pair: count per structure edge.
+    pair_counts: dict[tuple[int, int], int] = {}
+    for u, v in e[cross]:
+        key = (int(groups[u]), int(groups[v]))
+        key = (min(key), max(key))
+        pair_counts[key] = pair_counts.get(key, 0) + 1
+    counts = np.array(list(pair_counts.values()))
+    links_per_pair = int(counts.max()) if len(counts) else 0
+    num_bundles = len(pair_counts)
+
+    # Supernode clusters (only meaningful for ER structure graphs).
+    ns = star.structure.n
+    q = int(round((ns - 1) ** 0.5))  # q² + q + 1 vertices -> q ≈ sqrt(ns)
+    while q * q + q + 1 > ns:
+        q -= 1
+    is_er = q * q + q + 1 == ns
+    if is_er:
+        clusters = supernode_clusters(q)
+        cluster_pair: dict[tuple[int, int], int] = {}
+        for (g1, g2) in pair_counts:
+            c1, c2 = int(clusters[g1]), int(clusters[g2])
+            if c1 == c2:
+                continue
+            key = (min(c1, c2), max(c1, c2))
+            cluster_pair[key] = cluster_pair.get(key, 0) + 1
+        mean_bundles = float(np.mean(list(cluster_pair.values()))) if cluster_pair else 0.0
+        num_clusters = q + 1
+    else:
+        mean_bundles = 0.0
+        num_clusters = 0
+
+    return BundlingReport(
+        links_per_supernode_pair=links_per_pair,
+        num_bundles=num_bundles,
+        total_global_links=total_global,
+        cable_reduction=total_global / num_bundles if num_bundles else 0.0,
+        num_clusters=num_clusters,
+        mean_bundles_between_clusters=mean_bundles,
+    )

@@ -1,0 +1,55 @@
+"""Router interface.
+
+A router answers one question: *from router u, heading to router t, which
+neighbors lie on a minimal path?*  Everything else (adaptive choices,
+Valiant detours, simulation mechanics) composes on top of this.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.graphs.base import Graph
+
+
+class Router(ABC):
+    """Destination-based minimal routing policy for one graph."""
+
+    graph: Graph
+
+    @abstractmethod
+    def next_hops(self, current: int, dest: int) -> list[int]:
+        """All neighbors of *current* on minimal paths to *dest*.
+
+        Must return ``[]`` iff ``current == dest`` or *dest* unreachable.
+        """
+
+    @abstractmethod
+    def distance(self, current: int, dest: int) -> int:
+        """Minimal-path length from *current* to *dest* under this policy.
+
+        For exact-minimal routers this is the graph distance; analytic
+        schemes may exceed it on corner cases only if documented.
+        """
+
+    def next_hop(self, current: int, dest: int) -> int:
+        """A single deterministic minimal next hop (first candidate)."""
+        hops = self.next_hops(current, dest)
+        if not hops:
+            raise ValueError(f"no next hop from {current} to {dest}")
+        return hops[0]
+
+
+def route_path(router: Router, src: int, dest: int, max_hops: int = 64) -> list[int]:
+    """Follow ``router.next_hop`` from *src* to *dest*; returns the vertex
+    sequence including both endpoints.  Guards against routing loops."""
+    path = [src]
+    cur = src
+    while cur != dest:
+        if len(path) > max_hops:
+            raise RuntimeError(
+                f"routing loop: no progress from {src} to {dest} within {max_hops} hops"
+            )
+        cur = router.next_hop(cur, dest)
+        path.append(cur)
+    return path

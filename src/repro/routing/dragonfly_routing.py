@@ -1,0 +1,64 @@
+"""Hierarchical minimal routing for Dragonfly (local-global-local).
+
+Stores only a group-pair gateway table (``O(g²)``), not per-router state:
+a packet in group *G* headed for group *T* first moves locally to the
+router owning the single G–T global link, crosses it, then moves locally to
+the destination router.  This matches Booksim's built-in Dragonfly MIN
+routing (§9.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.base import Router
+from repro.topologies.base import Topology
+
+
+class DragonflyRouter(Router):
+    """Minimal l-g-l routing on a :func:`dragonfly_topology` network."""
+
+    def __init__(self, topology: Topology):
+        if topology.groups is None or "a" not in topology.meta:
+            raise ValueError("DragonflyRouter needs a dragonfly_topology network")
+        self.topology = topology
+        self.graph = topology.graph
+        self.a = topology.meta["a"]
+        self.h = topology.meta["h"]
+        self.g = topology.meta["num_groups"]
+        self.groups = topology.groups
+
+        # gateway[src_group, dst_group] = router (id) in src_group owning the
+        # global link toward dst_group.
+        gw = np.full((self.g, self.g), -1, dtype=np.int64)
+        for grp in range(self.g):
+            for k in range(self.a * self.h):
+                tgt = k if k < grp else k + 1
+                gw[grp, tgt] = grp * self.a + k // self.h
+        self.gateway = gw
+
+    def distance(self, current: int, dest: int) -> int:
+        if current == dest:
+            return 0
+        gc, gt = self.groups[current], self.groups[dest]
+        if gc == gt:
+            return 1  # groups are cliques
+        src_gw = self.gateway[gc, gt]
+        dst_gw = self.gateway[gt, gc]
+        return int(current != src_gw) + 1 + int(dest != dst_gw)
+
+    def next_hops(self, current: int, dest: int) -> list[int]:
+        if current == dest:
+            return []
+        gc, gt = self.groups[current], self.groups[dest]
+        if gc == gt:
+            return [dest]
+        src_gw = int(self.gateway[gc, gt])
+        if current == src_gw:
+            dst_gw = int(self.gateway[gt, gc])
+            return [dst_gw]
+        return [src_gw]
+
+    @property
+    def table_bytes(self) -> int:
+        return self.gateway.nbytes

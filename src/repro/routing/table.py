@@ -1,0 +1,68 @@
+"""Table-based all-minimal-path routing.
+
+This is the reference policy: a full BFS distance matrix, with the minimal
+next hops of ``(u, t)`` being the neighbors of *u* one step closer to *t*.
+It is exact for every topology, at ``O(n²)`` memory — the storage cost the
+paper calls out for SF and BF (§9.3, Fig. 9 caption).  PolarStar's analytic
+router avoids it; we use the table router for baselines and as the oracle
+in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distances import bfs_distances
+from repro.graphs.base import Graph
+from repro.routing.base import Router
+
+
+class TableRouter(Router):
+    """All-minpath routing from a precomputed distance matrix."""
+
+    def __init__(self, graph: Graph, chunk: int = 512):
+        self.graph = graph
+        n = graph.n
+        dist = np.empty((n, n), dtype=np.int16)
+        for start in range(0, n, chunk):
+            idx = np.arange(start, min(start + chunk, n))
+            block = bfs_distances(graph, idx)
+            block[np.isinf(block)] = np.iinfo(np.int16).max
+            dist[idx] = block.astype(np.int16)
+        self.dist = dist
+
+    def distance(self, current: int, dest: int) -> int:
+        return int(self.dist[current, dest])
+
+    def next_hops(self, current: int, dest: int) -> list[int]:
+        if current == dest:
+            return []
+        nbrs = self.graph.neighbors(current)
+        closer = nbrs[self.dist[nbrs, dest] == self.dist[current, dest] - 1]
+        return [int(v) for v in closer]
+
+    def num_minimal_paths(self, src: int, dest: int) -> int:
+        """Count of distinct minimal paths (path-diversity metric)."""
+        if src == dest:
+            return 1
+        counts = {src: 1}
+        order = [src]
+        seen = {src}
+        qi = 0
+        while qi < len(order):
+            u = order[qi]
+            qi += 1
+            if u == dest:
+                continue
+            for v in self.next_hops(u, dest):
+                if v not in seen:
+                    seen.add(v)
+                    order.append(v)
+                    counts[v] = 0
+                counts[v] += counts[u]
+        return counts.get(dest, 0)
+
+    @property
+    def table_bytes(self) -> int:
+        """Memory footprint of the routing table (§9.3 comparison)."""
+        return self.dist.nbytes

@@ -1,0 +1,75 @@
+"""Valiant misrouting and UGAL path selection (§9.3).
+
+Valiant routing sends a packet minimally to a random intermediate router,
+then minimally to the destination — trading path length for load balance.
+UGAL ("Universal Globally-Adaptive Load-balancing") chooses per packet
+between the minimal path and the best of a few sampled Valiant paths, using
+estimated latency = hops x local queue occupancy (the paper samples 4
+intermediates and predicts latency from local buffer occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.routing.base import Router, route_path
+
+
+def valiant_path(router: Router, src: int, dest: int, intermediate: int) -> list[int]:
+    """Minimal path src -> intermediate -> dest (duplicate joint removed)."""
+    first = route_path(router, src, intermediate)
+    second = route_path(router, intermediate, dest)
+    return first + second[1:]
+
+
+@dataclass
+class UgalDecision:
+    """Outcome of a UGAL choice for one packet."""
+
+    minimal: bool
+    intermediate: int | None
+    est_cost: float
+
+
+class UgalPolicy:
+    """UGAL-L source routing decision.
+
+    ``queue_fn(router, next_hop)`` must return the local congestion estimate
+    for the output port of *router* toward *next_hop* (e.g. buffer occupancy
+    in the cycle simulator, or 0 for an uncongested probe).
+    """
+
+    def __init__(self, router: Router, samples: int = 4, seed: int = 0, bias: float = 1.0):
+        self.router = router
+        self.samples = samples
+        self.rng = np.random.default_rng(seed)
+        self.bias = bias  # multiplicative preference for minimal paths
+
+    def choose(
+        self,
+        src: int,
+        dest: int,
+        queue_fn: Callable[[int, int], float],
+    ) -> UgalDecision:
+        """Pick minimal vs. one of ``samples`` random Valiant intermediates."""
+        n = self.router.graph.n
+        min_hops = self.router.distance(src, dest)
+        min_next = self.router.next_hop(src, dest) if src != dest else src
+        best = UgalDecision(
+            minimal=True,
+            intermediate=None,
+            est_cost=self.bias * min_hops * (1.0 + queue_fn(src, min_next)),
+        )
+        for _ in range(self.samples):
+            mid = int(self.rng.integers(0, n))
+            if mid in (src, dest):
+                continue
+            hops = self.router.distance(src, mid) + self.router.distance(mid, dest)
+            nxt = self.router.next_hop(src, mid)
+            cost = hops * (1.0 + queue_fn(src, nxt))
+            if cost < best.est_cost:
+                best = UgalDecision(minimal=False, intermediate=mid, est_cost=cost)
+        return best

@@ -1,0 +1,302 @@
+"""Event-driven packet-level network simulator (the Booksim substitute).
+
+Models the mechanisms that shape the Fig. 9/10 latency-load curves:
+
+* 4-flit packets serialized over unit-bandwidth links (a packet occupies a
+  link for ``packet_size`` cycles);
+* per-link input buffers partitioned into **virtual channels by hop count**
+  (distance-class VCs — the standard deadlock-free scheme for minimal
+  routing on arbitrary graphs; Valiant phases simply continue the count);
+* **credit flow control**: a packet advances only when the downstream
+  buffer of its next VC has a free slot, and the slot is held until the
+  packet leaves that router — so congestion backpressures to the source;
+* FIFO arbitration per output link with VC lookahead (a credit-blocked head
+  packet does not stall ready packets behind it);
+* optional **UGAL** injection decisions using real queue occupancy
+  (4 sampled Valiant intermediates, as in §9.3).
+
+The simulator is event-driven at packet granularity, so cost scales with
+delivered packets rather than cycles x ports; reduced-scale Table 3
+analogues (~100-250 routers) run in seconds per load point.  Warm-up
+traffic is excluded from statistics, as in §9.4.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.base import Router
+from repro.topologies.base import Topology
+from repro.traffic.patterns import TrafficPattern
+
+
+@dataclass
+class PacketSimConfig:
+    packet_size: int = 4  # flits; also cycles of link serialization
+    buffer_packets: int = 8  # buffer slots per (link, VC)
+    num_vcs: int = 8  # distance classes (>= max hops + 1)
+    link_latency: int = 1
+    router_latency: int = 1
+    warmup_cycles: int = 1000
+    measure_cycles: int = 4000
+    drain_cycles: int = 4000
+    ugal_samples: int = 4
+    seed: int = 0
+
+
+@dataclass
+class PacketSimResult:
+    offered_load: float
+    avg_latency: float
+    p99_latency: float
+    throughput: float  # delivered flits / endpoint / cycle over measurement
+    delivered: int
+    injected: int
+    stable: bool
+    avg_hops: float = 0.0
+    max_link_utilization: float = 0.0  # busiest link's busy fraction
+
+    def __repr__(self) -> str:
+        return (
+            f"PacketSimResult(load={self.offered_load:.2f}, "
+            f"lat={self.avg_latency:.1f}, thr={self.throughput:.3f}, "
+            f"stable={self.stable})"
+        )
+
+
+class _Packet:
+    __slots__ = ("src", "dest", "router", "vc", "in_link", "intermediate", "birth", "hops")
+
+    def __init__(self, src_router: int, dest_router: int, birth: int):
+        self.src = src_router
+        self.dest = dest_router
+        self.router = src_router
+        self.vc = 0
+        self.in_link = -1  # link whose downstream buffer the packet occupies
+        self.intermediate = -1  # Valiant midpoint still to visit, or -1
+        self.birth = birth
+        self.hops = 0
+
+
+class PacketSimulator:
+    """One run of (topology, router policy, traffic pattern) at fixed load."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        router: Router,
+        pattern: TrafficPattern,
+        config: PacketSimConfig | None = None,
+        adaptive: bool = False,
+    ):
+        self.topology = topology
+        self.router = router
+        self.pattern = pattern
+        self.cfg = config or PacketSimConfig()
+        self.adaptive = adaptive
+
+        g = topology.graph
+        self.link_id: dict[tuple[int, int], int] = {}
+        ends: list[tuple[int, int]] = []
+        for u in range(g.n):
+            for v in g.neighbors(u):
+                self.link_id[(u, int(v))] = len(ends)
+                ends.append((u, int(v)))
+        self.ends = ends
+        self.num_links = len(ends)
+        # Per-(router, target) next-hop memo: profiling shows repeated
+        # next_hop computation dominates the event loop otherwise.  Bounded
+        # by n² entries at the reduced scales this simulator runs at.
+        self._nh_cache: dict[tuple[int, int], int] = {}
+
+    def _next_hop(self, current: int, target: int) -> int:
+        key = (current, target)
+        hop = self._nh_cache.get(key)
+        if hop is None:
+            hop = self.router.next_hop(current, target)
+            self._nh_cache[key] = hop
+        return hop
+
+    def run(self, load: float) -> PacketSimResult:
+        cfg = self.cfg
+        topo = self.topology
+        rng = np.random.default_rng(cfg.seed)
+        horizon = cfg.warmup_cycles + cfg.measure_cycles
+
+        # ---- pre-generated open-loop injections (Poisson per endpoint) ----
+        rate = load / cfg.packet_size  # packets / endpoint / cycle
+        events: list[tuple[int, int, int, object]] = []  # (time, kind, seq, payload)
+        seq = 0
+        injected_measured = 0
+        ARRIVE, WAKE = 0, 1
+        if rate > 0:
+            for e in range(topo.num_endpoints):
+                src_r = int(topo.endpoint_router[e])
+                t = rng.exponential(1.0 / rate)
+                while t < horizon:
+                    dest_e = self.pattern.dest_endpoint(e, rng)
+                    birth = int(t)
+                    t += rng.exponential(1.0 / rate)
+                    if dest_e == e:
+                        continue
+                    dest_r = int(topo.endpoint_router[dest_e])
+                    if dest_r == src_r:
+                        continue
+                    pkt = _Packet(src_r, dest_r, birth)
+                    heapq.heappush(events, (birth, ARRIVE, seq, pkt))
+                    seq += 1
+                    if cfg.warmup_cycles <= birth < horizon:
+                        injected_measured += 1
+
+        link_free = np.zeros(self.num_links, dtype=np.int64)
+        link_busy = np.zeros(self.num_links, dtype=np.int64)  # cycles occupied
+        credits = np.full(
+            (self.num_links, cfg.num_vcs), cfg.buffer_packets, dtype=np.int32
+        )
+        waiting: list[list[_Packet]] = [[] for _ in range(self.num_links)]
+        wake_scheduled = np.zeros(self.num_links, dtype=bool)
+
+        latencies: list[int] = []
+        hop_total = 0
+        delivered_measured = 0
+
+        def occupancy(u: int, v: int) -> float:
+            return float(len(waiting[self.link_id[(u, v)]]))
+
+        def choose_route(pkt: _Packet) -> None:
+            """UGAL-L decision at injection (minimal vs sampled Valiant)."""
+            n = topo.num_routers
+            min_next = self._next_hop(pkt.src, pkt.dest)
+            best_cost = self.router.distance(pkt.src, pkt.dest) * (
+                1.0 + occupancy(pkt.src, min_next)
+            )
+            best_mid = -1
+            for _ in range(cfg.ugal_samples):
+                mid = int(rng.integers(0, n))
+                if mid == pkt.src or mid == pkt.dest:
+                    continue
+                hops = self.router.distance(pkt.src, mid) + self.router.distance(
+                    mid, pkt.dest
+                )
+                cost = hops * (1.0 + occupancy(pkt.src, self._next_hop(pkt.src, mid)))
+                if cost < best_cost:
+                    best_cost, best_mid = cost, mid
+            pkt.intermediate = best_mid
+
+        def release(pkt: _Packet, now: int) -> None:
+            """Free the buffer slot the packet held (when it leaves a router)."""
+            if pkt.in_link >= 0:
+                credits[pkt.in_link, pkt.vc] += 1
+                schedule_wake(pkt.in_link, now)
+
+        def schedule_wake(lid: int, when: int) -> None:
+            nonlocal seq
+            if waiting[lid] and not wake_scheduled[lid]:
+                wake_scheduled[lid] = True
+                heapq.heappush(events, (max(when, int(link_free[lid])), WAKE, seq, lid))
+                seq += 1
+
+        def try_dispatch(lid: int, now: int) -> None:
+            """Move sendable packets out on link lid (FIFO with VC lookahead)."""
+            while waiting[lid] and link_free[lid] <= now:
+                sent = False
+                for i, pkt in enumerate(waiting[lid]):
+                    nvc = min(pkt.vc + 1, cfg.num_vcs - 1)
+                    if credits[lid, nvc] > 0:
+                        waiting[lid].pop(i)
+                        credits[lid, nvc] -= 1
+                        release(pkt, now)  # leaves the current router
+                        link_free[lid] = now + cfg.packet_size
+                        link_busy[lid] += cfg.packet_size
+                        arrive = now + cfg.packet_size + cfg.link_latency
+                        _, v = self.ends[lid]
+                        pkt.router = v
+                        pkt.vc = nvc
+                        pkt.in_link = lid
+                        pkt.hops += 1
+                        nonlocal_push(arrive, pkt)
+                        sent = True
+                        break
+                if not sent:
+                    return
+            schedule_wake(lid, int(link_free[lid]))
+
+        def nonlocal_push(time: int, pkt: _Packet) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time, ARRIVE, seq, pkt))
+            seq += 1
+
+        # ---- main loop ----
+        end_time = horizon + cfg.drain_cycles
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if now > end_time:
+                break
+            if kind == WAKE:
+                lid = payload  # type: ignore[assignment]
+                wake_scheduled[lid] = False
+                try_dispatch(lid, now)
+                continue
+
+            pkt: _Packet = payload  # type: ignore[assignment]
+            if pkt.in_link < 0 and self.adaptive and pkt.router == pkt.src:
+                choose_route(pkt)
+            if pkt.intermediate == pkt.router:
+                pkt.intermediate = -1
+            if pkt.router == pkt.dest:
+                release(pkt, now)  # ejection frees the buffer immediately
+                if cfg.warmup_cycles <= pkt.birth < horizon:
+                    latencies.append(now - pkt.birth)
+                    hop_total += pkt.hops
+                    delivered_measured += 1
+                continue
+            target = pkt.intermediate if pkt.intermediate >= 0 else pkt.dest
+            nxt = self._next_hop(pkt.router, target)
+            lid = self.link_id[(pkt.router, nxt)]
+            waiting[lid].append(pkt)
+            try_dispatch(lid, now + cfg.router_latency)
+
+        avg_lat = float(np.mean(latencies)) if latencies else float("inf")
+        p99 = float(np.percentile(latencies, 99)) if latencies else float("inf")
+        thr = (
+            delivered_measured
+            * cfg.packet_size
+            / max(topo.num_endpoints * cfg.measure_cycles, 1)
+        )
+        stable = bool(latencies) and delivered_measured >= 0.85 * max(injected_measured, 1)
+        return PacketSimResult(
+            offered_load=load,
+            avg_latency=avg_lat,
+            p99_latency=p99,
+            throughput=thr,
+            delivered=delivered_measured,
+            injected=injected_measured,
+            stable=stable,
+            avg_hops=hop_total / delivered_measured if delivered_measured else 0.0,
+            max_link_utilization=float(link_busy.max() / max(horizon, 1))
+            if self.num_links
+            else 0.0,
+        )
+
+
+def latency_load_sweep(
+    topology: Topology,
+    router: Router,
+    pattern: TrafficPattern,
+    loads,
+    config: PacketSimConfig | None = None,
+    adaptive: bool = False,
+) -> list[PacketSimResult]:
+    """Simulate increasing offered loads, stopping after the first unstable
+    point (beyond it the network is saturated and latency diverges, §9.5)."""
+    out = []
+    for load in loads:
+        sim = PacketSimulator(topology, router, pattern, config, adaptive)
+        res = sim.run(float(load))
+        out.append(res)
+        if not res.stable:
+            break
+    return out

@@ -1,0 +1,48 @@
+"""Network topologies: PolarStar plus every baseline of §9–§11.
+
+Each constructor returns a :class:`Topology` — a router graph plus an
+endpoint→router attachment map and (for hierarchical networks) a group id
+per router, which the traffic patterns (§9.4) and bundling analysis (§8)
+consume.
+"""
+
+from repro.topologies.base import Topology
+from repro.topologies.polarstar_topo import polarstar_topology
+from repro.topologies.bundlefly import bundlefly_max_order, bundlefly_topology
+from repro.topologies.dragonfly import dragonfly_max_order, dragonfly_topology
+from repro.topologies.hyperx import hyperx_max_order, hyperx_topology
+from repro.topologies.megafly import megafly_topology
+from repro.topologies.fattree import fattree_topology
+from repro.topologies.spectralfly import spectralfly_design_points, spectralfly_topology
+from repro.topologies.jellyfish import jellyfish_topology
+from repro.topologies.polarfly import PolarFlyRouter, polarfly_topology, slimfly_topology
+from repro.topologies.classic import (
+    flattened_butterfly_topology,
+    hypercube_topology,
+    torus_topology,
+)
+from repro.topologies.table3 import TABLE3_BUILDERS, build_table3_topology
+
+__all__ = [
+    "Topology",
+    "polarstar_topology",
+    "bundlefly_topology",
+    "bundlefly_max_order",
+    "dragonfly_topology",
+    "dragonfly_max_order",
+    "hyperx_topology",
+    "hyperx_max_order",
+    "megafly_topology",
+    "fattree_topology",
+    "spectralfly_topology",
+    "spectralfly_design_points",
+    "jellyfish_topology",
+    "polarfly_topology",
+    "slimfly_topology",
+    "PolarFlyRouter",
+    "torus_topology",
+    "hypercube_topology",
+    "flattened_butterfly_topology",
+    "TABLE3_BUILDERS",
+    "build_table3_topology",
+]

@@ -1,0 +1,96 @@
+"""The Topology abstraction shared by simulation, routing and analysis.
+
+A topology is a router :class:`~repro.graphs.base.Graph` plus:
+
+* ``endpoint_router`` — which router each compute endpoint attaches to
+  (indirect networks like Fat-tree and Megafly leave some routers bare);
+* ``groups`` — optional hierarchical group / supernode id per router, used
+  by group-local traffic patterns, the adversarial pattern of §9.6, and the
+  bundling analysis of §8;
+* ``meta`` — constructor parameters, echoed into experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+
+@dataclass
+class Topology:
+    """A network topology with endpoint attachment."""
+
+    graph: Graph
+    endpoint_router: np.ndarray
+    name: str
+    groups: np.ndarray | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.endpoint_router = np.asarray(self.endpoint_router, dtype=np.int64)
+        if len(self.endpoint_router) and (
+            self.endpoint_router.min() < 0 or self.endpoint_router.max() >= self.graph.n
+        ):
+            raise ValueError("endpoint attached to nonexistent router")
+        if self.groups is not None:
+            self.groups = np.asarray(self.groups, dtype=np.int64)
+            if len(self.groups) != self.graph.n:
+                raise ValueError("groups must assign a group to every router")
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def num_routers(self) -> int:
+        return self.graph.n
+
+    @property
+    def num_endpoints(self) -> int:
+        return len(self.endpoint_router)
+
+    @property
+    def network_radix(self) -> int:
+        """Max router-to-router ports (the paper's "network radix")."""
+        return self.graph.max_degree
+
+    @property
+    def endpoints_per_router(self) -> np.ndarray:
+        counts = np.zeros(self.graph.n, dtype=np.int64)
+        np.add.at(counts, self.endpoint_router, 1)
+        return counts
+
+    @property
+    def router_radix(self) -> int:
+        """Max total ports on any router (network links + endpoint links)."""
+        return int((self.graph.degrees + self.endpoints_per_router).max())
+
+    @property
+    def is_direct(self) -> bool:
+        """Every router hosts at least one endpoint (Table 1 "Direct")."""
+        return bool((self.endpoints_per_router > 0).all())
+
+    def routers_of_group(self, g: int) -> np.ndarray:
+        if self.groups is None:
+            raise ValueError(f"{self.name} has no group structure")
+        return np.nonzero(self.groups == g)[0]
+
+    @property
+    def num_groups(self) -> int:
+        if self.groups is None:
+            return 0
+        return int(self.groups.max()) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name!r}, routers={self.num_routers}, "
+            f"radix={self.network_radix}, endpoints={self.num_endpoints})"
+        )
+
+
+def uniform_endpoints(num_routers: int, p: int) -> np.ndarray:
+    """Endpoint map with *p* endpoints on every router, contiguously numbered
+    (endpoint ids are contiguous per router, as the paper's §9.4 requires)."""
+    return np.repeat(np.arange(num_routers), p)

@@ -1,0 +1,72 @@
+"""Classic baselines the paper screens out in §9.1.
+
+Torus, hypercube and Flattened Butterfly "have been shown to have lower
+performance than these baselines" — we implement them so that claim is
+checkable (they also serve as sanity baselines for the simulators).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.topologies.base import Topology, uniform_endpoints
+
+
+def torus_topology(dims: tuple[int, ...], p: int = 1) -> Topology:
+    """k-ary n-dimensional torus (ring per dimension)."""
+    dims = tuple(int(d) for d in dims)
+    if any(d < 2 for d in dims):
+        raise ValueError("torus dimensions must be >= 2")
+    n = int(np.prod(dims))
+    strides = np.empty(len(dims), dtype=np.int64)
+    acc = 1
+    for i in reversed(range(len(dims))):
+        strides[i] = acc
+        acc *= dims[i]
+
+    edges = []
+    for coord in product(*(range(d) for d in dims)):
+        base = int(np.dot(coord, strides))
+        for axis, size in enumerate(dims):
+            nxt = list(coord)
+            nxt[axis] = (coord[axis] + 1) % size
+            other = int(np.dot(nxt, strides))
+            if other != base:
+                edges.append((min(base, other), max(base, other)))
+    graph = Graph(n, edges, name=f"Torus{dims}")
+    return Topology(
+        graph=graph,
+        endpoint_router=uniform_endpoints(n, p),
+        name="Torus",
+        meta={"dims": dims, "p": p, "strides": strides},
+    )
+
+
+def hypercube_topology(dim: int, p: int = 1) -> Topology:
+    """Binary hypercube Q_dim."""
+    if dim < 1:
+        raise ValueError("hypercube needs dim >= 1")
+    n = 1 << dim
+    edges = [(v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)]
+    graph = Graph(n, edges, name=f"Q{dim}")
+    return Topology(
+        graph=graph,
+        endpoint_router=uniform_endpoints(n, p),
+        name="Hypercube",
+        meta={"dim": dim, "p": p},
+    )
+
+
+def flattened_butterfly_topology(k: int, n_dims: int, p: int | None = None) -> Topology:
+    """Flattened Butterfly (Kim et al. 2007): the k-ary n-flat — routers on a
+    ``k^n`` grid with a full mesh in every dimension (a HyperX with equal
+    dimensions and concentration k)."""
+    from repro.topologies.hyperx import hyperx_topology
+
+    topo = hyperx_topology(tuple([k] * n_dims), p=p if p is not None else k)
+    topo.name = "FlattenedButterfly"
+    topo.meta["k"] = k
+    return topo

@@ -1,0 +1,67 @@
+"""Dragonfly (Kim et al. 2008).
+
+Canonical single-link-per-group-pair Dragonfly: ``g = a·h + 1`` fully
+connected groups of *a* routers; each router has ``a - 1`` local ports,
+*h* global ports and *p* endpoint ports.  Global links use the standard
+"absolute" arrangement: the ``a·h`` global ports of a group are numbered
+consecutively and port *k* connects to group *k* (skipping the group
+itself), which pairs up consistently because each group pair consumes
+exactly one port on each side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.topologies.base import Topology, uniform_endpoints
+
+
+def dragonfly_topology(a: int, h: int, p: int | None = None) -> Topology:
+    """Build Dragonfly(a, h) with ``a·h + 1`` groups."""
+    if a < 1 or h < 1:
+        raise ValueError("Dragonfly needs a >= 1, h >= 1")
+    g = a * h + 1
+    n = g * a
+    if p is None:
+        p = h  # the canonical balanced choice (a = 2h, p = h)
+
+    def rid(grp, r):
+        return grp * a + r
+
+    edges = []
+    # Local: complete graph within each group.
+    for grp in range(g):
+        for r1 in range(a):
+            for r2 in range(r1 + 1, a):
+                edges.append((rid(grp, r1), rid(grp, r2)))
+    # Global: port k of group grp (router k // h, slot k % h) -> group tgt.
+    for grp in range(g):
+        for k in range(a * h):
+            tgt = k if k < grp else k + 1
+            if tgt <= grp:
+                continue  # add each inter-group link once, from lower group
+            back = grp  # index of grp in tgt's skip-self port list (grp < tgt)
+            edges.append((rid(grp, k // h), rid(tgt, back // h)))
+
+    graph = Graph(n, edges, name=f"Dragonfly(a={a},h={h})")
+    groups = np.repeat(np.arange(g), a)
+    return Topology(
+        graph=graph,
+        endpoint_router=uniform_endpoints(n, p),
+        name="DF",
+        groups=groups,
+        meta={"a": a, "h": h, "p": p, "num_groups": g},
+    )
+
+
+def dragonfly_max_order(radix: int) -> int:
+    """Largest Dragonfly router count at a network radix (Fig. 1 curve):
+    maximize ``a(ah + 1)`` over ``(a - 1) + h == radix``."""
+    best = 0
+    for a in range(2, radix + 1):
+        h = radix - (a - 1)
+        if h < 1:
+            continue
+        best = max(best, a * (a * h + 1))
+    return best

@@ -1,0 +1,87 @@
+"""Export topologies to external simulator formats.
+
+* :func:`write_booksim_anynet` — Booksim2 ``anynet`` topology files
+  (``router R node N ... router R2 ...`` adjacency lines), so any topology
+  built here can be fed to the original cycle-accurate simulator used in
+  §9.
+* :func:`write_sst_edge_csv` — a flat CSV (src_router, dst_router) plus an
+  endpoint map, the form SST/Merlin custom-topology loaders consume.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.topologies.base import Topology
+
+
+def write_booksim_anynet(topology: Topology, path: str | Path) -> None:
+    """Write a Booksim2 anynet_file describing this topology.
+
+    Each line: ``router <r> [node <e>]* [router <neighbor>]*``.  Endpoint
+    (node) ids follow the topology's endpoint numbering.
+    """
+    path = Path(path)
+    eps_of: dict[int, list[int]] = {}
+    for e, r in enumerate(topology.endpoint_router):
+        eps_of.setdefault(int(r), []).append(e)
+
+    with path.open("w") as fh:
+        for r in range(topology.num_routers):
+            parts = [f"router {r}"]
+            for e in eps_of.get(r, []):
+                parts.append(f"node {e}")
+            for v in topology.graph.neighbors(r):
+                parts.append(f"router {int(v)}")
+            fh.write(" ".join(parts) + "\n")
+
+
+def write_sst_edge_csv(topology: Topology, links_path: str | Path, endpoints_path: str | Path) -> None:
+    """Write (src,dst) link CSV and (endpoint,router) map CSV."""
+    links_path, endpoints_path = Path(links_path), Path(endpoints_path)
+    with links_path.open("w") as fh:
+        fh.write("src_router,dst_router\n")
+        for u, v in topology.graph.edges():
+            fh.write(f"{u},{v}\n")
+    with endpoints_path.open("w") as fh:
+        fh.write("endpoint,router\n")
+        for e, r in enumerate(topology.endpoint_router):
+            fh.write(f"{e},{int(r)}\n")
+
+
+def read_booksim_anynet(path: str | Path) -> Topology:
+    """Parse an anynet file back into a :class:`Topology` (round-trip aid)."""
+    import numpy as np
+
+    from repro.graphs.base import Graph
+
+    path = Path(path)
+    edges = []
+    ep_router: dict[int, int] = {}
+    max_router = -1
+    for line in path.read_text().splitlines():
+        tokens = line.split()
+        if not tokens:
+            continue
+        if tokens[0] != "router":
+            raise ValueError(f"bad anynet line: {line!r}")
+        r = int(tokens[1])
+        max_router = max(max_router, r)
+        i = 2
+        while i < len(tokens):
+            kind, val = tokens[i], int(tokens[i + 1])
+            if kind == "node":
+                ep_router[val] = r
+            elif kind == "router":
+                edges.append((min(r, val), max(r, val)))
+                max_router = max(max_router, val)
+            else:
+                raise ValueError(f"bad anynet token {kind!r}")
+            i += 2
+    n = max_router + 1
+    endpoint_router = np.array([ep_router[e] for e in sorted(ep_router)], dtype=np.int64)
+    return Topology(
+        graph=Graph(n, edges, name=path.stem),
+        endpoint_router=endpoint_router,
+        name=path.stem,
+    )

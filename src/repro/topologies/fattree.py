@@ -1,0 +1,60 @@
+"""Three-level Fat-tree, Booksim-style (Leiserson 1985; §9.1).
+
+The Booksim construction for router radix ``2p``: three layers of ``p²``
+routers each.  Edge routers host *p* endpoints and link up to every
+aggregation router of their pod (pods have *p* edge + *p* aggregation
+routers, so there are *p* pods); aggregation router *j* of each pod links
+up to the *p* core routers of core group *j*.  Core routers use only *p*
+(down) ports — "top layer routers having half the radix".  Capacity:
+``p³`` endpoints on ``3p²`` routers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.topologies.base import Topology
+
+
+def fattree_topology(p: int) -> Topology:
+    """Build the 3-level Fat-tree for half-radix *p* (router radix ``2p``)."""
+    if p < 1:
+        raise ValueError("Fat-tree needs p >= 1")
+    pods = p
+    n_edge = n_agg = n_core = p * p
+
+    def edge(pod, i):
+        return pod * p + i
+
+    def agg(pod, j):
+        return n_edge + pod * p + j
+
+    def core(j, m):
+        return n_edge + n_agg + j * p + m
+
+    edges = []
+    for pod in range(pods):
+        for i in range(p):
+            for j in range(p):
+                edges.append((edge(pod, i), agg(pod, j)))
+        for j in range(p):
+            for m in range(p):
+                edges.append((agg(pod, j), core(j, m)))
+
+    graph = Graph(n_edge + n_agg + n_core, edges, name=f"FatTree(p={p})")
+    endpoint_router = np.repeat([edge(pod, i) for pod in range(pods) for i in range(p)], p)
+    groups = np.concatenate(
+        [
+            np.repeat(np.arange(pods), p),  # edge layer: pod id
+            np.repeat(np.arange(pods), p),  # agg layer: pod id
+            np.full(n_core, pods),  # core: its own group
+        ]
+    )
+    return Topology(
+        graph=graph,
+        endpoint_router=endpoint_router,
+        name="FT",
+        groups=groups,
+        meta={"p": p, "levels": 3},
+    )

@@ -1,0 +1,24 @@
+"""Jellyfish (Singla et al. 2012): random-regular-graph networking.
+
+Used in Fig. 12 as a bisection upper-reference at the same radix and scale
+as PolarStar.  Note its diameter generally exceeds 3.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.random_regular import random_regular_graph
+from repro.topologies.base import Topology, uniform_endpoints
+
+
+def jellyfish_topology(n: int, radix: int, p: int | None = None, seed: int = 0) -> Topology:
+    """Random ``radix``-regular network on *n* routers."""
+    if p is None:
+        p = max(1, radix // 3)
+    graph = random_regular_graph(n, radix, seed=seed)
+    return Topology(
+        graph=graph,
+        endpoint_router=uniform_endpoints(n, p),
+        name="JF",
+        groups=None,
+        meta={"seed": seed, "p": p},
+    )

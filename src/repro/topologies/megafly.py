@@ -1,0 +1,60 @@
+"""Megafly / Dragonfly+ (Flajslik et al. 2018; Shpiner et al. 2017).
+
+An *indirect* hierarchical topology: each group is a two-level bipartite
+fat-tree with ``a/2`` leaf routers (hosting endpoints) and ``a/2`` spine
+routers (hosting the global ports).  Each spine has ``ρ`` global links and
+each group pair is joined by exactly one global link, so there are
+``(a/2)·ρ + 1`` groups.  The Table 3 instance (``ρ=8, a=16, p=8``) has
+65 groups, 1040 routers of radix 16, and 4160 endpoints on the leaves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.topologies.base import Topology
+
+
+def megafly_topology(rho: int, a: int, p: int) -> Topology:
+    """Build Megafly(ρ, a) with *p* endpoints per **leaf** router."""
+    if a % 2 != 0:
+        raise ValueError("Megafly group size a must be even")
+    half = a // 2
+    g = half * rho + 1
+    n = g * a
+
+    # Router ids: group grp has leaves [grp*a, grp*a + half) and spines
+    # [grp*a + half, grp*a + a).
+    def leaf(grp, i):
+        return grp * a + i
+
+    def spine(grp, j):
+        return grp * a + half + j
+
+    edges = []
+    for grp in range(g):
+        for i in range(half):
+            for j in range(half):
+                edges.append((leaf(grp, i), spine(grp, j)))
+    # Global links: same absolute arrangement as Dragonfly, ports living on
+    # the spines (spine j owns ports [j*rho, (j+1)*rho)).
+    for grp in range(g):
+        for k in range(half * rho):
+            tgt = k if k < grp else k + 1
+            if tgt <= grp:
+                continue
+            edges.append((spine(grp, k // rho), spine(tgt, grp // rho)))
+
+    graph = Graph(n, edges, name=f"Megafly(rho={rho},a={a})")
+    groups = np.repeat(np.arange(g), a)
+    endpoint_router = np.concatenate(
+        [np.repeat([leaf(grp, i) for i in range(half)], p) for grp in range(g)]
+    )
+    return Topology(
+        graph=graph,
+        endpoint_router=endpoint_router,
+        name="MF",
+        groups=groups,
+        meta={"rho": rho, "a": a, "p": p, "num_groups": g},
+    )

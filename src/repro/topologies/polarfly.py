@@ -1,0 +1,122 @@
+"""PolarFly and SlimFly — the diameter-2 predecessors (§2.3, Fig. 4).
+
+PolarFly (Lakhotia et al. 2022) is the Erdős–Rényi polarity graph used
+directly as a network; SlimFly (Besta & Hoefler 2014) is the MMS graph used
+directly.  Both approach the diameter-2 Moore bound but top out at a few
+thousand routers — the scalability gap PolarStar exists to close.
+
+PolarFly admits fully analytic routing: the common neighbor of any two
+vertices is their *cross product* in the underlying projective space, so a
+router needs no tables at all — :class:`PolarFlyRouter` implements it and
+is oracle-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields import GF, is_prime_power
+from repro.graphs.er_polarity import er_polarity_graph, projective_points
+from repro.graphs.mms import mms_graph
+from repro.routing.base import Router
+from repro.topologies.base import Topology, uniform_endpoints
+
+
+def polarfly_topology(q: int, p: int | None = None) -> Topology:
+    """PolarFly: the ER_q graph as a direct network (radix q+1)."""
+    graph = er_polarity_graph(q)
+    if p is None:
+        p = max(1, (q + 1) // 2)  # diameter-2 rule of thumb: p = radix/2
+    return Topology(
+        graph=graph,
+        endpoint_router=uniform_endpoints(graph.n, p),
+        name="PF",
+        meta={"q": q, "p": p},
+    )
+
+
+def slimfly_topology(q: int, p: int | None = None) -> Topology:
+    """SlimFly: the MMS graph as a direct network."""
+    graph = mms_graph(q)
+    if p is None:
+        p = max(1, graph.max_degree // 2)
+    return Topology(
+        graph=graph,
+        endpoint_router=uniform_endpoints(graph.n, p),
+        name="SlimFly",
+        meta={"q": q, "p": p},
+    )
+
+
+class PolarFlyRouter(Router):
+    """Table-free analytic minimal routing on PolarFly.
+
+    Distance is 1 when the endpoint vectors are orthogonal, else 2 via the
+    cross-product vertex ``w = u x v`` (which may equal *u* or *v* when one
+    is quadric — then the true middle is found among the few orthogonal
+    candidates).  State: just the point coordinates, O(n).
+    """
+
+    def __init__(self, topology: Topology):
+        q = topology.meta.get("q")
+        if q is None or not is_prime_power(q):
+            raise ValueError("PolarFlyRouter needs a polarfly_topology network")
+        self.topology = topology
+        self.graph = topology.graph
+        self.field = GF(q)
+        self.points = projective_points(q)
+
+    def _normalize(self, vec: np.ndarray) -> int:
+        """Left-normalize a projective vector and return its vertex id."""
+        F = self.field
+        v = vec.copy()
+        for i in range(3):
+            if v[i]:
+                inv = int(F.inv(int(v[i])))
+                v = F.mul(v, inv)
+                break
+        else:
+            raise ValueError("zero vector has no projective class")
+        q = F.q
+        if v[0] == 1:
+            return q * int(v[1]) + int(v[2])
+        if v[1] == 1:
+            return q * q + int(v[2])
+        return q * q + q
+
+    def _cross(self, u: int, v: int) -> int:
+        F = self.field
+        a, b = self.points[u], self.points[v]
+        w = np.array(
+            [
+                F.sub(F.mul(a[1], b[2]), F.mul(a[2], b[1])),
+                F.sub(F.mul(a[2], b[0]), F.mul(a[0], b[2])),
+                F.sub(F.mul(a[0], b[1]), F.mul(a[1], b[0])),
+            ],
+            dtype=np.int64,
+        )
+        return self._normalize(w)
+
+    def distance(self, current: int, dest: int) -> int:
+        if current == dest:
+            return 0
+        F = self.field
+        if int(F.dot3(self.points[current], self.points[dest])) == 0:
+            return 1
+        return 2
+
+    def next_hops(self, current: int, dest: int) -> list[int]:
+        if current == dest:
+            return []
+        if self.distance(current, dest) == 1:
+            return [dest]
+        w = self._cross(current, dest)
+        if w not in (current, dest):
+            return [w]
+        # Degenerate cross product (collinear w/ a quadric endpoint): find a
+        # common orthogonal neighbor directly among current's neighbors.
+        F = self.field
+        for cand in self.graph.neighbors(current):
+            if int(F.dot3(self.points[cand], self.points[dest])) == 0 and cand != current:
+                return [int(cand)]
+        raise RuntimeError(f"no 2-hop path from {current} to {dest}")

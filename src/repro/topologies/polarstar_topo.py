@@ -1,0 +1,46 @@
+"""PolarStar as a deployable topology (PS-IQ / PS-Pal of Table 3)."""
+
+from __future__ import annotations
+
+from repro.core.polarstar import PolarStarConfig, best_config, build_polarstar
+from repro.topologies.base import Topology, uniform_endpoints
+
+
+def polarstar_topology(
+    config: PolarStarConfig | int,
+    p: int | None = None,
+    kinds: tuple[str, ...] = ("iq", "paley"),
+) -> Topology:
+    """Build a PolarStar network.
+
+    Parameters
+    ----------
+    config:
+        Either an explicit :class:`PolarStarConfig` or a network radix, in
+        which case the largest feasible configuration is chosen.
+    p:
+        Endpoints per router; defaults to the paper's rule of one third of
+        the network radix (¼ of total ports).
+
+    The returned topology carries the supernode id of each router in
+    ``groups`` and the star-product factorization in ``meta["star"]`` (the
+    analytic router of §9.2 needs it).
+    """
+    if isinstance(config, int):
+        cfg = best_config(config, kinds=kinds)
+        if cfg is None:
+            raise ValueError(f"no feasible PolarStar at radix {config}")
+    else:
+        cfg = config
+    if p is None:
+        p = max(1, cfg.radix // 3)
+
+    sp = build_polarstar(cfg)
+    kind = "IQ" if cfg.supernode_kind == "iq" else "Pal"
+    return Topology(
+        graph=sp.graph,
+        endpoint_router=uniform_endpoints(sp.graph.n, p),
+        name=f"PS-{kind}",
+        groups=sp.supernode_of,
+        meta={"config": cfg, "star": sp, "p": p},
+    )

@@ -1,0 +1,72 @@
+"""Spectralfly (Young et al. 2022): LPS Ramanujan graphs as interconnects.
+
+Spectralfly is not a fixed-diameter family; Fig. 1 only admits design
+points whose diameter happens to be ≤ 3.  :func:`spectralfly_design_points`
+scans (p, q) pairs, builds the graph, and measures the diameter exactly
+(LPS graphs are vertex-transitive, so a single BFS suffices).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.distances import bfs_distances
+from repro.fields.primes import primes_up_to
+from repro.graphs.lps import lps_graph, lps_order
+from repro.topologies.base import Topology, uniform_endpoints
+
+
+def spectralfly_topology(p_gen: int, q: int, p: int | None = None) -> Topology:
+    """Build Spectralfly on the LPS graph ``X^{p_gen, q}`` (radix
+    ``p_gen + 1``)."""
+    graph = lps_graph(p_gen, q)
+    radix = p_gen + 1
+    if p is None:
+        p = max(1, radix // 3)
+    return Topology(
+        graph=graph,
+        endpoint_router=uniform_endpoints(graph.n, p),
+        name="SF",
+        groups=None,
+        meta={"p_gen": p_gen, "q": q, "p": p},
+    )
+
+
+@lru_cache(maxsize=None)
+def spectralfly_design_points(
+    max_radix: int,
+    max_diameter: int = 3,
+    max_order: int = 60_000,
+) -> tuple[tuple[int, int, int, int], ...]:
+    """All LPS design points ``(radix, order, p_gen, q)`` with diameter
+    ≤ ``max_diameter``, largest order per radix.
+
+    ``max_order`` bounds the graphs we are willing to build for the scan;
+    beyond it the diameter always exceeds 3 for the radixes of interest
+    anyway (order would exceed the Moore bound otherwise).
+    """
+    best: dict[int, tuple[int, int, int]] = {}
+    gens = [p for p in primes_up_to(max_radix - 1) if p > 2]
+    qs = [q for q in primes_up_to(200) if q % 4 == 1 and q > 2]
+    for p_gen in gens:
+        radix = p_gen + 1
+        if radix > max_radix:
+            continue
+        # Moore-bound ceiling for a diameter-3 candidate.
+        moore3 = radix**3 - radix**2 + radix + 1
+        for q in qs:
+            if q == p_gen or not (q * q > 4 * p_gen):
+                continue
+            order = lps_order(p_gen, q)
+            if order > min(max_order, moore3):
+                continue
+            graph = lps_graph(p_gen, q)
+            diam = int(bfs_distances(graph, 0).max())  # vertex-transitive
+            if diam <= max_diameter:
+                cur = best.get(radix)
+                if cur is None or order > cur[0]:
+                    best[radix] = (order, p_gen, q)
+    return tuple(
+        (radix, order, p_gen, q)
+        for radix, (order, p_gen, q) in sorted(best.items())
+    )

@@ -1,0 +1,39 @@
+"""Traffic: the synthetic patterns of §9.4/§9.6 and the Ember-style motifs
+of §10 (Allreduce, Sweep3D)."""
+
+from repro.traffic.patterns import (
+    AdversarialGroupPattern,
+    BitReversePattern,
+    BitShufflePattern,
+    NeighborPattern,
+    RandomPermutationPattern,
+    TornadoPattern,
+    TrafficPattern,
+    TransposePattern,
+    UniformRandomPattern,
+)
+from repro.traffic.motifs import allreduce_events, sweep3d_events
+from repro.traffic.collectives import (
+    alltoall_events,
+    broadcast_events,
+    rabenseifner_allreduce_events,
+    ring_allreduce_events,
+)
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandomPattern",
+    "RandomPermutationPattern",
+    "BitShufflePattern",
+    "BitReversePattern",
+    "TransposePattern",
+    "TornadoPattern",
+    "NeighborPattern",
+    "AdversarialGroupPattern",
+    "allreduce_events",
+    "sweep3d_events",
+    "ring_allreduce_events",
+    "rabenseifner_allreduce_events",
+    "broadcast_events",
+    "alltoall_events",
+]

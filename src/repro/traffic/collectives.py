@@ -1,0 +1,131 @@
+"""Collective-communication algorithms as motif DAGs.
+
+§10 cites Rabenseifner (2004) for Allreduce optimization; this module
+provides the standard algorithm zoo so the motif engine can compare them
+on any topology:
+
+* recursive doubling (re-exported from :mod:`repro.traffic.motifs`),
+* ring Allreduce (2(P-1) steps of size/P chunks — bandwidth-optimal),
+* Rabenseifner's reduce-scatter + allgather (halving/doubling),
+* binomial-tree broadcast,
+* pairwise-exchange all-to-all.
+
+All return :class:`~repro.traffic.motifs.Message` lists with receiver-side
+dependencies, consumable by :class:`~repro.sim.motif.MotifEngine`.
+"""
+
+from __future__ import annotations
+
+from repro.traffic.motifs import Message, allreduce_events
+
+recursive_doubling_allreduce = allreduce_events
+
+
+def _pow2_floor(ranks: int) -> int:
+    p2 = 1
+    while p2 * 2 <= ranks:
+        p2 *= 2
+    return p2
+
+
+def ring_allreduce_events(ranks: int, size: int = 64 * 1024, iterations: int = 1) -> list[Message]:
+    """Ring Allreduce: ``2(P-1)`` steps, each rank sending a ``size/P``
+    chunk to its ring successor — the bandwidth-optimal algorithm used by
+    NCCL/Horovod (cited in §10.1)."""
+    if ranks < 2:
+        return []
+    chunk = max(1, size // ranks)
+    msgs: list[Message] = []
+    mid = 0
+    last_recv: dict[int, int] = {}
+    for _ in range(iterations):
+        for _step in range(2 * (ranks - 1)):
+            new_last: dict[int, int] = {}
+            for r in range(ranks):
+                dst = (r + 1) % ranks
+                deps = [last_recv[r]] if r in last_recv else []
+                msgs.append(Message(mid, r, dst, chunk, deps))
+                new_last[dst] = mid
+                mid += 1
+            last_recv = new_last
+    return msgs
+
+
+def rabenseifner_allreduce_events(
+    ranks: int, size: int = 64 * 1024, iterations: int = 1
+) -> list[Message]:
+    """Rabenseifner's Allreduce: recursive-halving reduce-scatter followed
+    by recursive-doubling allgather.  Message sizes halve during the
+    scatter and double during the gather, so total traffic is ~2x the
+    buffer instead of ``log2(P)``x."""
+    p2 = _pow2_floor(ranks)
+    rounds = p2.bit_length() - 1
+    msgs: list[Message] = []
+    mid = 0
+    last_recv: dict[int, int] = {}
+    for _ in range(iterations):
+        # reduce-scatter: halving distances, halving sizes
+        sz = size
+        for r_idx in range(rounds):
+            bit = 1 << r_idx
+            sz = max(1, sz // 2)
+            new_last: dict[int, int] = {}
+            for rank in range(p2):
+                partner = rank ^ bit
+                deps = [last_recv[rank]] if rank in last_recv else []
+                msgs.append(Message(mid, rank, partner, sz, deps))
+                new_last[partner] = mid
+                mid += 1
+            last_recv = new_last
+        # allgather: doubling distances, doubling sizes
+        for r_idx in range(rounds - 1, -1, -1):
+            bit = 1 << r_idx
+            new_last = {}
+            for rank in range(p2):
+                partner = rank ^ bit
+                deps = [last_recv[rank]] if rank in last_recv else []
+                msgs.append(Message(mid, rank, partner, sz, deps))
+                new_last[partner] = mid
+                mid += 1
+            last_recv = new_last
+            sz = min(size, sz * 2)
+    return msgs
+
+
+def broadcast_events(ranks: int, size: int = 64 * 1024, root: int = 0) -> list[Message]:
+    """Binomial-tree broadcast from *root*."""
+    p2 = _pow2_floor(ranks)
+    msgs: list[Message] = []
+    mid = 0
+    recv_of: dict[int, int] = {}
+    # relative rank r receives in round k = position of its lowest set bit
+    rounds = p2.bit_length() - 1
+    for k in range(rounds - 1, -1, -1):
+        bit = 1 << k
+        for rel in range(0, p2, 2 * bit):
+            src = (rel + root) % p2
+            dst = (rel + bit + root) % p2
+            deps = [recv_of[src]] if src in recv_of else []
+            msgs.append(Message(mid, src, dst, size, deps))
+            recv_of[dst] = mid
+            mid += 1
+    return msgs
+
+
+def alltoall_events(ranks: int, size_per_pair: int = 4 * 1024) -> list[Message]:
+    """Pairwise-exchange all-to-all: ``P-1`` rounds; in round *k* rank *r*
+    exchanges with ``r XOR k`` (power-of-two ranks)."""
+    p2 = _pow2_floor(ranks)
+    msgs: list[Message] = []
+    mid = 0
+    last_recv: dict[int, int] = {}
+    for k in range(1, p2):
+        new_last: dict[int, int] = {}
+        for rank in range(p2):
+            partner = rank ^ k
+            deps = [last_recv[rank]] if rank in last_recv else []
+            msgs.append(Message(mid, rank, partner, size_per_pair, deps))
+            new_last[partner] = mid
+            mid += 1
+        last_recv = new_last
+    return msgs

@@ -1,0 +1,106 @@
+"""Real-world communication motifs (§10): Allreduce and Sweep3D.
+
+These mirror the Ember communication-pattern library used with SST: a motif
+is a DAG of :class:`Message` objects; a message may start only after all of
+its dependency messages have been delivered (receiver-side dependencies —
+this is what makes Sweep3D a *wavefront*).
+
+Process IDs map linearly onto endpoints, as in §10.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Message:
+    """One point-to-point transfer in a motif DAG."""
+
+    id: int
+    src: int  # rank
+    dst: int  # rank
+    size: int  # bytes
+    deps: list[int] = field(default_factory=list)  # message ids
+
+
+def allreduce_events(ranks: int, size: int = 64 * 1024, iterations: int = 1) -> list[Message]:
+    """Recursive-doubling Allreduce (Rabenseifner 2004's baseline scheme).
+
+    ``log2(P)`` rounds; in round *r* each rank exchanges the full buffer
+    with ``rank XOR 2^r``.  A rank's round-*r* send depends on its round-
+    ``r-1`` receive; iterations chain end-to-end.  Non-power-of-two rank
+    counts truncate to the largest power of two (extra ranks idle), the
+    standard simplification.
+    """
+    p2 = 1
+    while p2 * 2 <= ranks:
+        p2 *= 2
+    msgs: list[Message] = []
+    last_recv: dict[int, int] = {}  # rank -> id of last message it received
+    mid = 0
+    rounds = p2.bit_length() - 1
+    for _ in range(iterations):
+        for r in range(rounds):
+            bit = 1 << r
+            new_last: dict[int, int] = {}
+            for rank in range(p2):
+                partner = rank ^ bit
+                deps = [last_recv[rank]] if rank in last_recv else []
+                msgs.append(Message(mid, rank, partner, size, deps))
+                new_last[partner] = mid
+                mid += 1
+            last_recv = new_last
+    return msgs
+
+
+def sweep3d_events(
+    nx: int,
+    ny: int,
+    size: int = 32 * 1024,
+    iterations: int = 1,
+    corners: tuple[str, ...] = ("nw", "se"),
+) -> list[Message]:
+    """Sweep3D wavefront on an ``nx x ny`` process grid (§10.1).
+
+    Each sweep starts at a corner and moves diagonally: a rank forwards to
+    its two downstream neighbors only after hearing from both upstream
+    neighbors.  Alternating corners per iteration reproduces the
+    back-and-forth sweeps of the kernel.  Rank of cell (i, j) is
+    ``i * ny + j`` (linear mapping).
+    """
+    directions = {
+        "nw": (1, 1),
+        "se": (-1, -1),
+        "ne": (-1, 1),
+        "sw": (1, -1),
+    }
+    msgs: list[Message] = []
+    mid = 0
+    # last message received by each rank (for cross-sweep chaining)
+    last_recv: dict[int, list[int]] = {}
+
+    def rank(i: int, j: int) -> int:
+        return i * ny + j
+
+    for it in range(iterations):
+        di, dj = directions[corners[it % len(corners)]]
+        incoming: dict[int, list[int]] = {}
+        order_i = range(nx) if di > 0 else range(nx - 1, -1, -1)
+        order_j = range(ny) if dj > 0 else range(ny - 1, -1, -1)
+        new_last: dict[int, list[int]] = {}
+        for i in order_i:
+            for j in order_j:
+                src = rank(i, j)
+                deps = incoming.get(src, [])
+                if not deps:  # sweep source corner waits for previous sweep
+                    deps = last_recv.get(src, [])
+                for ni, nj in ((i + di, j), (i, j + dj)):
+                    if 0 <= ni < nx and 0 <= nj < ny:
+                        dst = rank(ni, nj)
+                        msgs.append(Message(mid, src, dst, size, list(deps)))
+                        incoming.setdefault(dst, []).append(mid)
+                        new_last.setdefault(dst, []).append(mid)
+                        mid += 1
+        last_recv = new_last
+    return msgs

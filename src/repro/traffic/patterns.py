@@ -1,0 +1,250 @@
+"""Synthetic traffic patterns (§9.4) and the adversarial pattern (§9.6).
+
+A pattern supplies two views used by the two simulators:
+
+* ``dest_endpoint(src, rng)`` — per-packet destination endpoint, consumed by
+  the cycle-level simulator;
+* ``router_demand(topology)`` — an ``(n, n)`` router-to-router demand matrix
+  in units of *endpoint injection rate* (each endpoint offers rate 1 at full
+  load), consumed by the flow-level model.
+
+Deterministic patterns (permutation, bit shuffle/reverse, adversarial)
+precompute an endpoint→endpoint map; endpoints outside the pattern's domain
+(e.g. beyond the power-of-two cutoff of the bit patterns) stay idle, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.topologies.base import Topology
+
+
+class TrafficPattern(ABC):
+    """Endpoint-level traffic specification for one topology."""
+
+    name: str = "pattern"
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self.num_endpoints = topology.num_endpoints
+
+    @abstractmethod
+    def dest_endpoint(self, src: int, rng: np.random.Generator) -> int:
+        """Destination endpoint for a packet injected at endpoint *src*
+        (may be ``src`` itself for idle endpoints — such packets are not
+        injected)."""
+
+    @abstractmethod
+    def router_demand(self) -> np.ndarray:
+        """Router-to-router offered traffic at full endpoint injection."""
+
+    def _aggregate(self, dest_map: np.ndarray) -> np.ndarray:
+        """Endpoint dest map -> router demand matrix (idle = self-mapped)."""
+        n = self.topology.num_routers
+        src_r = self.topology.endpoint_router
+        active = dest_map != np.arange(self.num_endpoints)
+        demand = np.zeros((n, n))
+        np.add.at(demand, (src_r[active], src_r[dest_map[active]]), 1.0)
+        np.fill_diagonal(demand, 0.0)  # router-local traffic never hits links
+        return demand
+
+
+class UniformRandomPattern(TrafficPattern):
+    """Destination chosen uniformly at random among all other endpoints."""
+
+    name = "uniform"
+
+    def dest_endpoint(self, src: int, rng: np.random.Generator) -> int:
+        d = int(rng.integers(0, self.num_endpoints - 1))
+        return d if d < src else d + 1
+
+    def router_demand(self) -> np.ndarray:
+        counts = self.topology.endpoints_per_router.astype(float)
+        total = counts.sum()
+        demand = np.outer(counts, counts) / max(total - 1, 1)
+        np.fill_diagonal(demand, 0.0)
+        return demand
+
+
+class _DeterministicPattern(TrafficPattern):
+    """Shared machinery for patterns with a fixed endpoint→endpoint map."""
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        self.dest_map = self._build_dest_map()
+
+    def _build_dest_map(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def dest_endpoint(self, src: int, rng: np.random.Generator) -> int:
+        return int(self.dest_map[src])
+
+    def router_demand(self) -> np.ndarray:
+        return self._aggregate(self.dest_map)
+
+
+class RandomPermutationPattern(_DeterministicPattern):
+    """§9.4(2): a random router permutation τ; endpoint *i* of router R
+    sends to endpoint *i* of router τ(R).  Only meaningful when all routers
+    host equally many endpoints (direct networks)."""
+
+    name = "permutation"
+
+    def __init__(self, topology: Topology, seed: int = 0):
+        self.seed = seed
+        super().__init__(topology)
+
+    def _build_dest_map(self) -> np.ndarray:
+        topo = self.topology
+        rng = np.random.default_rng(self.seed)
+        counts = topo.endpoints_per_router
+        hosts = np.nonzero(counts)[0]
+        perm = dict(zip(hosts.tolist(), rng.permutation(hosts).tolist()))
+        # endpoint slot within its router
+        order = np.argsort(topo.endpoint_router, kind="stable")
+        slot = np.empty(topo.num_endpoints, dtype=np.int64)
+        slot_counter: dict[int, int] = {}
+        first_ep: dict[int, int] = {}
+        for e in order:
+            r = int(topo.endpoint_router[e])
+            s = slot_counter.get(r, 0)
+            slot[e] = s
+            slot_counter[r] = s + 1
+            if s == 0:
+                first_ep[r] = int(e)
+        dest = np.arange(topo.num_endpoints)
+        for e in range(topo.num_endpoints):
+            r = int(topo.endpoint_router[e])
+            tr = perm[r]
+            if slot[e] < slot_counter.get(tr, 0):
+                dest[e] = first_ep[tr] + slot[e]
+        return dest
+
+
+class _BitPattern(_DeterministicPattern):
+    """Bit-mangling patterns on the largest power-of-two endpoint prefix."""
+
+    def _bits(self) -> int:
+        return int(np.log2(self.num_endpoints)) if self.num_endpoints else 0
+
+    def _build_dest_map(self) -> np.ndarray:
+        b = self._bits()
+        size = 1 << b
+        src = np.arange(size)
+        dest_full = np.arange(self.num_endpoints)
+        dest_full[:size] = self._transform(src, b)
+        return dest_full
+
+    def _transform(self, src: np.ndarray, b: int) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class BitShufflePattern(_BitPattern):
+    """§9.4(3): d_i = s_{(i-1) mod b} — rotate the address bits left by 1."""
+
+    name = "bitshuffle"
+
+    def _transform(self, src: np.ndarray, b: int) -> np.ndarray:
+        if b == 0:
+            return src
+        mask = (1 << b) - 1
+        return ((src << 1) & mask) | (src >> (b - 1))
+
+
+class BitReversePattern(_BitPattern):
+    """§9.4(4): d_i = s_{b-i-1} — reverse the address bits."""
+
+    name = "bitreverse"
+
+    def _transform(self, src: np.ndarray, b: int) -> np.ndarray:
+        out = np.zeros_like(src)
+        for i in range(b):
+            out |= ((src >> i) & 1) << (b - 1 - i)
+        return out
+
+
+class TransposePattern(_BitPattern):
+    """Matrix-transpose traffic: swap the high and low halves of the address
+    bits (d_i = s_{(i + b/2) mod b}).  A classic Booksim pattern; included
+    beyond the paper's four for completeness."""
+
+    name = "transpose"
+
+    def _transform(self, src: np.ndarray, b: int) -> np.ndarray:
+        half = b // 2
+        mask = (1 << b) - 1
+        return ((src << half) | (src >> (b - half))) & mask
+
+
+class TornadoPattern(_DeterministicPattern):
+    """Tornado traffic: endpoint *i* sends to ``(i + E/2 - 1) mod E`` —
+    the classic worst case for rings/tori, a useful stressor here too."""
+
+    name = "tornado"
+
+    def _build_dest_map(self) -> np.ndarray:
+        e = self.num_endpoints
+        if e < 2:
+            return np.arange(e)
+        return (np.arange(e) + e // 2 - 1) % e
+
+
+class NeighborPattern(_DeterministicPattern):
+    """Nearest-neighbor traffic: endpoint *i* sends to ``i + 1`` (wrap).
+    Represents stencil exchanges with a linear rank mapping."""
+
+    name = "neighbor"
+
+    def _build_dest_map(self) -> np.ndarray:
+        e = self.num_endpoints
+        return (np.arange(e) + 1) % e if e > 1 else np.arange(e)
+
+
+class AdversarialGroupPattern(_DeterministicPattern):
+    """§9.6: every endpoint of group *g* sends to the paired endpoint in one
+    single other group, chosen at maximal hierarchical distance (structure
+    distance 2 for star products) so that minimal paths are as long and as
+    global-link-hungry as possible."""
+
+    name = "adversarial"
+
+    def __init__(self, topology: Topology, offset: int | None = None):
+        if topology.groups is None:
+            raise ValueError("adversarial pattern needs a hierarchical topology")
+        self.offset = offset
+        super().__init__(topology)
+
+    def _target_group(self, g: int) -> int:
+        topo = self.topology
+        ng = topo.num_groups
+        star = topo.meta.get("star")
+        if star is not None:
+            # Prefer a supernode at structure distance 2 (worst case §9.6).
+            from repro.analysis.distances import bfs_distances
+
+            d = bfs_distances(star.structure, g)
+            far = np.nonzero(d == 2)[0]
+            if len(far):
+                return int(far[(g + (self.offset or 1)) % len(far)])
+        return (g + (self.offset or ng // 2)) % ng
+
+    def _build_dest_map(self) -> np.ndarray:
+        topo = self.topology
+        dest = np.arange(topo.num_endpoints)
+        target = {g: self._target_group(g) for g in range(topo.num_groups)}
+
+        # endpoints grouped by group, in id order; pair positionally.
+        group_eps: dict[int, list[int]] = {g: [] for g in range(topo.num_groups)}
+        for e in range(topo.num_endpoints):
+            group_eps[int(topo.groups[topo.endpoint_router[e]])].append(e)
+        for g, eps in group_eps.items():
+            tgt_eps = group_eps[target[g]]
+            if not tgt_eps:
+                continue
+            for i, e in enumerate(eps):
+                dest[e] = tgt_eps[i % len(tgt_eps)]
+        return dest

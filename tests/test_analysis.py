@@ -1,0 +1,156 @@
+"""Tests for distances, bisection, fault tolerance, and layout analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_path_length,
+    bfs_distances,
+    bisection_fraction,
+    diameter,
+    link_failure_sweep,
+    min_bisection,
+)
+from repro.analysis.faults import disconnection_ratio, median_disconnection_ratio
+from repro.graphs import Graph, complete_graph
+from repro.layout import bundling_report, supernode_clusters
+from repro.topologies import polarstar_topology
+
+
+def cycle(n):
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)], name=f"C{n}")
+
+
+class TestDistances:
+    def test_bfs_single_source(self):
+        d = bfs_distances(cycle(6), 0)
+        assert d.tolist() == [0, 1, 2, 3, 2, 1]
+
+    def test_bfs_multi_source(self):
+        d = bfs_distances(cycle(6), [0, 3])
+        assert d.shape == (2, 6)
+        assert d[1, 3] == 0
+
+    def test_diameter(self):
+        assert diameter(cycle(8)) == 4
+        assert diameter(complete_graph(5)) == 1
+
+    def test_diameter_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert diameter(g) == float("inf")
+
+    def test_apl_cycle(self):
+        # C4: distances 1,2,1 from each vertex -> mean 4/3
+        assert average_path_length(cycle(4)) == pytest.approx(4 / 3)
+
+    def test_apl_excludes_unreachable(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert average_path_length(g) == pytest.approx(1.0)
+
+    def test_sampled_diameter_lower_bound(self):
+        g = cycle(20)
+        assert diameter(g, sample=5, seed=1) <= diameter(g)
+
+
+class TestBisection:
+    def test_two_cliques_one_bridge(self):
+        # two K5s plus one bridge: the optimal bisection cuts only the bridge
+        e1 = [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        e2 = [(u + 5, v + 5) for u, v in e1]
+        g = Graph(10, e1 + e2 + [(0, 5)], name="barbell")
+        cut, side = min_bisection(g, restarts=3, seed=0)
+        assert cut == 1
+        assert side.sum() == 5
+
+    def test_complete_graph_fraction(self):
+        g = complete_graph(8)
+        # any balanced split of K8 cuts 16 of 28 edges
+        assert bisection_fraction(g, restarts=1) == pytest.approx(16 / 28)
+
+    def test_fraction_bounds(self):
+        topo = polarstar_topology(9, p=1)
+        frac = bisection_fraction(topo.graph, restarts=2)
+        assert 0.0 < frac <= 0.5 + 1e-9
+
+    def test_empty_graph(self):
+        assert bisection_fraction(Graph(4, [])) == 0.0
+
+
+class TestFaults:
+    def test_disconnection_ratio_bridge(self):
+        # a path graph disconnects at the first removal
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert disconnection_ratio(g, seed=0) == pytest.approx(1 / 3)
+
+    def test_disconnection_ratio_clique_high(self):
+        g = complete_graph(8)
+        assert disconnection_ratio(g, seed=1) > 0.5
+
+    def test_sweep_monotone_degradation(self):
+        topo = polarstar_topology(9, p=1)
+        res = link_failure_sweep(topo.graph, [0.0, 0.1, 0.2, 0.3], seed=2)
+        assert res.diameters[0] == 3
+        assert res.diameters == sorted(res.diameters)[: len(res.diameters)] or (
+            res.diameters[-1] >= res.diameters[0]
+        )
+        assert res.avg_path_lengths[-1] >= res.avg_path_lengths[0]
+
+    def test_sweep_records_disconnection(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        res = link_failure_sweep(g, [0.0, 0.5, 1.0], seed=0)
+        assert res.disconnection_ratio <= 1.0
+        assert len(res.fractions) < 3
+
+    def test_median_ratio(self):
+        g = complete_graph(10)
+        med = median_disconnection_ratio(g, scenarios=9, seed=0)
+        assert 0.5 < med < 1.0
+
+
+class TestLayout:
+    def test_cluster_sizes(self):
+        q = 5
+        clusters = supernode_clusters(q)
+        counts = np.bincount(clusters)
+        assert len(counts) == q + 1
+        assert (counts[:q] == q).all()
+        assert counts[q] == q + 1
+
+    def test_bundling_report_polarstar(self):
+        """§8: 2(d* - q) parallel links per adjacent supernode pair; MCF
+        count equals the non-loop structure edges; cable reduction ≈ 2d*/3."""
+        topo = polarstar_topology(15, p=1)  # q=11, d'=3
+        rep = bundling_report(topo)
+        q, dstar = 11, 15
+        assert rep.links_per_supernode_pair == 2 * (dstar - q)
+        star = topo.meta["star"]
+        assert rep.num_bundles == star.structure.m
+        assert rep.cable_reduction == pytest.approx(2 * (dstar - q), rel=0.01)
+        assert rep.num_clusters == q + 1
+        # ≈ q bundles between cluster pairs
+        assert rep.mean_bundles_between_clusters == pytest.approx(q, rel=0.5)
+
+    def test_bundling_requires_star(self):
+        from repro.topologies import hyperx_topology
+
+        with pytest.raises(ValueError):
+            bundling_report(hyperx_topology((3, 3, 3), p=1))
+
+
+class TestDistanceDistribution:
+    def test_polarstar_three_levels(self):
+        from repro.analysis.distances import distance_distribution
+
+        topo = polarstar_topology(9, p=1)
+        dist = distance_distribution(topo.graph)
+        assert len(dist) == 4  # distances 1..3 (index 0 unused)
+        assert dist[0] == 0.0
+        assert dist.sum() == pytest.approx(1.0)
+        # most pairs of a near-Moore graph sit at the diameter
+        assert dist[3] > dist[2] > dist[1]
+
+    def test_complete_graph(self):
+        from repro.analysis.distances import distance_distribution
+
+        d = distance_distribution(complete_graph(6))
+        assert d[1] == pytest.approx(1.0)

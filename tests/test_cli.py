@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_topology_defaults(self):
+        args = build_parser().parse_args(["topology", "ps"])
+        assert args.radix == 15
+
+
+class TestCommands:
+    def test_topology_ps(self, capsys):
+        assert main(["topology", "ps", "--radix", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "248 routers" in out
+        assert "diameter: 3" in out
+
+    def test_topology_df(self, capsys):
+        assert main(["topology", "df", "--a", "4", "--h", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "36 routers" in out
+
+    def test_topology_hx(self, capsys):
+        assert main(["topology", "hx", "--dims", "3x3x3"]) == 0
+        assert "27 routers" in capsys.readouterr().out
+
+    def test_design_space(self, capsys):
+        assert main(["design-space", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "1064" in out and "largest" in out
+
+    def test_experiment_eq12(self, capsys):
+        assert main(["experiment", "eq12"]) == 0
+        assert "8/27" in capsys.readouterr().out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])
+
+    def test_route(self, capsys):
+        assert main(["route", "--radix", "9", "--src", "0", "--dst", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "hops" in out and "supernode" in out

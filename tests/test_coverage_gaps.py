@@ -1,0 +1,209 @@
+"""Targeted tests for less-traveled code paths."""
+
+import numpy as np
+import pytest
+
+from repro.fields.gf import GF, irreducible_poly, _poly_mul_mod
+from repro.graphs import Graph
+from repro.routing.base import Router, route_path
+from repro.routing import TableRouter
+
+
+class TestIrreduciblePolynomials:
+    @pytest.mark.parametrize("p,k", [(2, 2), (2, 3), (2, 4), (3, 2), (3, 3), (5, 2), (7, 2)])
+    def test_no_roots(self, p, k):
+        """An irreducible polynomial of degree >= 2 has no roots in GF(p)."""
+        poly = irreducible_poly(p, k)
+        for x in range(p):
+            val = 0
+            for i, c in enumerate(poly):
+                val = (val + c * pow(x, i, p)) % p
+            assert val != 0
+
+    @pytest.mark.parametrize("p,k", [(2, 3), (3, 2), (5, 2)])
+    def test_monic(self, p, k):
+        poly = irreducible_poly(p, k)
+        assert poly[-1] == 1
+        assert len(poly) == k + 1
+
+    def test_deterministic(self):
+        assert irreducible_poly(3, 3) == irreducible_poly(3, 3)
+
+    def test_poly_mul(self):
+        # (x + 1)(x + 2) = x² + 3x + 2 over GF(5)
+        assert _poly_mul_mod((1, 1), (2, 1), 5) == (2, 3, 1)
+
+
+class TestRouterBase:
+    def test_route_path_loop_guard(self):
+        class BadRouter(Router):
+            def __init__(self, g):
+                self.graph = g
+
+            def next_hops(self, c, d):
+                return [1 - c]  # ping-pong forever between 0 and 1
+
+            def distance(self, c, d):
+                return 1
+
+        g = Graph(3, [(0, 1), (1, 2)])
+        with pytest.raises(RuntimeError):
+            route_path(BadRouter(g), 0, 2, max_hops=8)
+
+    def test_next_hop_raises_without_candidates(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        r = TableRouter(g)
+        with pytest.raises(ValueError):
+            r.next_hop(0, 3)  # unreachable
+
+    def test_disconnected_distance_sentinel(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        r = TableRouter(g)
+        assert r.distance(0, 3) > 1000  # int16 "infinity"
+
+
+class TestTopologyBase:
+    def test_rejects_bad_endpoint(self):
+        from repro.topologies.base import Topology
+
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            Topology(g, np.array([0, 5]), name="bad")
+
+    def test_rejects_short_groups(self):
+        from repro.topologies.base import Topology
+
+        g = Graph(3, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            Topology(g, np.array([0]), name="bad", groups=np.array([0, 1]))
+
+    def test_routers_of_group(self):
+        from repro.topologies import dragonfly_topology
+
+        topo = dragonfly_topology(a=3, h=1, p=1)
+        assert list(topo.routers_of_group(0)) == [0, 1, 2]
+
+    def test_groups_required_for_query(self):
+        from repro.topologies import hyperx_topology
+
+        topo = hyperx_topology((2, 2), p=1)
+        with pytest.raises(ValueError):
+            topo.routers_of_group(0)
+
+
+class TestExperimentHelpers:
+    def test_fig12_family_lookup_unknown(self):
+        from repro.experiments.fig12 import topology_at_radix
+
+        with pytest.raises(KeyError):
+            topology_at_radix("Nonsense", 8, 1000)
+
+    def test_fig12_infeasible_returns_none(self):
+        from repro.experiments.fig12 import topology_at_radix
+
+        assert topology_at_radix("FatTree", 9, 10_000) is None  # odd radix
+        assert topology_at_radix("PolarStar", 64, 100) is None  # above cap
+
+    def test_fig09_pattern_registry(self):
+        from repro.experiments.fig09 import PATTERNS, pattern_demand
+        from repro.topologies import dragonfly_topology
+
+        topo = dragonfly_topology(a=4, h=2, p=2)
+        for name in PATTERNS:
+            d = pattern_demand(topo, name)
+            assert d.shape == (36, 36)
+            assert (np.diag(d) == 0).all()
+
+    def test_adversarial_offset_changes_targets(self):
+        from repro.topologies import polarstar_topology
+        from repro.traffic import AdversarialGroupPattern
+
+        topo = polarstar_topology(9, p=1)
+        a = AdversarialGroupPattern(topo, offset=1).dest_map
+        b = AdversarialGroupPattern(topo, offset=2).dest_map
+        assert not np.array_equal(a, b)
+
+
+class TestCliExperimentRegistry:
+    def test_registry_matches_modules(self):
+        import importlib
+
+        from repro.cli import EXPERIMENTS
+
+        for name in EXPERIMENTS:
+            mod = importlib.import_module(f"repro.experiments.{name}")
+            assert hasattr(mod, "run") and hasattr(mod, "format_figure")
+
+
+class TestFlowSinglePathRouters:
+    def test_polarstar_single_vs_all_consistency(self):
+        """Single-minpath loads are a refinement of all-minpath loads: same
+        total flow (demand x distance), potentially higher peak."""
+        from repro.sim.flow import link_loads
+        from repro.routing import PolarStarRouter
+        from repro.topologies import polarstar_topology
+        from repro.traffic import UniformRandomPattern
+
+        topo = polarstar_topology(7, p=1)
+        analytic = PolarStarRouter(topo.meta["star"])
+        table = TableRouter(topo.graph)
+        demand = UniformRandomPattern(topo).router_demand()
+        l_single = link_loads(topo, analytic, demand, mode="single")
+        l_all = link_loads(topo, table, demand, mode="all")
+        assert l_single.sum() == pytest.approx(l_all.sum(), rel=1e-9)
+        assert l_single.max() >= l_all.max() - 1e-9
+
+    def test_dragonfly_hierarchical_loads_exceed_graph_minimal(self):
+        """DF l-g-l paths are sometimes longer than graph-minimal, so total
+        link load is at least the graph-minimal total."""
+        from repro.sim.flow import link_loads
+        from repro.routing import DragonflyRouter
+        from repro.topologies import dragonfly_topology
+        from repro.traffic import UniformRandomPattern
+
+        topo = dragonfly_topology(a=4, h=2, p=2)
+        demand = UniformRandomPattern(topo).router_demand()
+        l_df = link_loads(topo, DragonflyRouter(topo), demand, mode="single")
+        l_min = link_loads(topo, TableRouter(topo.graph), demand, mode="all")
+        assert l_df.sum() >= l_min.sum() - 1e-9
+
+
+class TestSpectralflyScan:
+    def test_table3_point_found(self):
+        """The design-point scan discovers SF(23, 13) — the Table 3 instance
+        with diameter 3 at radix 24."""
+        from repro.topologies.spectralfly import spectralfly_design_points
+
+        pts = spectralfly_design_points(24, max_order=1200)
+        by_radix = {r: (o, pg, q) for r, o, pg, q in pts}
+        assert 24 in by_radix
+        assert by_radix[24] == (1092, 23, 13)
+
+    def test_lps_rejects_bad_params(self):
+        from repro.graphs.lps import lps_graph
+
+        with pytest.raises(ValueError):
+            lps_graph(4, 13)  # p not prime
+        with pytest.raises(ValueError):
+            lps_graph(5, 7)  # q ≡ 3 (mod 4)
+
+
+class TestIOEdgeCases:
+    def test_read_edgelist_without_header(self, tmp_path):
+        from repro.graphs.io import read_edgelist
+
+        f = tmp_path / "raw.edges"
+        f.write_text("0 1\n1 2\n")
+        g = read_edgelist(f)
+        assert g.n == 3 and g.m == 2
+
+    def test_bdf_tournament_parity_guard(self):
+        from repro.graphs.bdf import _even_indegree_tournament
+
+        with pytest.raises(ValueError):
+            _even_indegree_tournament(3)  # C(3,2)=3 odd
+        arcs = _even_indegree_tournament(5)
+        indeg = [0] * 5
+        for _, loser in arcs:
+            indeg[loser] += 1
+        assert all(d % 2 == 0 for d in indeg)

@@ -1,0 +1,81 @@
+"""Tests for deadlock verification and external-format export."""
+
+import numpy as np
+import pytest
+
+from repro.routing import DragonflyRouter, PolarStarRouter, TableRouter
+from repro.sim.deadlock import (
+    channel_dependency_graph,
+    is_acyclic,
+    max_route_hops,
+    verify_vc_scheme,
+)
+from repro.sim.packet import PacketSimConfig
+from repro.topologies import dragonfly_topology, polarstar_topology
+from repro.topologies.export import (
+    read_booksim_anynet,
+    write_booksim_anynet,
+    write_sst_edge_csv,
+)
+
+
+class TestDeadlock:
+    def test_max_hops_polarstar(self):
+        topo = polarstar_topology(9, p=1)
+        r = PolarStarRouter(topo.meta["star"])
+        assert max_route_hops(topo, r, sample=32) == 3
+        assert max_route_hops(topo, r, valiant=True, sample=32) == 6
+
+    def test_default_config_is_safe(self):
+        """The simulator's default 8 VCs cover minimal + Valiant routing on
+        every diameter-3 topology."""
+        cfg = PacketSimConfig()
+        topo = polarstar_topology(9, p=1)
+        r = PolarStarRouter(topo.meta["star"])
+        assert verify_vc_scheme(topo, r, cfg.num_vcs, valiant=True, sample=32)
+
+    def test_insufficient_vcs_flagged(self):
+        topo = polarstar_topology(9, p=1)
+        r = PolarStarRouter(topo.meta["star"])
+        assert not verify_vc_scheme(topo, r, 2, sample=32)
+
+    def test_cdg_acyclic_with_enough_vcs(self):
+        topo = dragonfly_topology(a=4, h=2, p=1)
+        r = DragonflyRouter(topo)
+        adj, n = channel_dependency_graph(topo, r, num_vcs=5)
+        assert is_acyclic(adj)
+
+    def test_cdg_dependencies_escalate_vc(self):
+        topo = dragonfly_topology(a=4, h=2, p=1)
+        r = TableRouter(topo.graph)
+        adj, n = channel_dependency_graph(topo, r, num_vcs=4)
+        rows, cols = adj.nonzero()
+        # vc strictly increases along every dependency
+        assert ((cols % 4) > (rows % 4)).all()
+
+
+class TestExport:
+    def test_anynet_roundtrip(self, tmp_path):
+        topo = polarstar_topology(7, p=2)
+        path = tmp_path / "ps.anynet"
+        write_booksim_anynet(topo, path)
+        back = read_booksim_anynet(path)
+        assert back.num_routers == topo.num_routers
+        assert back.num_endpoints == topo.num_endpoints
+        assert np.array_equal(back.graph.edge_array, topo.graph.edge_array)
+        assert np.array_equal(back.endpoint_router, topo.endpoint_router)
+
+    def test_anynet_format(self, tmp_path):
+        topo = dragonfly_topology(a=4, h=2, p=1)
+        path = tmp_path / "df.anynet"
+        write_booksim_anynet(topo, path)
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("router 0")
+        assert "node 0" in first
+
+    def test_sst_csv(self, tmp_path):
+        topo = dragonfly_topology(a=4, h=2, p=2)
+        links, eps = tmp_path / "links.csv", tmp_path / "eps.csv"
+        write_sst_edge_csv(topo, links, eps)
+        assert len(links.read_text().splitlines()) == topo.graph.m + 1
+        assert len(eps.read_text().splitlines()) == topo.num_endpoints + 1

@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts run end-to-end (light configurations).
+
+The two full-Table-3-scale examples (traffic_simulation, allreduce_motif)
+are exercised by the benchmarks instead; here we run the fast ones exactly
+as a user would.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", [], capsys)
+    assert "1064 routers" in out
+    assert "diameter = 3" in out
+    assert "BFS optimum" in out
+
+
+def test_design_space_explorer(capsys):
+    out = run_example("design_space_explorer.py", ["5000"], capsys)
+    assert "PolarStar" in out and "Dragonfly" in out
+    assert "min radix" in out
+
+
+def test_fault_resilience(capsys):
+    out = run_example("fault_resilience.py", ["9"], capsys)
+    assert "median disconnection ratio" in out
+    assert "Dragonfly" in out
+
+
+def test_bundling_layout(capsys):
+    out = run_example("bundling_layout.py", ["12"], capsys)
+    assert "multi-core fibers" in out
+    assert "cable-count reduction" in out
+
+
+def test_export_topologies(tmp_path, capsys):
+    out = run_example("export_topologies.py", [str(tmp_path), "DF"], capsys)
+    assert "DF" in out
+    assert (tmp_path / "df.anynet").exists()
+    assert (tmp_path / "df.edges").exists()

@@ -1,0 +1,67 @@
+"""Small-scale runs + format checks for the remaining experiment modules."""
+
+import pytest
+
+from repro.experiments import collectives, diameter2, fig10, fig11, fig13, fig14
+
+
+class TestCollectivesExperiment:
+    def test_small_run(self):
+        res = collectives.run(names=("PS-IQ",), ranks=64, size=256 * 1024, iterations=1)
+        (row,) = res["rows"]
+        assert row["ranks"] == 64
+        assert row["ring"] > 0 and row["rabenseifner"] > 0
+        # bandwidth-optimal collectives win at large sizes
+        assert min(row["ring"], row["rabenseifner"]) < row["recursive-doubling"]
+
+    def test_format(self):
+        res = collectives.run(names=("PS-IQ",), ranks=32, iterations=1)
+        text = collectives.format_figure(res)
+        assert "ring" in text and "PS-IQ" in text
+
+
+class TestDiameter2Experiment:
+    def test_scalability_rows(self):
+        res = diameter2.run(radixes=(12, 24), sim_q=5)
+        rows = {r["radix"]: r for r in res["rows"]}
+        assert rows[12]["polarfly"] == 133
+        assert rows[24]["slimfly"] == 512
+        assert rows[24]["polarstar"] == 4368
+        assert res["polarfly_uniform_saturation_analytic"] > 0.5
+
+    def test_format(self):
+        res = diameter2.run(radixes=(12,), sim_q=5)
+        assert "PolarFly" in diameter2.format_figure(res)
+
+
+class TestFormatters:
+    def test_fig10_format_without_ugal(self):
+        res = {"rows": [{"topology": "X", "min_saturation": 0.5}]}
+        text = fig10.format_figure(res)
+        assert "UGAL" not in text and "0.500" in text
+
+    def test_fig11_grid_helper(self):
+        assert fig11._grid(4096) == (64, 64)
+        assert fig11._grid(100) == (10, 10)
+        nx, ny = fig11._grid(96)
+        assert nx * ny == 96
+
+    def test_fig13_format_handles_missing(self):
+        res = {
+            "rows": [{"radix": 8, "iq": 0.2, "paley": None}],
+            "means": {"iq": 0.2, "paley": 0.0},
+        }
+        text = fig13.format_figure(res)
+        assert "-" in text
+
+    def test_fig14_format(self):
+        res = {
+            "X": {
+                "median_disconnection_ratio": 0.6,
+                "fractions": [0.0, 0.1],
+                "diameters": [3.0, 4.0],
+                "avg_path_lengths": [2.5, 2.9],
+            }
+        }
+        text = fig14.format_figure(res)
+        assert "60%" in text and "diameter" in text

@@ -1,0 +1,128 @@
+"""Tests for the experiment harness modules (small, fast configurations —
+the full paper-scale sweeps live in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    common,
+    eq12,
+    fig01,
+    fig04,
+    fig07,
+    sec08,
+    tab02,
+    tab03,
+)
+
+
+class TestCommon:
+    def test_geometric_mean(self):
+        assert common.geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert common.geometric_mean([]) == 0.0
+        assert common.geometric_mean([1, 1, 1]) == 1.0
+
+    def test_format_table_alignment(self):
+        t = common.format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = t.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_paper_router_selection(self):
+        r, mode = common.table3_router("PS-IQ", scale="reduced")
+        from repro.routing import PolarStarRouter
+
+        assert isinstance(r, PolarStarRouter)
+        assert mode == "single"
+        r, mode = common.table3_router("HX", scale="reduced")
+        from repro.routing import HyperXRouter
+
+        assert isinstance(r, HyperXRouter)
+
+    def test_table3_instance_cached(self):
+        a = common.table3_instance("DF", scale="reduced")
+        b = common.table3_instance("DF", scale="reduced")
+        assert a is b
+
+
+class TestFig01:
+    def test_small_sweep(self):
+        res = fig01.run(8, 16, ratio_hi=32, with_sf=False)
+        assert len(res["rows"]) == 9
+        for row in res["rows"]:
+            assert row["polarstar"] <= row["starmax"] <= row["moore"]
+
+    def test_kautz_bidirectional(self):
+        # K(8, 3) has 9 * 64 = 576 vertices at bidirectional radix 16.
+        assert fig01.kautz_bidirectional_order(16) == 576
+
+    def test_format(self):
+        res = fig01.run(8, 10, ratio_hi=12, with_sf=False)
+        text = fig01.format_figure(res)
+        assert "geomean" in text and "radix" in text
+
+
+class TestFig04:
+    def test_orders_at_degree(self):
+        assert fig04.er_order_at_degree(12) == 133  # q=11
+        assert fig04.er_order_at_degree(7) == 0  # q=6 not a prime power
+        assert fig04.mms_order_at_degree(7) == 50  # q=5
+        assert fig04.paley_order_at_degree(6) == 13
+
+
+class TestFig07:
+    def test_counts(self):
+        res = fig07.run(15, 15)
+        (row,) = res["rows"]
+        assert row["max_order"] == 1064
+        assert row["best_kind"] == "iq"
+
+
+class TestTab02:
+    def test_all_properties_verified(self):
+        res = tab02.run(sample_max_degree=8)
+        assert res["families"]["Inductive-Quad"]["rstar"]
+        assert res["families"]["Paley"]["r1"]
+
+
+class TestTab03:
+    def test_rows_complete(self):
+        res = tab03.run(names=("PS-IQ", "DF"))
+        assert {r["name"] for r in res["rows"]} == {"PS-IQ", "DF"}
+        assert all(r["match"] for r in res["rows"])
+
+
+class TestEq12:
+    def test_scaling(self):
+        res = eq12.run(radixes=(24, 48))
+        for row in res["rows"]:
+            assert 0.9 < row["order_best"] / row["order_eq2"] < 1.1
+
+
+class TestSec08:
+    def test_fig8_example(self):
+        from repro.core.polarstar import PolarStarConfig
+
+        res = sec08.run(configs=(PolarStarConfig(q=7, dprime=3, supernode_kind="iq"),))
+        (row,) = res["rows"]
+        assert row["links_per_pair"] == row["expected_links_per_pair"] == 8
+        assert row["bundles"] == 224
+
+
+class TestAblations:
+    def test_supernode_kind_small(self):
+        res = ablations.supernode_kind_ablation(q=3, dprime=4)
+        rows = {r["kind"]: r for r in res["rows"] if r["feasible"]}
+        assert rows["inductive-quad"]["order"] == 13 * 10
+        assert rows["paley"]["order"] == 13 * 9
+        assert rows["bdf"]["order"] == 13 * 8
+        assert rows["complete"]["order"] == 13 * 5
+        for r in rows.values():
+            assert r["diameter"] <= 3
+
+    def test_degree_split_small(self):
+        res = ablations.degree_split_ablation(radix=12)
+        orders = {(r["q"], r["dprime"]): r["order"] for r in res["rows"]}
+        assert orders[(8, 3)] == 584  # the Eq. 1-optimal split wins
+        assert max(orders.values()) == 584

@@ -1,0 +1,155 @@
+"""Tests for the extension modules: path diversity, classic baselines,
+edge-disjoint spanning trees, graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import diameter
+from repro.analysis.paths import minimal_path_counts, path_diversity
+from repro.analysis.spanning_trees import (
+    allreduce_bandwidth_factor,
+    greedy_edst,
+    verify_edst,
+)
+from repro.graphs import Graph, complete_graph
+from repro.graphs.io import read_edgelist, write_dot, write_edgelist
+from repro.topologies import polarstar_topology
+from repro.topologies.classic import (
+    flattened_butterfly_topology,
+    hypercube_topology,
+    torus_topology,
+)
+
+
+class TestPathDiversity:
+    def test_counts_on_cycle(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        counts = minimal_path_counts(g, 2)
+        assert counts[2] == 1
+        assert counts[0] == 2  # two ways around the cycle
+        assert counts[1] == counts[3] == 1
+
+    def test_counts_match_table_router(self):
+        from repro.routing import TableRouter
+
+        topo = polarstar_topology(9, p=1)
+        g = topo.graph
+        r = TableRouter(g)
+        counts = minimal_path_counts(g, 7)
+        rng = np.random.default_rng(0)
+        for u in rng.integers(0, g.n, 30):
+            assert counts[u] == r.num_minimal_paths(int(u), 7)
+
+    def test_complete_graph_single_paths(self):
+        d = path_diversity(complete_graph(8), sample_dests=None)
+        assert d.mean == 1.0 and d.frac_single_path == 1.0
+
+    def test_hyperx_diversity_exceeds_polarstar(self):
+        """§9.5: HX has high path diversity; PolarStar has fewer minpaths —
+        which is why PS works with a single analytic minpath while SF/BF
+        need tables."""
+        hx = flattened_butterfly_topology(4, 3)
+        ps = polarstar_topology(9, p=1)
+        d_hx = path_diversity(hx.graph, sample_dests=16)
+        d_ps = path_diversity(ps.graph, sample_dests=16)
+        assert d_hx.mean > d_ps.mean
+
+
+class TestClassicTopologies:
+    def test_torus(self):
+        topo = torus_topology((4, 4))
+        assert topo.num_routers == 16
+        assert (topo.graph.degrees == 4).all()
+        assert diameter(topo.graph) == 4
+
+    def test_torus_dim2_no_multiedge(self):
+        topo = torus_topology((2, 4))
+        # rings of length 2 collapse to single edges
+        assert topo.graph.max_degree == 3
+
+    def test_hypercube(self):
+        topo = hypercube_topology(4)
+        assert topo.num_routers == 16
+        assert (topo.graph.degrees == 4).all()
+        assert diameter(topo.graph) == 4
+
+    def test_flattened_butterfly(self):
+        topo = flattened_butterfly_topology(4, 2)
+        assert topo.num_routers == 16
+        assert diameter(topo.graph) == 2
+
+    def test_polarstar_beats_torus_scale(self):
+        """§9.1: classic topologies scale far worse at equal radix."""
+        ps = polarstar_topology(8, p=1)
+        torus = torus_topology((4, 4, 4, 4))  # radix 8
+        assert ps.num_routers > torus.num_routers / 2  # 168 vs 256 but D=3 vs 8
+        assert diameter(ps.graph) < diameter(torus.graph)
+
+
+class TestSpanningTrees:
+    def test_complete_graph_many_trees(self):
+        g = complete_graph(8)
+        trees = greedy_edst(g)
+        assert len(trees) >= 2
+        assert verify_edst(g, trees)
+
+    def test_polarstar_edsts(self):
+        topo = polarstar_topology(9, p=1)
+        trees = greedy_edst(topo.graph, max_trees=3)
+        assert len(trees) >= 2  # in-network allreduce can pipeline
+        assert verify_edst(topo.graph, trees)
+
+    def test_tree_has_no_extra_edges(self):
+        g = complete_graph(5)
+        trees = greedy_edst(g, max_trees=1)
+        assert len(trees[0]) == 4
+
+    def test_verify_rejects_overlap(self):
+        g = complete_graph(4)
+        t = greedy_edst(g, max_trees=1)[0]
+        assert not verify_edst(g, [t, t])
+
+    def test_bandwidth_factor(self):
+        assert allreduce_bandwidth_factor(complete_graph(9)) >= 3
+
+
+class TestGraphIO:
+    def test_edgelist_roundtrip(self, tmp_path):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)], self_loops=[2], name="t")
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        g2 = read_edgelist(path)
+        assert g2.n == g.n
+        assert np.array_equal(g2.edge_array, g.edge_array)
+        assert np.array_equal(g2.self_loops, g.self_loops)
+
+    def test_edgelist_isolated_vertex_preserved(self, tmp_path):
+        g = Graph(6, [(0, 1)], name="iso")  # vertices 2..5 isolated
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        assert read_edgelist(path).n == 6
+
+    def test_dot_output(self, tmp_path):
+        topo = polarstar_topology(7, p=1)
+        path = tmp_path / "g.dot"
+        write_dot(topo.graph, path, groups=topo.groups)
+        text = path.read_text()
+        assert text.startswith("graph")
+        assert "--" in text and "fillcolor" in text
+
+
+class TestSpanningTreesMore:
+    def test_polarstar_radix15_multiple_trees(self):
+        """PS-IQ (Table 3): several edge-disjoint spanning trees exist for
+        pipelined in-network Allreduce."""
+        topo = polarstar_topology(15, p=1)
+        trees = greedy_edst(topo.graph, max_trees=5, restarts=3)
+        assert len(trees) >= 4
+        assert verify_edst(topo.graph, trees)
+
+    def test_disconnected_graph_no_trees(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert greedy_edst(g) == []
+
+    def test_trivial_graph(self):
+        assert greedy_edst(Graph(1, [])) == []

@@ -1,0 +1,229 @@
+"""Tests for the factor-graph families: ER_q, Inductive-Quad, Paley, BDF,
+complete, MMS — orders, degrees, diameters, and the §5 properties."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import diameter, distance_matrix
+from repro.fields import GF
+from repro.graphs import (
+    bdf_supernode,
+    complete_graph,
+    er_polarity_graph,
+    has_property_r,
+    has_property_r1,
+    has_property_rstar,
+    inductive_quad,
+    iq_feasible_degrees,
+    mms_graph,
+    paley_feasible_degrees,
+    paley_graph,
+)
+from repro.graphs.bdf import bdf_feasible_degrees, bdf_order
+from repro.graphs.complete import complete_supernode
+from repro.graphs.er_polarity import er_degree, er_order
+from repro.graphs.inductive_quad import iq_order
+from repro.graphs.mms import mms_degree, mms_order
+from repro.graphs.paley import paley_order
+from repro.graphs.properties import rstar_order_bound
+
+ER_QS = [2, 3, 4, 5, 7, 8, 9, 11, 13]
+IQ_DEGREES = [0, 3, 4, 7, 8, 11, 12, 15]
+PALEY_QS = [5, 9, 13, 17, 25, 29]
+MMS_QS = [3, 4, 5, 7, 8, 9, 11, 13]
+
+
+class TestERPolarity:
+    @pytest.mark.parametrize("q", ER_QS)
+    def test_order_and_degree(self, q):
+        g = er_polarity_graph(q)
+        assert g.n == er_order(q) == q * q + q + 1
+        # Quadric vertices have degree q (plus a self-loop), others q+1.
+        degs = g.degrees
+        loops = np.zeros(g.n, dtype=bool)
+        loops[g.self_loops] = True
+        assert (degs[loops] == q).all()
+        assert (degs[~loops] == q + 1).all()
+        assert er_degree(q) == q + 1
+
+    @pytest.mark.parametrize("q", ER_QS)
+    def test_quadric_count(self, q):
+        # PG(2, q) conics have exactly q + 1 self-orthogonal points.
+        g = er_polarity_graph(q)
+        assert len(g.self_loops) == q + 1
+
+    @pytest.mark.parametrize("q", ER_QS)
+    def test_diameter_two(self, q):
+        g = er_polarity_graph(q)
+        assert diameter(g) == 2
+
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9])
+    def test_property_r(self, q):
+        """Theorem 1: ER_q has Property R (with self-loops as path edges)."""
+        g = er_polarity_graph(q)
+        assert has_property_r(g, diameter=2)
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            er_polarity_graph(6)
+
+    def test_orthogonality_defines_edges(self):
+        q = 5
+        g = er_polarity_graph(q)
+        from repro.graphs.er_polarity import projective_points
+
+        F = GF(q)
+        pts = projective_points(q)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            u, v = rng.integers(0, g.n, size=2)
+            if u == v:
+                continue
+            assert g.has_edge(int(u), int(v)) == (int(F.dot3(pts[u], pts[v])) == 0)
+
+
+class TestInductiveQuad:
+    def test_feasible_degrees(self):
+        assert iq_feasible_degrees(12) == [0, 3, 4, 7, 8, 11, 12]
+
+    @pytest.mark.parametrize("d", IQ_DEGREES)
+    def test_order_degree(self, d):
+        g, f = inductive_quad(d)
+        assert g.n == iq_order(d) == 2 * d + 2
+        assert (g.degrees == d).all()
+
+    @pytest.mark.parametrize("d", IQ_DEGREES)
+    def test_property_rstar(self, d):
+        """Proposition 2 construction: IQ has Property R* at the 2d'+2 bound."""
+        g, f = inductive_quad(d)
+        assert has_property_rstar(g, f)
+        assert g.n == rstar_order_bound(d)
+
+    @pytest.mark.parametrize("d", IQ_DEGREES)
+    def test_involution_fixed_point_free(self, d):
+        g, f = inductive_quad(d)
+        assert (f[f] == np.arange(g.n)).all()
+        assert (f != np.arange(g.n)).all()
+
+    @pytest.mark.parametrize("d", [3, 4, 7, 8, 11])
+    def test_f_pairs_within_distance_three(self, d):
+        """Same-supernode routing to an f-partner stays within the diameter
+        bound: dist(x', f(x')) <= 3 inside IQ (2 in the odd-degree bases)."""
+        g, f = inductive_quad(d)
+        dm = distance_matrix(g)
+        for v in range(g.n):
+            assert dm[v, f[v]] <= 3
+
+    @pytest.mark.parametrize("d", [3, 4, 7, 8])
+    def test_connected(self, d):
+        g, _ = inductive_quad(d)
+        assert g.is_connected()
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            inductive_quad(5)
+
+    def test_iq0(self):
+        g, f = inductive_quad(0)
+        assert g.n == 2 and g.m == 0
+        assert list(f) == [1, 0]
+
+
+class TestPaley:
+    @pytest.mark.parametrize("q", PALEY_QS)
+    def test_order_degree(self, q):
+        g, f = paley_graph(q)
+        d = (q - 1) // 2
+        assert g.n == paley_order(d) == q
+        assert (g.degrees == d).all()
+
+    @pytest.mark.parametrize("q", PALEY_QS)
+    def test_property_r1(self, q):
+        g, f = paley_graph(q)
+        assert has_property_r1(g, f)
+
+    @pytest.mark.parametrize("q", [5, 9, 13, 17])
+    def test_self_complementary_cover(self, q):
+        """E and f(E) partition the complete graph's edges exactly."""
+        g, f = paley_graph(q)
+        assert g.m == q * (q - 1) // 4  # half of C(q, 2)
+        fe = {tuple(sorted((int(f[u]), int(f[v])))) for u, v in g.edges()}
+        e = {tuple(map(int, edge)) for edge in g.edge_array}
+        assert not (e & fe)
+        assert len(e | fe) == q * (q - 1) // 2
+
+    @pytest.mark.parametrize("q", [9, 13, 25])
+    def test_diameter_two(self, q):
+        g, _ = paley_graph(q)
+        assert diameter(g) == 2
+
+    def test_feasible_degrees(self):
+        # d' even with 2d'+1 a prime power ≡ 1 (mod 4)
+        assert paley_feasible_degrees(14) == [2, 4, 6, 8, 12, 14]
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            paley_graph(7)  # 7 ≡ 3 (mod 4)
+        with pytest.raises(ValueError):
+            paley_graph(15)  # not a prime power
+
+
+class TestBDF:
+    @pytest.mark.parametrize("d", [1, 4, 5, 8, 9, 12, 13])
+    def test_order_degree(self, d):
+        g, f = bdf_supernode(d)
+        assert g.n == bdf_order(d) == 2 * d
+        assert (g.degrees == d).all()
+
+    @pytest.mark.parametrize("d", [4, 5, 8, 9, 12])
+    def test_property_rstar(self, d):
+        g, f = bdf_supernode(d)
+        assert has_property_rstar(g, f)
+
+    def test_feasible_degrees(self):
+        assert bdf_feasible_degrees(9) == [1, 4, 5, 8, 9]
+
+    def test_rejects_infeasible(self):
+        with pytest.raises(ValueError):
+            bdf_supernode(6)
+
+    @pytest.mark.parametrize("d", [4, 8, 12])
+    def test_smaller_than_iq(self, d):
+        """Corollary 3: IQ strictly beats the BDF order at equal degree."""
+        assert bdf_order(d) < iq_order(d)
+
+
+class TestComplete:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.n == 5 and g.m == 10
+        assert (g.degrees == 4).all()
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 6])
+    def test_supernode_rstar(self, d):
+        g, f = complete_supernode(d)
+        assert g.n == d + 1
+        assert has_property_rstar(g, f)
+        assert has_property_r1(g, f)
+
+
+class TestMMS:
+    @pytest.mark.parametrize("q", MMS_QS)
+    def test_order_and_degree(self, q):
+        g = mms_graph(q)
+        assert g.n == mms_order(q) == 2 * q * q
+        assert g.max_degree == mms_degree(q)
+        assert (g.degrees == mms_degree(q)).all()
+
+    @pytest.mark.parametrize("q", MMS_QS)
+    def test_diameter_two(self, q):
+        assert diameter(mms_graph(q)) == 2
+
+    def test_degree_formula_by_residue(self):
+        assert mms_degree(5) == 7  # (3q-1)/2
+        assert mms_degree(7) == 11  # (3q+1)/2
+        assert mms_degree(8) == 12  # 3q/2
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            mms_graph(6)

@@ -1,0 +1,197 @@
+"""Unit and property tests for the finite-field substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields import (
+    GF,
+    factorize,
+    is_prime,
+    is_prime_power,
+    prime_power_root,
+    prime_powers_up_to,
+    primes_up_to,
+)
+
+FIELD_ORDERS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 32, 49]
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        assert primes_up_to(30) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_is_prime_matches_sieve(self):
+        sieve = set(primes_up_to(500))
+        for n in range(500):
+            assert is_prime(n) == (n in sieve)
+
+    def test_factorize_roundtrip(self):
+        for n in range(1, 400):
+            prod = 1
+            for p, e in factorize(n):
+                assert is_prime(p)
+                prod *= p**e
+            assert prod == n
+
+    def test_factorize_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    def test_prime_powers(self):
+        assert prime_powers_up_to(32) == [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32]
+
+    def test_is_prime_power(self):
+        assert is_prime_power(27)
+        assert is_prime_power(2)
+        assert not is_prime_power(1)
+        assert not is_prime_power(6)
+        assert not is_prime_power(12)
+
+    def test_prime_power_root(self):
+        assert prime_power_root(27) == (3, 3)
+        assert prime_power_root(13) == (13, 1)
+        with pytest.raises(ValueError):
+            prime_power_root(10)
+
+
+@pytest.mark.parametrize("q", FIELD_ORDERS)
+class TestFieldAxioms:
+    def test_additive_group(self, q):
+        F = GF(q)
+        a = np.arange(q)
+        # identity and inverses
+        assert (F.add(a, 0) == a).all()
+        assert (F.add(a, F.neg(a)) == 0).all()
+        # commutativity
+        assert np.array_equal(F.add_table, F.add_table.T)
+
+    def test_multiplicative_group(self, q):
+        F = GF(q)
+        a = np.arange(q)
+        assert (F.mul(a, 1) == a).all()
+        assert (F.mul(a, 0) == 0).all()
+        nz = a[1:]
+        assert (F.mul(nz, F.inv(nz)) == 1).all()
+        assert np.array_equal(F.mul_table, F.mul_table.T)
+
+    def test_associativity_sampled(self, q):
+        F = GF(q)
+        rng = np.random.default_rng(q)
+        x, y, z = rng.integers(0, q, size=(3, 200))
+        assert (F.add(F.add(x, y), z) == F.add(x, F.add(y, z))).all()
+        assert (F.mul(F.mul(x, y), z) == F.mul(x, F.mul(y, z))).all()
+
+    def test_distributivity_sampled(self, q):
+        F = GF(q)
+        rng = np.random.default_rng(q + 1)
+        x, y, z = rng.integers(0, q, size=(3, 200))
+        assert (F.mul(x, F.add(y, z)) == F.add(F.mul(x, y), F.mul(x, z))).all()
+
+    def test_no_zero_divisors(self, q):
+        F = GF(q)
+        nz = F.mul_table[1:, 1:]
+        assert (nz != 0).all()
+
+    def test_characteristic(self, q):
+        F = GF(q)
+        one_sum = 0
+        for _ in range(F.p):
+            one_sum = int(F.add(one_sum, 1))
+        assert one_sum == 0
+
+    def test_squares_count(self, q):
+        F = GF(q)
+        # In odd characteristic exactly (q-1)/2 nonzero squares; in char 2
+        # squaring is a bijection.
+        if q % 2 == 1:
+            assert len(F.squares) == (q - 1) // 2
+        else:
+            assert len(F.squares) == q - 1
+
+
+class TestFieldMisc:
+    def test_instances_shared(self):
+        assert GF(9) is GF(9)
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            GF(12)
+
+    def test_dot3_matches_manual(self):
+        F = GF(7)
+        u = np.array([1, 2, 3])
+        v = np.array([4, 5, 6])
+        expected = (1 * 4 + 2 * 5 + 3 * 6) % 7
+        assert int(F.dot3(u, v)) == expected
+
+    def test_dot3_broadcast(self):
+        F = GF(5)
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, 5, size=(4, 1, 3))
+        v = rng.integers(0, 5, size=(1, 6, 3))
+        out = F.dot3(u, v)
+        assert out.shape == (4, 6)
+        for i in range(4):
+            for j in range(6):
+                manual = sum(int(u[i, 0, k]) * int(v[0, j, k]) for k in range(3)) % 5
+                assert int(out[i, j]) == manual
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sampled_from([4, 8, 9, 16, 27]), st.data())
+    def test_frobenius_is_additive(self, q, data):
+        """(x + y)^p == x^p + y^p — a strong consistency check of the
+        extension-field tables."""
+        F = GF(q)
+        x = data.draw(st.integers(0, q - 1))
+        y = data.draw(st.integers(0, q - 1))
+
+        def power(v, e):
+            out = 1
+            for _ in range(e):
+                out = int(F.mul(out, v))
+            return out
+
+        assert power(int(F.add(x, y)), F.p) == int(F.add(power(x, F.p), power(y, F.p)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(FIELD_ORDERS), st.data())
+    def test_fermat(self, q, data):
+        """x^q == x for every field element."""
+        F = GF(q)
+        x = data.draw(st.integers(0, q - 1))
+        out = 1
+        for _ in range(q):
+            out = int(F.mul(out, x))
+        assert out == x
+
+
+class TestFieldExtras:
+    @pytest.mark.parametrize("q", [5, 7, 9, 13])
+    def test_pow_matches_repeated_mul(self, q):
+        F = GF(q)
+        for a in range(q):
+            acc = 1
+            for e in range(6):
+                assert F.pow(a, e) == acc
+                acc = int(F.mul(acc, a))
+
+    def test_pow_negative_exponent(self):
+        F = GF(7)
+        for a in range(1, 7):
+            assert F.mul(F.pow(a, -1), a) == 1
+
+    @pytest.mark.parametrize("q", [5, 9, 13, 25])
+    def test_legendre_euler_criterion(self, q):
+        """legendre(a) == a^((q-1)/2) as a field element (+1/-1)."""
+        F = GF(q)
+        for a in range(1, q):
+            euler = F.pow(a, (q - 1) // 2)
+            expected = 1 if euler == 1 else -1
+            assert F.legendre(a) == expected
+        assert F.legendre(0) == 0
+
+    def test_legendre_char2_all_squares(self):
+        F = GF(8)
+        assert all(F.legendre(a) == 1 for a in range(1, 8))

@@ -1,0 +1,123 @@
+"""Tests for the flow-level model: link loads, saturation, Valiant/UGAL."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+from repro.routing import TableRouter
+from repro.sim.flow import (
+    latency_curve,
+    link_loads,
+    saturation_load,
+    ugal_saturation_load,
+    valiant_link_loads,
+)
+from repro.topologies import Topology, dragonfly_topology, polarstar_topology
+from repro.topologies.base import uniform_endpoints
+from repro.traffic import RandomPermutationPattern, UniformRandomPattern
+
+
+def line_topology():
+    """3 routers in a path, 1 endpoint each."""
+    g = Graph(3, [(0, 1), (1, 2)], name="line")
+    return Topology(g, uniform_endpoints(3, 1), name="line")
+
+
+class TestLinkLoads:
+    def test_single_flow(self):
+        topo = line_topology()
+        r = TableRouter(topo.graph)
+        demand = np.zeros((3, 3))
+        demand[0, 2] = 1.0
+        loads = link_loads(topo, r, demand)
+        # flow crosses links 0->1 and 1->2 only
+        assert loads.sum() == pytest.approx(2.0)
+        assert loads.max() == pytest.approx(1.0)
+
+    def test_flow_conservation(self):
+        """Sum of link loads == total demand x average hop count."""
+        topo = polarstar_topology(9, p=3)
+        r = TableRouter(topo.graph)
+        pat = UniformRandomPattern(topo)
+        demand = pat.router_demand()
+        loads = link_loads(topo, r, demand)
+        # avg hops for diameter-3 graph in (1, 3]
+        avg_hops = loads.sum() / demand.sum()
+        assert 1.0 < avg_hops <= 3.0
+
+    def test_even_split_on_symmetric_paths(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], name="C4")
+        topo = Topology(g, uniform_endpoints(4, 1), name="C4")
+        r = TableRouter(g)
+        demand = np.zeros((4, 4))
+        demand[0, 3] = 1.0
+        loads = link_loads(topo, r, demand, mode="all")
+        assert loads.max() == pytest.approx(0.5)
+
+    def test_single_mode_concentrates(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)], name="C4")
+        topo = Topology(g, uniform_endpoints(4, 1), name="C4")
+        r = TableRouter(g)
+        demand = np.zeros((4, 4))
+        demand[0, 3] = 1.0
+        loads = link_loads(topo, r, demand, mode="single")
+        assert loads.max() == pytest.approx(1.0)
+
+
+class TestSaturation:
+    def test_uniform_polarstar_high_throughput(self):
+        """§9.5: PS-* sustains > 0.75 injection on uniform with MIN."""
+        topo = polarstar_topology(9, p=3)
+        r = TableRouter(topo.graph)
+        demand = UniformRandomPattern(topo).router_demand()
+        sat = saturation_load(topo, r, demand, mode="all")
+        assert sat > 0.7
+
+    def test_permutation_lower_than_uniform(self):
+        topo = polarstar_topology(9, p=3)
+        r = TableRouter(topo.graph)
+        uni = saturation_load(topo, r, UniformRandomPattern(topo).router_demand())
+        perm = saturation_load(
+            topo, r, RandomPermutationPattern(topo, seed=0).router_demand()
+        )
+        assert perm <= uni + 1e-9
+
+    def test_ugal_rescues_permutation(self):
+        """Adaptive routing beats MIN on permutation traffic (Fig. 9d)."""
+        topo = dragonfly_topology(a=6, h=3, p=3)
+        r = TableRouter(topo.graph)
+        demand = RandomPermutationPattern(topo, seed=1).router_demand()
+        min_sat = saturation_load(topo, r, demand, mode="all")
+        ugal_sat = ugal_saturation_load(topo, r, demand, mode="all")
+        assert ugal_sat >= min_sat
+
+    def test_valiant_loads_double_uniform(self):
+        """Valiant's two phases roughly double uniform-traffic load."""
+        topo = polarstar_topology(9, p=3)
+        r = TableRouter(topo.graph)
+        demand = UniformRandomPattern(topo).router_demand()
+        lv = valiant_link_loads(topo, r, demand)
+        lm = link_loads(topo, r, demand)
+        assert 1.5 < lv.sum() / lm.sum() < 2.6
+
+    def test_empty_demand(self):
+        topo = line_topology()
+        r = TableRouter(topo.graph)
+        assert saturation_load(topo, r, np.zeros((3, 3))) == 1.0
+
+
+class TestLatencyCurve:
+    def test_monotone_increasing(self):
+        topo = polarstar_topology(9, p=3)
+        r = TableRouter(topo.graph)
+        demand = UniformRandomPattern(topo).router_demand()
+        lam, lat = latency_curve(topo, r, demand, points=10)
+        assert (np.diff(lat) > 0).all()
+        assert lat[0] < lat[-1]
+
+    def test_diverges_near_saturation(self):
+        topo = polarstar_topology(9, p=3)
+        r = TableRouter(topo.graph)
+        demand = UniformRandomPattern(topo).router_demand()
+        lam, lat = latency_curve(topo, r, demand, points=16)
+        assert lat[-1] > 5 * lat[0]

@@ -1,0 +1,131 @@
+"""Tests for the Graph container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+
+
+def triangle():
+    return Graph(3, [(0, 1), (1, 2), (0, 2)], name="K3")
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = triangle()
+        assert g.n == 3 and g.m == 3
+        assert g.degree(0) == 2
+        assert list(g.neighbors(1)) == [0, 2]
+
+    def test_deduplication(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 5)])
+
+    def test_rejects_inline_self_loop(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(1, 1)])
+
+    def test_self_loops_separate(self):
+        g = Graph(3, [(0, 1)], self_loops=[2])
+        assert g.has_self_loop(2)
+        assert not g.has_self_loop(0)
+        assert g.degree(2) == 0  # loop not counted in CSR degree
+
+    def test_empty_graph(self):
+        g = Graph(4, [])
+        assert g.m == 0
+        assert (g.degrees == 0).all()
+        assert not g.is_connected()
+
+    def test_single_vertex_connected(self):
+        assert Graph(1, []).is_connected()
+
+
+class TestQueries:
+    def test_has_edge(self):
+        g = triangle()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        g2 = Graph(4, [(0, 1), (2, 3)])
+        assert not g2.has_edge(0, 2)
+
+    def test_edge_array_canonical(self):
+        g = Graph(4, [(3, 1), (2, 0)])
+        assert g.edge_array.tolist() == [[0, 2], [1, 3]]
+
+    def test_degrees_sum(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        assert g.degrees.sum() == 2 * g.m
+
+    def test_csr_symmetric(self):
+        g = triangle()
+        a = g.csr().toarray()
+        assert (a == a.T).all()
+        assert a.sum() == 2 * g.m
+
+    def test_to_networkx(self):
+        g = Graph(3, [(0, 1)], self_loops=[2])
+        nxg = g.to_networkx()
+        assert nxg.number_of_edges() == 1
+        nxg2 = g.to_networkx(include_self_loops=True)
+        assert nxg2.number_of_edges() == 2
+
+    def test_is_regular(self):
+        assert triangle().is_regular()
+        assert not Graph(3, [(0, 1)]).is_regular()
+
+
+class TestDerived:
+    def test_without_edges(self):
+        g = triangle()
+        g2 = g.without_edges([(1, 0)])
+        assert g2.m == 2
+        assert not g2.has_edge(0, 1)
+
+    def test_relabeled_preserves_structure(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        perm = np.array([3, 2, 1, 0])
+        g2 = g.relabeled(perm)
+        assert g2.m == g.m
+        assert g2.has_edge(3, 2) and g2.has_edge(2, 1) and g2.has_edge(1, 0)
+
+    def test_connectivity(self):
+        assert triangle().is_connected()
+        assert not Graph(4, [(0, 1), (2, 3)]).is_connected()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(2, 20).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                    lambda e: e[0] != e[1]
+                ),
+                max_size=40,
+            ),
+        )
+    )
+)
+def test_graph_invariants(case):
+    """Property: CSR structure is consistent for arbitrary edge lists."""
+    n, edges = case
+    g = Graph(n, edges)
+    # handshake lemma
+    assert g.degrees.sum() == 2 * g.m
+    # neighbor lists sorted, symmetric, and loop-free
+    for v in range(n):
+        nbrs = g.neighbors(v)
+        assert (np.diff(nbrs) > 0).all() if len(nbrs) > 1 else True
+        assert v not in nbrs
+        for u in nbrs:
+            assert v in g.neighbors(int(u))
+    # edge_array matches has_edge
+    for u, v in g.edges():
+        assert g.has_edge(u, v)

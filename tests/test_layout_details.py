@@ -1,0 +1,37 @@
+"""Deeper layout checks: cluster structure of the ER modular layout."""
+
+import numpy as np
+import pytest
+
+from repro.fields import prime_powers_up_to
+from repro.graphs.er_polarity import er_polarity_graph
+from repro.layout.modular import supernode_clusters
+
+
+@pytest.mark.parametrize("q", [3, 5, 7, 8, 9])
+class TestClusterStructure:
+    def test_partition(self, q):
+        clusters = supernode_clusters(q)
+        assert len(clusters) == q * q + q + 1
+        assert set(clusters) == set(range(q + 1))
+
+    def test_every_cluster_pair_linked(self, q):
+        """Adjacent supernode clusters: §8 claims ≈q links between each
+        pair of clusters — at minimum, every pair is connected."""
+        g = er_polarity_graph(q)
+        clusters = supernode_clusters(q)
+        pair_links = np.zeros((q + 1, q + 1))
+        for u, v in g.edges():
+            cu, cv = clusters[u], clusters[v]
+            if cu != cv:
+                pair_links[cu, cv] += 1
+                pair_links[cv, cu] += 1
+        off_diag = pair_links[~np.eye(q + 1, dtype=bool)]
+        assert (off_diag > 0).all()
+        # mean ≈ q within a factor of 2 (the §8 approximation)
+        assert q / 2 <= off_diag.mean() <= 2 * q
+
+    def test_affine_clusters_equal_size(self, q):
+        clusters = supernode_clusters(q)
+        counts = np.bincount(clusters)
+        assert (counts[:q] == q).all() and counts[q] == q + 1

@@ -1,0 +1,146 @@
+"""Tests for PolarFly/SlimFly, the collective algorithms, and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import diameter
+from repro.analysis.cost import CostParameters, cost_report
+from repro.routing import TableRouter, route_path
+from repro.sim.motif import MotifEngine, MotifNetworkConfig
+from repro.topologies import dragonfly_topology, polarstar_topology
+from repro.topologies.polarfly import PolarFlyRouter, polarfly_topology, slimfly_topology
+from repro.traffic.collectives import (
+    alltoall_events,
+    broadcast_events,
+    rabenseifner_allreduce_events,
+    recursive_doubling_allreduce,
+    ring_allreduce_events,
+)
+
+
+class TestPolarFly:
+    @pytest.mark.parametrize("q", [3, 4, 5, 7, 8])
+    def test_structure(self, q):
+        topo = polarfly_topology(q, p=1)
+        assert topo.num_routers == q * q + q + 1
+        assert diameter(topo.graph) == 2
+
+    @pytest.mark.parametrize("q", [3, 4, 5, 7, 9])
+    def test_analytic_router_oracle(self, q):
+        """Table-free PolarFly routing is exactly minimal on every pair."""
+        topo = polarfly_topology(q, p=1)
+        router = PolarFlyRouter(topo)
+        oracle = TableRouter(topo.graph)
+        n = topo.num_routers
+        for u in range(n):
+            for t in range(n):
+                assert router.distance(u, t) == oracle.distance(u, t)
+                if u != t:
+                    path = route_path(router, u, t)
+                    assert len(path) - 1 == oracle.distance(u, t)
+                    for a, b in zip(path, path[1:]):
+                        assert topo.graph.has_edge(a, b)
+
+    def test_rejects_other_topology(self):
+        with pytest.raises(ValueError):
+            PolarFlyRouter(dragonfly_topology(a=4, h=2, p=1))
+
+
+class TestSlimFly:
+    @pytest.mark.parametrize("q", [5, 7, 8])
+    def test_structure(self, q):
+        topo = slimfly_topology(q, p=1)
+        assert topo.num_routers == 2 * q * q
+        assert diameter(topo.graph) == 2
+
+
+class TestCollectives:
+    def test_ring_message_count(self):
+        msgs = ring_allreduce_events(8, size=8 * 1024)
+        assert len(msgs) == 2 * 7 * 8  # 2(P-1) steps x P messages
+
+    def test_ring_chunks(self):
+        msgs = ring_allreduce_events(8, size=64 * 1024)
+        assert all(m.size == 64 * 1024 // 8 for m in msgs)
+
+    def test_rabenseifner_traffic_less_than_recursive_doubling(self):
+        """Rabenseifner moves ~2x the buffer; recursive doubling log2(P)x."""
+        size, ranks = 64 * 1024, 64
+        rab = sum(m.size for m in rabenseifner_allreduce_events(ranks, size)) / ranks
+        rd = sum(m.size for m in recursive_doubling_allreduce(ranks, size)) / ranks
+        assert rab < rd
+        assert rab == pytest.approx(2 * size * (1 - 1 / 64), rel=0.1)
+
+    def test_broadcast_reaches_everyone(self):
+        msgs = broadcast_events(16, root=0)
+        reached = {0}
+        for m in sorted(msgs, key=lambda m: m.id):
+            assert m.src in reached or not m.deps  # sender already informed
+            reached.add(m.dst)
+        assert reached == set(range(16))
+
+    def test_alltoall_rounds(self):
+        msgs = alltoall_events(8)
+        assert len(msgs) == 7 * 8
+        pairs = {(m.src, m.dst) for m in msgs}
+        assert len(pairs) == 8 * 7  # every ordered pair exactly once
+
+    def test_engine_runs_all_collectives(self):
+        topo = polarstar_topology(9, p=3)
+        router = TableRouter(topo.graph)
+        eng = MotifEngine(topo, router, MotifNetworkConfig())
+        for gen in (
+            lambda: ring_allreduce_events(64),
+            lambda: rabenseifner_allreduce_events(64),
+            lambda: broadcast_events(64),
+            lambda: alltoall_events(32),
+        ):
+            assert eng.run(gen()) > 0
+
+    def test_ring_beats_recursive_doubling_at_scale(self):
+        """Bandwidth-optimality: at large message sizes the ring's smaller
+        volume wins over recursive doubling's log2(P) full-size rounds."""
+        topo = polarstar_topology(9, p=3)
+        router = TableRouter(topo.graph)
+        eng = MotifEngine(topo, router, MotifNetworkConfig())
+        size = 1024 * 1024
+        t_ring = eng.run(ring_allreduce_events(64, size=size))
+        t_rd = eng.run(recursive_doubling_allreduce(64, size=size))
+        assert t_ring < t_rd
+
+
+class TestCostModel:
+    def test_report_fields(self):
+        topo = polarstar_topology(15, p=5)
+        rep = cost_report(topo)
+        assert rep.routers == 1064
+        assert rep.total_ports == 1064 * 15 + 5320
+        assert rep.local_links + rep.global_links == topo.graph.m
+        assert rep.bundled  # star product: parallel inter-supernode links
+
+    def test_dragonfly_not_bundled(self):
+        rep = cost_report(dragonfly_topology(a=6, h=3, p=3))
+        assert not rep.bundled  # one link per group pair
+
+    def test_bundling_discount_applies(self):
+        topo = polarstar_topology(15, p=5)
+        cheap = cost_report(topo, CostParameters(mcf_bundle_discount=0.25))
+        full = cost_report(topo, CostParameters(mcf_bundle_discount=1.0))
+        assert cheap.cable_cost < full.cable_cost
+
+    def test_flat_topology_all_global(self):
+        from repro.topologies import hyperx_topology
+
+        rep = cost_report(hyperx_topology((4, 4, 4), p=3))
+        assert rep.local_links == 0
+        assert rep.global_links == rep.global_links > 0
+
+    def test_cost_per_endpoint_favors_polarstar(self):
+        """The §1.2 economics: at similar endpoint counts, PolarStar's
+        higher Moore efficiency and bundling yield cheaper per-endpoint
+        networks than Dragonfly at equal radix class."""
+        ps = polarstar_topology(15, p=5)
+        df = dragonfly_topology(a=12, h=6, p=6)
+        ps_cost = cost_report(ps).cost_per_endpoint
+        df_cost = cost_report(df).cost_per_endpoint
+        assert ps_cost < df_cost * 1.2

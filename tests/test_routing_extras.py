@@ -1,0 +1,93 @@
+"""Tests for routing extensions: DOAL, all-minimal-hops, instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.core import PolarStarConfig, build_polarstar
+from repro.routing import PolarStarRouter, TableRouter
+from repro.routing.hyperx_routing import HyperXDoalRouter
+from repro.topologies import hyperx_topology, polarstar_topology
+from repro.traffic import UniformRandomPattern
+
+
+class TestDoal:
+    def test_candidates_include_minimal(self):
+        topo = hyperx_topology((4, 4, 3), p=2)
+        r = HyperXDoalRouter(topo, seed=1)
+        mins = set(r.next_hops(0, topo.num_routers - 1))
+        cands = r.adaptive_candidates(0, topo.num_routers - 1)
+        assert mins <= set(cands)
+
+    def test_detours_stay_in_dimension(self):
+        topo = hyperx_topology((4, 4), p=1)
+        r = HyperXDoalRouter(topo, seed=0)
+        src, dst = 0, 5  # differs in both dims
+        for cand in r.adaptive_candidates(src, dst):
+            # every candidate is a real neighbor (differs in one dim)
+            assert topo.graph.has_edge(src, cand)
+
+    def test_detour_adds_at_most_one_hop_per_dim(self):
+        topo = hyperx_topology((5, 5), p=1)
+        r = HyperXDoalRouter(topo, seed=3)
+        src, dst = 0, 24
+        base = r.distance(src, dst)
+        for cand in r.adaptive_candidates(src, dst):
+            assert r.distance(cand, dst) <= base  # detour never regresses > 1
+            assert 1 + r.distance(cand, dst) <= base + 1
+
+
+class TestAllMinimalHops:
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            PolarStarConfig(q=3, dprime=3, supernode_kind="iq"),
+            PolarStarConfig(q=4, dprime=4, supernode_kind="paley"),
+        ],
+        ids=lambda c: c.name,
+    )
+    def test_matches_oracle_set(self, cfg):
+        sp = build_polarstar(cfg)
+        analytic = PolarStarRouter(sp)
+        oracle = TableRouter(sp.graph)
+        rng = np.random.default_rng(0)
+        for _ in range(150):
+            u, t = map(int, rng.integers(0, sp.graph.n, 2))
+            if u == t:
+                continue
+            assert set(analytic.all_minimal_hops(u, t)) == set(oracle.next_hops(u, t))
+
+    def test_contains_deterministic_hop(self):
+        sp = build_polarstar(PolarStarConfig(q=3, dprime=3, supernode_kind="iq"))
+        analytic = PolarStarRouter(sp)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            u, t = map(int, rng.integers(0, sp.graph.n, 2))
+            if u == t:
+                continue
+            assert analytic.next_hop(u, t) in analytic.all_minimal_hops(u, t)
+
+
+class TestSimInstrumentation:
+    def test_hops_and_utilization_reported(self):
+        from repro.sim.packet import PacketSimConfig, PacketSimulator
+
+        topo = polarstar_topology(7, p=2)
+        r = TableRouter(topo.graph)
+        pat = UniformRandomPattern(topo)
+        cfg = PacketSimConfig(warmup_cycles=200, measure_cycles=800, drain_cycles=1000)
+        res = PacketSimulator(topo, r, pat, cfg).run(0.3)
+        assert res.stable
+        # diameter-3 network: avg hops in (1, 3]
+        assert 1.0 < res.avg_hops <= 3.0
+        assert 0.0 < res.max_link_utilization <= 1.0
+
+    def test_utilization_grows_with_load(self):
+        from repro.sim.packet import PacketSimConfig, PacketSimulator
+
+        topo = polarstar_topology(7, p=2)
+        r = TableRouter(topo.graph)
+        pat = UniformRandomPattern(topo)
+        cfg = PacketSimConfig(warmup_cycles=200, measure_cycles=800, drain_cycles=1000)
+        lo = PacketSimulator(topo, r, pat, cfg).run(0.1)
+        hi = PacketSimulator(topo, r, pat, cfg).run(0.5)
+        assert hi.max_link_utilization > lo.max_link_utilization

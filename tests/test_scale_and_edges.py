@@ -1,0 +1,80 @@
+"""Scale spot-checks and edge-case tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bfs_distances, diameter
+from repro.core import PolarStarConfig, best_config, build_polarstar
+from repro.experiments.report import EXPECTATIONS, generate
+from repro.graphs import mms_graph
+from repro.routing import PolarStarRouter, route_path
+from repro.sim.motif import MotifEngine, MotifNetworkConfig
+from repro.routing import TableRouter
+from repro.topologies import polarstar_topology
+
+
+class TestScale:
+    def test_radix32_polarstar(self):
+        """A ~10k-router PolarStar: construction, regularity, sampled
+        diameter 3, and analytic routing spot checks."""
+        cfg = best_config(32, kinds=("iq",))
+        sp = build_polarstar(cfg)
+        assert sp.graph.n == cfg.order == 9954
+        assert (sp.graph.degrees == 32).all()
+        assert diameter(sp.graph, sample=8, seed=0) == 3
+
+        router = PolarStarRouter(sp)
+        rng = np.random.default_rng(0)
+        src_sample = rng.integers(0, sp.graph.n, 5)
+        d = bfs_distances(sp.graph, src_sample)
+        for i, u in enumerate(src_sample):
+            for t in map(int, rng.integers(0, sp.graph.n, 40)):
+                path = route_path(router, int(u), t, max_hops=6)
+                assert len(path) - 1 == int(d[i, t])
+
+    def test_mms_q16_diameter2(self):
+        g = mms_graph(16)
+        assert g.n == 512
+        assert diameter(g, sample=64) == 2
+
+    def test_mms_q17_diameter2(self):
+        g = mms_graph(17)
+        assert g.n == 578
+        assert diameter(g, sample=64) == 2
+
+
+class TestEdgeCases:
+    def test_motif_empty(self):
+        topo = polarstar_topology(7, p=1)
+        eng = MotifEngine(topo, TableRouter(topo.graph), MotifNetworkConfig())
+        assert eng.run([]) == 0.0
+
+    def test_polarstar_q2(self):
+        """The smallest structure graph (Fano plane, ER_2) still works."""
+        cfg = PolarStarConfig(q=2, dprime=4, supernode_kind="iq")
+        sp = build_polarstar(cfg)
+        assert sp.graph.n == 7 * 10
+        assert diameter(sp.graph) <= 3
+
+    def test_report_generator(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        key = next(iter(EXPECTATIONS))
+        (results / f"{key}.txt").write_text("MEASURED CONTENT 42\n")
+        out = tmp_path / "EXP.md"
+        text = generate(results, out)
+        assert "MEASURED CONTENT 42" in text
+        assert "paper vs measured" in text
+        assert out.exists()
+        # missing artifacts get a regeneration hint, not an error
+        assert "regenerate" in text
+
+    def test_report_covers_all_known_results(self):
+        """Every archived benchmark artifact has an expectation entry."""
+        from pathlib import Path
+
+        results = Path(__file__).parent.parent / "benchmarks" / "results"
+        if not results.exists():
+            pytest.skip("no benchmark results yet")
+        for f in results.glob("*.txt"):
+            assert f.stem in EXPECTATIONS, f"add {f.stem} to report.EXPECTATIONS"

@@ -1,0 +1,116 @@
+"""Cross-model invariants and conservation laws of the simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.routing import TableRouter
+from repro.sim.flow import link_loads, saturation_load
+from repro.sim.motif import MotifEngine, MotifNetworkConfig
+from repro.sim.packet import PacketSimConfig, PacketSimulator
+from repro.topologies import dragonfly_topology, polarstar_topology
+from repro.traffic import UniformRandomPattern, allreduce_events
+from repro.traffic.motifs import Message
+
+
+@pytest.fixture(scope="module")
+def ps():
+    topo = polarstar_topology(7, p=2)
+    return topo, TableRouter(topo.graph)
+
+
+class TestPacketInvariants:
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.floats(0.05, 0.4))
+    def test_conservation(self, load):
+        """Delivered <= injected; latency bounded below by the physical
+        minimum (packet serialization + one hop)."""
+        topo = polarstar_topology(7, p=2)
+        r = TableRouter(topo.graph)
+        cfg = PacketSimConfig(warmup_cycles=200, measure_cycles=600, drain_cycles=800)
+        res = PacketSimulator(topo, r, UniformRandomPattern(topo), cfg).run(float(load))
+        assert res.delivered <= res.injected
+        if res.delivered:
+            min_possible = cfg.packet_size + cfg.link_latency
+            assert res.avg_latency >= min_possible
+
+    def test_latency_at_least_hops_times_serialization(self, ps):
+        topo, r = ps
+        cfg = PacketSimConfig(warmup_cycles=200, measure_cycles=800, drain_cycles=1000)
+        res = PacketSimulator(topo, r, UniformRandomPattern(topo), cfg).run(0.1)
+        assert res.avg_latency >= res.avg_hops * (cfg.packet_size + cfg.link_latency) - 1e-9
+
+    def test_throughput_never_exceeds_offered(self, ps):
+        topo, r = ps
+        cfg = PacketSimConfig(warmup_cycles=200, measure_cycles=800, drain_cycles=1000)
+        for load in (0.2, 0.6, 1.0):
+            res = PacketSimulator(topo, r, UniformRandomPattern(topo), cfg).run(load)
+            assert res.throughput <= load * 1.15  # statistical fluctuation
+
+
+class TestFlowPacketConsistency:
+    def test_flow_saturation_predicts_packet_stability(self):
+        """The flow model's saturation point separates stable from unstable
+        packet-sim operating points (uniform traffic, Dragonfly)."""
+        topo = dragonfly_topology(a=4, h=2, p=2)
+        r = TableRouter(topo.graph)
+        pat = UniformRandomPattern(topo)
+        sat = saturation_load(topo, r, pat.router_demand(), mode="all")
+        cfg = PacketSimConfig(warmup_cycles=400, measure_cycles=1600, drain_cycles=2000)
+        below = PacketSimulator(topo, r, pat, cfg).run(max(0.1, 0.6 * sat))
+        assert below.stable
+        above = PacketSimulator(topo, r, pat, cfg).run(min(1.0, 1.4 * sat))
+        if above.offered_load > sat * 1.2:
+            assert (not above.stable) or above.avg_latency > 3 * below.avg_latency
+
+
+class TestMotifInvariants:
+    def test_completion_monotone_in_size(self, ps):
+        topo, r = ps
+        eng = MotifEngine(topo, r, MotifNetworkConfig(), randomize_minimal=False)
+        small = eng.run(allreduce_events(32, size=16 * 1024))
+        big = eng.run(allreduce_events(32, size=256 * 1024))
+        assert big > small
+
+    def test_completion_bounded_below_by_critical_path(self, ps):
+        """Completion >= dependency-chain depth x one serialization."""
+        topo, r = ps
+        cfg = MotifNetworkConfig()
+        eng = MotifEngine(topo, r, cfg)
+        msgs = allreduce_events(64, size=64 * 1024)  # 6 dependent rounds
+        t = eng.run(msgs)
+        assert t >= 6 * (64 * 1024 / cfg.link_bw)
+
+    def test_more_contention_never_faster(self, ps):
+        """Doubling the number of simultaneous flows on one link cannot
+        reduce completion time."""
+        topo, r = ps
+        eng = MotifEngine(topo, r, MotifNetworkConfig(), randomize_minimal=False)
+        v_router = int(topo.graph.neighbors(0)[0])
+        v0 = int(2 * v_router)
+        one = eng.run([Message(0, 0, v0, 128 * 1024)])
+        two = eng.run(
+            [Message(0, 0, v0, 128 * 1024), Message(1, 1, v0 + 1, 128 * 1024)]
+        )
+        assert two >= one
+
+
+class TestModuleImports:
+    def test_every_module_importable(self):
+        """Import every module in the package (catches dead imports and
+        cycles that the main test paths might not touch)."""
+        import importlib
+        import pkgutil
+
+        import repro
+
+        failures = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if info.name.endswith("__main__"):
+                continue
+            try:
+                importlib.import_module(info.name)
+            except Exception as exc:  # pragma: no cover
+                failures.append((info.name, exc))
+        assert not failures

@@ -1,0 +1,93 @@
+"""Tests for spectral analysis and the R*-extremal existence claim."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import (
+    algebraic_connectivity,
+    cheeger_lower_bound,
+    is_ramanujan,
+    second_eigenvalue,
+    spectral_gap,
+)
+from repro.core.theory import rstar_extremal_exists
+from repro.graphs import Graph, complete_graph, er_polarity_graph, lps_graph
+from repro.topologies import dragonfly_topology, polarstar_topology
+
+
+class TestSpectral:
+    def test_complete_graph_spectrum(self):
+        # K_n: eigenvalues n-1 and -1
+        g = complete_graph(6)
+        assert second_eigenvalue(g) == pytest.approx(-1.0, abs=1e-6)
+        assert spectral_gap(g) == pytest.approx(6.0, abs=1e-6)
+
+    def test_cycle_connectivity(self):
+        g = Graph(6, [(i, (i + 1) % 6) for i in range(6)])
+        # C6 Fiedler value = 2 - 2cos(2π/6) = 1
+        assert algebraic_connectivity(g) == pytest.approx(1.0, abs=1e-5)
+
+    def test_disconnected_zero_connectivity(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        assert algebraic_connectivity(g) == pytest.approx(0.0, abs=1e-6)
+
+    def test_lps_is_ramanujan(self):
+        """The Spectralfly substrate: LPS graphs meet the Ramanujan bound —
+        the source of their Fig. 12 bisection advantage."""
+        g = lps_graph(5, 13)
+        assert is_ramanujan(g)
+
+    def test_er_good_expander(self):
+        """ER_q is a strong (near-Ramanujan) expander — the §11.1 source of
+        PolarStar's bisection."""
+        g = er_polarity_graph(7)
+        d = 8
+        assert second_eigenvalue(g) < 1.5 * np.sqrt(d - 1) + 1  # λ2 ≈ sqrt(q)
+
+    def test_dragonfly_poor_expander(self):
+        """Dragonfly's dense local groups give a much smaller relative
+        spectral gap than PolarStar at comparable radix."""
+        ps = polarstar_topology(9, p=1)
+        df = dragonfly_topology(a=7, h=3, p=1)  # radix 9
+        ps_rel = spectral_gap(ps.graph) / ps.graph.max_degree
+        df_rel = spectral_gap(df.graph) / df.graph.max_degree
+        assert ps_rel > df_rel
+
+    def test_cheeger_bound_consistent_with_bisection(self):
+        """The spectral expansion bound never exceeds the measured cut."""
+        from repro.analysis.bisection import min_bisection
+
+        topo = polarstar_topology(9, p=1)
+        g = topo.graph
+        cut, _ = min_bisection(g, restarts=2)
+        # Cheeger: cut >= (gap/2) * (n/2) for a balanced cut
+        assert cut >= cheeger_lower_bound(g) * (g.n // 2) * 0.99
+
+    def test_ramanujan_requires_regular(self):
+        with pytest.raises(ValueError):
+            is_ramanujan(Graph(3, [(0, 1)]))
+
+
+class TestRstarExtremal:
+    """§6.2.1's unproved claim, checked exhaustively where tractable:
+    order-(2d'+2) R* graphs exist iff d' ≡ 0 or 3 (mod 4)."""
+
+    def test_degree0_exists(self):
+        assert rstar_extremal_exists(0)
+
+    def test_degree1_impossible(self):
+        assert not rstar_extremal_exists(1)
+
+    def test_degree2_impossible(self):
+        assert not rstar_extremal_exists(2)
+
+    def test_degree3_exists_via_iq(self):
+        # IQ_3 is the witness; no search needed.
+        from repro.graphs import inductive_quad, has_property_rstar
+
+        g, f = inductive_quad(3)
+        assert g.n == 8 and has_property_rstar(g, f)
+
+    def test_search_rejects_large_degree(self):
+        with pytest.raises(ValueError):
+            rstar_extremal_exists(5)

@@ -1,0 +1,163 @@
+"""Tests for the star product (Definition 1, Theorems 4 & 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import diameter
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    er_polarity_graph,
+    inductive_quad,
+    paley_graph,
+)
+from repro.core import star_product
+
+
+def path_graph(n):
+    return Graph(n, [(i, i + 1) for i in range(n - 1)], name=f"L{n}")
+
+
+def cycle_graph(n):
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)], name=f"C{n}")
+
+
+class TestDefinition:
+    def test_order_is_product(self):
+        """Fact 1 of §4.3: |V(G*)| = |V(G)| · |V(G')|."""
+        g = path_graph(3)
+        gp = cycle_graph(4)
+        sp = star_product(g, gp, np.arange(4))
+        assert sp.graph.n == 12
+
+    def test_identity_bijection_gives_cartesian(self):
+        """With f = id the star product is the Cartesian product (Fig. 2a)."""
+        import networkx as nx
+
+        g = path_graph(3)
+        gp = cycle_graph(4)
+        sp = star_product(g, gp, np.arange(4))
+        cart = nx.cartesian_product(nx.path_graph(3), nx.cycle_graph(4))
+        assert nx.is_isomorphic(sp.graph.to_networkx(), cart)
+
+    def test_figure2b_example(self):
+        """Fig. 2b: L3 * C4 with f = (01)(2)(3)."""
+        g = path_graph(3)
+        gp = cycle_graph(4)
+        f = np.array([1, 0, 2, 3])
+        sp = star_product(g, gp, f)
+        # Supernode edges are intact.
+        for x in range(3):
+            for u, v in gp.edges():
+                assert sp.graph.has_edge(sp.node_id(x, u), sp.node_id(x, v))
+        # Cross edges obey the bijection: (0, 0) ~ (1, 1), not (1, 0).
+        assert sp.graph.has_edge(sp.node_id(0, 0), sp.node_id(1, 1))
+        assert not sp.graph.has_edge(sp.node_id(0, 0), sp.node_id(1, 0))
+        assert sp.graph.has_edge(sp.node_id(0, 2), sp.node_id(1, 2))
+
+    def test_degree_bound(self):
+        """Fact 2: deg(G*) <= deg(G) + deg(G')."""
+        g = cycle_graph(5)
+        gp = cycle_graph(4)
+        sp = star_product(g, gp, np.array([1, 0, 3, 2]))
+        assert sp.graph.max_degree <= g.max_degree + gp.max_degree
+
+    def test_self_loop_becomes_matching(self):
+        """§6.1.2: structure self-loops add intra-supernode f-matching edges."""
+        g = Graph(2, [(0, 1)], self_loops=[0])
+        gp = cycle_graph(4)
+        f = np.array([2, 3, 0, 1])  # diagonal involution of C4
+        sp = star_product(g, gp, f)
+        # supernode 0 gains the diagonal (x', f(x')) edges
+        assert sp.graph.has_edge(sp.node_id(0, 0), sp.node_id(0, 2))
+        assert sp.graph.has_edge(sp.node_id(0, 1), sp.node_id(0, 3))
+        # supernode 1 (no loop) does not have the diagonals
+        assert not sp.graph.has_edge(sp.node_id(1, 0), sp.node_id(1, 2))
+
+    def test_degenerate_self_loops_dropped(self):
+        """When f fixes x', the would-be (x,x')~(x,x') edge is dropped."""
+        g = Graph(1, [], self_loops=[0])
+        gp = cycle_graph(4)
+        f = np.array([0, 3, 2, 1])  # fixes vertices 0 and 2, swaps the (1,3) diagonal
+        sp = star_product(g, gp, f)
+        # 4 cycle edges + 1 new diagonal; the fixed points add nothing.
+        assert sp.graph.m == gp.m + 1
+
+    def test_rejects_bad_bijection(self):
+        g = path_graph(2)
+        gp = path_graph(3)
+        with pytest.raises(ValueError):
+            star_product(g, gp, np.array([0, 0, 1]))
+        with pytest.raises(ValueError):
+            star_product(g, gp, np.array([0, 1]))
+
+
+class TestHelpers:
+    def test_node_id_roundtrip(self):
+        g = path_graph(3)
+        gp = cycle_graph(4)
+        sp = star_product(g, gp, np.arange(4))
+        for x in range(3):
+            for xp in range(4):
+                assert sp.split(sp.node_id(x, xp)) == (x, xp)
+
+    def test_supernode_of(self):
+        g = path_graph(2)
+        gp = path_graph(3)
+        sp = star_product(g, gp, np.arange(3))
+        assert sp.supernode_of.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_f_inv(self):
+        g = path_graph(2)
+        gp, f = paley_graph(5)
+        sp = star_product(g, gp, f)
+        assert (sp.f[sp.f_inv] == np.arange(5)).all()
+
+
+class TestTheorem4:
+    """Structure with Property R + supernode with Property R* (involution)
+    gives diameter <= D + 1."""
+
+    @pytest.mark.parametrize("q,dp", [(2, 0), (2, 3), (3, 3), (3, 4), (4, 3), (5, 4), (7, 3)])
+    def test_er_times_iq_diameter3(self, q, dp):
+        er = er_polarity_graph(q)
+        iq, f = inductive_quad(dp)
+        sp = star_product(er, iq, f)
+        assert diameter(sp.graph) <= 3
+
+    def test_er_times_complete(self):
+        from repro.graphs.complete import complete_supernode
+
+        er = er_polarity_graph(3)
+        kn, f = complete_supernode(3)
+        sp = star_product(er, kn, f)
+        assert diameter(sp.graph) <= 3
+
+
+class TestTheorem5:
+    """Any diameter-2 structure graph + R_1 supernode gives diameter <= 3."""
+
+    @pytest.mark.parametrize("q,pq", [(2, 5), (3, 5), (3, 9), (4, 13), (5, 9), (7, 5)])
+    def test_er_times_paley_diameter3(self, q, pq):
+        er = er_polarity_graph(q)
+        pal, f = paley_graph(pq)
+        sp = star_product(er, pal, f)
+        assert diameter(sp.graph) <= 3
+
+    def test_fig5_construction(self):
+        """Fig. 5: ER_3 * Paley(5) — 13 supernodes of 5, diameter 3."""
+        er = er_polarity_graph(3)
+        pal, f = paley_graph(5)
+        sp = star_product(er, pal, f)
+        assert sp.graph.n == 65
+        assert diameter(sp.graph) == 3
+
+    def test_mms_times_paley_diameter3(self):
+        """The Bundlefly construction: MMS * Paley."""
+        from repro.graphs import mms_graph
+
+        mms = mms_graph(3)
+        pal, f = paley_graph(5)
+        sp = star_product(mms, pal, f)
+        assert sp.graph.n == 90
+        assert diameter(sp.graph) <= 3

@@ -1,0 +1,195 @@
+"""Tests for the topology layer, including exact Table 3 reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import diameter
+from repro.topologies import (
+    TABLE3_BUILDERS,
+    build_table3_topology,
+    bundlefly_max_order,
+    bundlefly_topology,
+    dragonfly_max_order,
+    dragonfly_topology,
+    fattree_topology,
+    hyperx_max_order,
+    hyperx_topology,
+    jellyfish_topology,
+    megafly_topology,
+    polarstar_topology,
+)
+from repro.topologies.table3 import REDUCED_BUILDERS, build_reduced_topology
+
+
+class TestTable3:
+    """Table 3: every simulated configuration reproduced exactly (PS-Pal per
+    its construction; see table3.py module docstring)."""
+
+    @pytest.mark.parametrize("name", list(TABLE3_BUILDERS))
+    def test_configuration(self, name):
+        builder, routers, radix, endpoints = TABLE3_BUILDERS[name]
+        topo = builder()
+        assert topo.num_routers == routers
+        assert topo.network_radix == radix
+        assert topo.num_endpoints == endpoints
+
+    @pytest.mark.parametrize("name", ["PS-IQ", "PS-Pal", "BF", "HX", "DF", "SF"])
+    def test_direct_topologies_diameter3(self, name):
+        topo = build_table3_topology(name)
+        assert diameter(topo.graph, sample=32, seed=0) <= 3
+
+    def test_megafly_diameter(self):
+        """Indirect Megafly: router-graph diameter is 5 (spine to spine via
+        two leaf hops), but endpoint-hosting leaves are within 3 hops of
+        each other — the "D <= 3" that matters for traffic."""
+        topo = build_table3_topology("MF")
+        assert topo.graph.is_connected()
+        assert diameter(topo.graph, sample=16) <= 5
+        from repro.analysis import bfs_distances
+
+        leaves = np.unique(topo.endpoint_router)
+        d = bfs_distances(topo.graph, leaves[:8])
+        assert d[:, leaves].max() <= 3
+
+    def test_fattree_diameter(self):
+        topo = build_table3_topology("FT")
+        assert diameter(topo.graph, sample=16) <= 4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_table3_topology("nope")
+
+
+class TestReducedConfigs:
+    @pytest.mark.parametrize("name", list(REDUCED_BUILDERS))
+    def test_buildable_and_connected(self, name):
+        topo = build_reduced_topology(name)
+        assert topo.graph.is_connected()
+        assert topo.num_routers < 300  # small enough for the packet simulator
+
+
+class TestDragonfly:
+    def test_structure(self):
+        topo = dragonfly_topology(a=4, h=2, p=2)
+        assert topo.num_routers == 4 * 9
+        assert topo.num_groups == 9
+        assert (topo.graph.degrees == (4 - 1) + 2).all()
+
+    def test_one_global_link_per_group_pair(self):
+        topo = dragonfly_topology(a=4, h=2, p=2)
+        g = topo.groups
+        cross = {}
+        for u, v in topo.graph.edges():
+            if g[u] != g[v]:
+                key = (min(g[u], g[v]), max(g[u], g[v]))
+                cross[key] = cross.get(key, 0) + 1
+        assert all(c == 1 for c in cross.values())
+        assert len(cross) == 9 * 8 // 2
+
+    def test_max_order(self):
+        # maximize a(ah+1) with (a-1)+h = r
+        assert dragonfly_max_order(17) >= 876
+
+
+class TestHyperX:
+    def test_structure(self):
+        topo = hyperx_topology((3, 4, 2), p=2)
+        assert topo.num_routers == 24
+        assert topo.network_radix == 2 + 3 + 1
+
+    def test_full_mesh_dimension(self):
+        topo = hyperx_topology((4, 4), p=1)
+        # routers 0..3 share dim-1 value? strides: dims (4,4): ids row-major;
+        # row 0 is a clique, and column {0,4,8,12} is a clique
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert topo.graph.has_edge(i, j)
+                assert topo.graph.has_edge(4 * i, 4 * j)
+
+    def test_max_order(self):
+        assert hyperx_max_order(23) >= 648
+        assert hyperx_max_order(6) == 27  # 3x3x3
+
+
+class TestMegafly:
+    def test_group_structure(self):
+        topo = megafly_topology(rho=2, a=4, p=2)
+        # groups = (a/2)*rho + 1 = 5
+        assert topo.num_groups == 5
+        assert topo.num_routers == 20
+        # leaves host endpoints, spines do not
+        counts = topo.endpoints_per_router
+        leaves = counts > 0
+        assert leaves.sum() == 10
+        assert not topo.is_direct
+
+    def test_one_global_link_per_group_pair(self):
+        topo = megafly_topology(rho=2, a=4, p=2)
+        g = topo.groups
+        cross = {}
+        for u, v in topo.graph.edges():
+            if g[u] != g[v]:
+                key = (min(g[u], g[v]), max(g[u], g[v]))
+                cross[key] = cross.get(key, 0) + 1
+        assert all(c == 1 for c in cross.values())
+        assert len(cross) == 10
+
+
+class TestFatTree:
+    def test_structure(self):
+        topo = fattree_topology(p=4)
+        assert topo.num_routers == 3 * 16
+        assert topo.num_endpoints == 64
+        # edge and agg routers have 2p network+endpoint ports, core p
+        assert topo.router_radix == 8
+
+    def test_full_bisection(self):
+        # every edge router reaches every core through its pod
+        topo = fattree_topology(p=3)
+        assert topo.graph.is_connected()
+        assert diameter(topo.graph) == 4
+
+
+class TestPolarStarTopology:
+    def test_default_p_rule(self):
+        topo = polarstar_topology(15)
+        assert topo.meta["p"] == 5  # radix/3
+
+    def test_groups_are_supernodes(self):
+        topo = polarstar_topology(15)
+        star = topo.meta["star"]
+        assert topo.num_groups == star.structure.n
+        assert (np.bincount(topo.groups) == star.supernode.n).all()
+
+    def test_infeasible_radix_raises(self):
+        with pytest.raises(ValueError):
+            polarstar_topology(2)
+
+    def test_small_radixes_buildable(self):
+        for radix in range(3, 12):
+            topo = polarstar_topology(radix, p=1)
+            assert topo.num_routers > 0
+            assert topo.network_radix <= radix
+
+
+class TestBundlefly:
+    def test_table3_instance(self):
+        topo = bundlefly_topology(q=7, dprime=4, p=5)
+        assert topo.num_routers == 882
+        assert topo.network_radix == 15
+
+    def test_max_order_monotone_radix(self):
+        orders = [bundlefly_max_order(r) for r in range(12, 40)]
+        assert max(orders) == bundlefly_max_order(39)
+
+
+class TestJellyfish:
+    def test_regular_and_connected(self):
+        topo = jellyfish_topology(100, 8, p=2, seed=3)
+        assert (topo.graph.degrees == 8).all()
+        assert topo.graph.is_connected()
+
+    def test_deterministic_seed(self):
+        a = jellyfish_topology(60, 6, seed=5)
+        b = jellyfish_topology(60, 6, seed=5)
+        assert np.array_equal(a.graph.edge_array, b.graph.edge_array)

@@ -1,0 +1,233 @@
+"""Tests for traffic patterns and motif DAGs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topologies import dragonfly_topology, polarstar_topology
+from repro.traffic import (
+    AdversarialGroupPattern,
+    BitReversePattern,
+    BitShufflePattern,
+    RandomPermutationPattern,
+    UniformRandomPattern,
+    allreduce_events,
+    sweep3d_events,
+)
+
+
+@pytest.fixture(scope="module")
+def ps_topo():
+    return polarstar_topology(9, p=3)  # q=5, d'=3: 248 routers
+
+
+@pytest.fixture(scope="module")
+def df_topo():
+    return dragonfly_topology(a=4, h=2, p=2)
+
+
+class TestUniform:
+    def test_dest_distribution(self, df_topo):
+        pat = UniformRandomPattern(df_topo)
+        rng = np.random.default_rng(0)
+        dests = [pat.dest_endpoint(5, rng) for _ in range(3000)]
+        assert 5 not in dests
+        assert len(set(dests)) > df_topo.num_endpoints * 0.8
+
+    def test_router_demand_row_sums(self, df_topo):
+        pat = UniformRandomPattern(df_topo)
+        d = pat.router_demand()
+        p = df_topo.endpoints_per_router
+        # each endpoint offers rate ~1, minus the share to co-located endpoints
+        expected = p * (df_topo.num_endpoints - p) / (df_topo.num_endpoints - 1)
+        assert np.allclose(d.sum(axis=1), expected, rtol=0.05)
+        assert (np.diag(d) == 0).all()
+
+
+class TestPermutation:
+    def test_is_permutation_on_routers(self, ps_topo):
+        pat = RandomPermutationPattern(ps_topo, seed=3)
+        d = pat.router_demand()
+        # each router sends all its endpoint load to exactly one router
+        assert ((d > 0).sum(axis=1) == 1).all()
+        assert ((d > 0).sum(axis=0) <= 1).all()
+
+    def test_endpoint_map_bijective(self, ps_topo):
+        pat = RandomPermutationPattern(ps_topo, seed=3)
+        dm = pat.dest_map
+        active = dm != np.arange(len(dm))
+        assert len(np.unique(dm[active])) == active.sum()
+
+    def test_deterministic(self, ps_topo):
+        a = RandomPermutationPattern(ps_topo, seed=1).dest_map
+        b = RandomPermutationPattern(ps_topo, seed=1).dest_map
+        assert np.array_equal(a, b)
+
+
+class TestBitPatterns:
+    def test_shuffle_is_rotation(self, df_topo):
+        pat = BitShufflePattern(df_topo)
+        b = int(np.log2(df_topo.num_endpoints))
+        size = 1 << b
+        src = 0b000011 & (size - 1)
+        expected = ((src << 1) | (src >> (b - 1))) & (size - 1)
+        assert pat.dest_map[src] == expected
+
+    def test_reverse_involution(self, df_topo):
+        pat = BitReversePattern(df_topo)
+        b = int(np.log2(df_topo.num_endpoints))
+        size = 1 << b
+        dm = pat.dest_map[:size]
+        # reversing twice is the identity
+        assert np.array_equal(dm[dm], np.arange(size))
+
+    def test_excess_endpoints_idle(self, ps_topo):
+        pat = BitShufflePattern(ps_topo)
+        b = int(np.log2(ps_topo.num_endpoints))
+        size = 1 << b
+        assert (pat.dest_map[size:] == np.arange(size, ps_topo.num_endpoints)).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 12))
+    def test_shuffle_bijective(self, b):
+        size = 1 << b
+        src = np.arange(size)
+        mask = size - 1
+        dest = ((src << 1) & mask) | (src >> (b - 1))
+        assert len(np.unique(dest)) == size
+
+
+class TestAdversarial:
+    def test_groups_pair_up(self, ps_topo):
+        pat = AdversarialGroupPattern(ps_topo)
+        topo = ps_topo
+        gsrc = topo.groups[topo.endpoint_router]
+        gdst = topo.groups[topo.endpoint_router[pat.dest_map]]
+        # each source group sends to exactly one destination group
+        for g in range(topo.num_groups):
+            mask = gsrc == g
+            assert len(np.unique(gdst[mask])) == 1
+
+    def test_polarstar_targets_distance2(self, ps_topo):
+        from repro.analysis.distances import bfs_distances
+
+        pat = AdversarialGroupPattern(ps_topo)
+        star = ps_topo.meta["star"]
+        gsrc = ps_topo.groups[ps_topo.endpoint_router]
+        gdst = ps_topo.groups[ps_topo.endpoint_router[pat.dest_map]]
+        for g in range(0, ps_topo.num_groups, 5):
+            tgt = int(gdst[gsrc == g][0])
+            assert bfs_distances(star.structure, g)[tgt] == 2
+
+    def test_requires_groups(self):
+        from repro.topologies import hyperx_topology
+
+        with pytest.raises(ValueError):
+            AdversarialGroupPattern(hyperx_topology((3, 3, 3), p=1))
+
+
+class TestAllreduce:
+    def test_message_count(self):
+        msgs = allreduce_events(16, size=1024)
+        assert len(msgs) == 16 * 4  # P log2(P)
+
+    def test_round_dependencies(self):
+        msgs = allreduce_events(8)
+        by_id = {m.id: m for m in msgs}
+        for m in msgs:
+            for d in m.deps:
+                dep = by_id[d]
+                assert dep.dst == m.src  # depends on something it received
+
+    def test_nonpow2_truncates(self):
+        msgs = allreduce_events(10)
+        ranks = {m.src for m in msgs} | {m.dst for m in msgs}
+        assert max(ranks) < 8
+
+    def test_iterations_chain(self):
+        one = allreduce_events(8, iterations=1)
+        two = allreduce_events(8, iterations=2)
+        assert len(two) == 2 * len(one)
+
+
+class TestSweep3D:
+    def test_message_count(self):
+        msgs = sweep3d_events(4, 4, iterations=1)
+        # each cell sends to <=2 downstream neighbors: 2*nx*ny - nx - ny
+        assert len(msgs) == 2 * 16 - 4 - 4
+
+    def test_wavefront_dependencies(self):
+        msgs = sweep3d_events(3, 3, iterations=1)
+        by_id = {m.id: m for m in msgs}
+        for m in msgs:
+            # a sender's deps are messages addressed to it
+            for d in m.deps:
+                assert by_id[d].dst == m.src
+
+    def test_corner_has_no_deps(self):
+        msgs = sweep3d_events(3, 3, iterations=1)
+        corner_msgs = [m for m in msgs if m.src == 0]
+        assert corner_msgs and all(not m.deps for m in corner_msgs)
+
+    def test_acyclic(self):
+        msgs = sweep3d_events(4, 5, iterations=3)
+        state = {}
+
+        def visit(mid, by_id, dependents):
+            # iterative DFS cycle check
+            stack = [(mid, 0)]
+            while stack:
+                node, phase = stack.pop()
+                if phase == 0:
+                    if state.get(node) == 1:
+                        raise AssertionError("cycle")
+                    if state.get(node) == 2:
+                        continue
+                    state[node] = 1
+                    stack.append((node, 1))
+                    for d in by_id[node].deps:
+                        stack.append((d, 0))
+                else:
+                    state[node] = 2
+
+        by_id = {m.id: m for m in msgs}
+        for m in msgs:
+            visit(m.id, by_id, None)
+
+
+class TestExtraPatterns:
+    def test_tornado_offset(self, df_topo):
+        from repro.traffic import TornadoPattern
+
+        pat = TornadoPattern(df_topo)
+        e = df_topo.num_endpoints
+        assert pat.dest_map[0] == e // 2 - 1
+        assert len(np.unique(pat.dest_map)) == e  # bijective
+
+    def test_neighbor_ring(self, df_topo):
+        from repro.traffic import NeighborPattern
+
+        pat = NeighborPattern(df_topo)
+        e = df_topo.num_endpoints
+        assert pat.dest_map[e - 1] == 0
+        assert (pat.dest_map[:-1] == np.arange(1, e)).all()
+
+    def test_transpose_involution(self, df_topo):
+        from repro.traffic import TransposePattern
+
+        pat = TransposePattern(df_topo)
+        b = int(np.log2(df_topo.num_endpoints))
+        size = 1 << b
+        dm = pat.dest_map[:size]
+        if b % 2 == 0:
+            assert np.array_equal(dm[dm], np.arange(size))
+        assert len(np.unique(dm)) == size
+
+    def test_extra_patterns_have_demand(self, ps_topo):
+        from repro.traffic import NeighborPattern, TornadoPattern, TransposePattern
+
+        for cls in (TornadoPattern, NeighborPattern, TransposePattern):
+            d = cls(ps_topo).router_demand()
+            assert d.sum() > 0
+            assert (np.diag(d) == 0).all()
