@@ -21,6 +21,13 @@ from dataclasses import dataclass
 
 from repro.topologies.base import Topology
 
+__all__ = [
+    "CostParameters",
+    "CostReport",
+    "cost_report",
+    "cost_per_endpoint_comparison",
+]
+
 
 @dataclass
 class CostParameters:

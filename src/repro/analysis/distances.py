@@ -14,6 +14,15 @@ import scipy.sparse.csgraph as csgraph
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "bfs_distances",
+    "eccentricity",
+    "diameter",
+    "average_path_length",
+    "distance_distribution",
+    "distance_matrix",
+]
+
 
 def bfs_distances(graph: Graph, sources) -> np.ndarray:
     """BFS distance array(s).

@@ -16,6 +16,13 @@ import scipy.sparse as sp
 from repro.analysis.distances import average_path_length, diameter
 from repro.graphs.base import Graph
 
+__all__ = [
+    "FaultSweepResult",
+    "disconnection_ratio",
+    "link_failure_sweep",
+    "median_disconnection_ratio",
+]
+
 
 @dataclass
 class FaultSweepResult:

@@ -15,6 +15,12 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "PathDiversity",
+    "minimal_path_counts",
+    "path_diversity",
+]
+
 
 @dataclass
 class PathDiversity:

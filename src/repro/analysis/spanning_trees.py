@@ -20,6 +20,12 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "greedy_edst",
+    "verify_edst",
+    "allreduce_bandwidth_factor",
+]
+
 
 class _UnionFind:
     def __init__(self, n: int):

@@ -19,6 +19,15 @@ import scipy.sparse.linalg as spla
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "adjacency_eigenvalues",
+    "second_eigenvalue",
+    "spectral_gap",
+    "is_ramanujan",
+    "cheeger_lower_bound",
+    "algebraic_connectivity",
+]
+
 
 def adjacency_eigenvalues(graph: Graph, k: int = 3) -> np.ndarray:
     """The *k* largest-magnitude adjacency eigenvalues, descending by value."""

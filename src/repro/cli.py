@@ -20,6 +20,12 @@ import argparse
 import importlib
 import sys
 
+__all__ = [
+    "EXPERIMENTS",
+    "build_parser",
+    "main",
+]
+
 EXPERIMENTS = [
     "fig01",
     "fig04",

@@ -7,6 +7,15 @@ for comparing topologies at equal radix.
 
 from __future__ import annotations
 
+__all__ = [
+    "moore_bound",
+    "moore_bound_diameter3",
+    "moore_efficiency",
+    "starmax_bound",
+    "asymptotic_polarstar_order",
+    "optimal_structure_q",
+]
+
 
 def moore_bound(degree: int, diameter: int) -> int:
     """Upper bound on the order of a (degree, diameter) graph:

@@ -21,6 +21,15 @@ from repro.graphs.inductive_quad import inductive_quad, iq_order
 from repro.graphs.paley import paley_feasible_degrees, paley_graph, paley_order
 from repro.core.star_product import StarProduct, star_product
 
+__all__ = [
+    "SUPERNODE_KINDS",
+    "PolarStarConfig",
+    "design_space",
+    "best_config",
+    "polarstar_order",
+    "build_polarstar",
+]
+
 #: Supported supernode kinds.
 SUPERNODE_KINDS = ("iq", "paley")
 

@@ -23,6 +23,11 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "StarProduct",
+    "star_product",
+]
+
 
 @dataclass(frozen=True)
 class StarProduct:
@@ -40,6 +45,14 @@ class StarProduct:
     f_inv: np.ndarray = field(init=False)
 
     def __post_init__(self):
+        # Direct construction must honor the same contract as the factory:
+        # a non-bijective f would silently scatter garbage into f_inv.
+        if len(self.f) != self.supernode.n:
+            raise ValueError("bijection length must equal supernode order")
+        if not np.array_equal(np.sort(self.f), np.arange(self.supernode.n)):
+            raise ValueError("f is not a bijection on the supernode vertices")
+        if self.graph.n != self.structure.n * self.supernode.n:
+            raise ValueError("product order must be |structure| x |supernode|")
         inv = np.empty_like(self.f)
         inv[self.f] = np.arange(len(self.f))
         object.__setattr__(self, "f_inv", inv)

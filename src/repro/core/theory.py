@@ -14,6 +14,13 @@ import numpy as np
 
 from repro.core.star_product import StarProduct
 
+__all__ = [
+    "alternating_path",
+    "theorem4_path",
+    "verify_walk",
+    "rstar_extremal_exists",
+]
+
 
 def alternating_path(
     star: StarProduct, structure_walk: list[int], start_coord: int

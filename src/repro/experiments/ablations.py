@@ -30,6 +30,19 @@ from repro.sim.flow import saturation_load
 from repro.sim.packet import PacketSimConfig, PacketSimulator
 from repro.traffic import AdversarialGroupPattern, RandomPermutationPattern, UniformRandomPattern
 
+__all__ = [
+    "supernode_kind_ablation",
+    "degree_split_ablation",
+    "minpath_diversity_ablation",
+    "ugal_samples_ablation",
+    "routing_storage_comparison",
+    "format_routing_storage",
+    "format_supernode_kind",
+    "format_degree_split",
+    "format_minpath",
+    "format_ugal_samples",
+]
+
 
 def supernode_kind_ablation(q: int = 7, dprime: int = 4) -> dict:
     """Same structure graph, same supernode degree, different supernode kind."""

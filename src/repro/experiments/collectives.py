@@ -18,6 +18,13 @@ from repro.traffic.collectives import (
     ring_allreduce_events,
 )
 
+__all__ = [
+    "ALGORITHMS",
+    "CFG",
+    "run",
+    "format_figure",
+]
+
 ALGORITHMS = {
     "recursive-doubling": recursive_doubling_allreduce,
     "ring": ring_allreduce_events,

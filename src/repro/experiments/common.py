@@ -19,6 +19,14 @@ from repro.topologies import build_table3_topology
 from repro.topologies.base import Topology
 from repro.topologies.table3 import build_reduced_topology
 
+__all__ = [
+    "geometric_mean",
+    "paper_router",
+    "table3_instance",
+    "table3_router",
+    "format_table",
+]
+
 
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean of the positive entries (0.0 if none)."""

@@ -20,6 +20,11 @@ from repro.sim.flow import saturation_load
 from repro.topologies.polarfly import PolarFlyRouter, polarfly_topology
 from repro.traffic import UniformRandomPattern
 
+__all__ = [
+    "run",
+    "format_figure",
+]
+
 
 def run(radixes=(8, 12, 18, 24, 32, 48, 64), sim_q: int = 11) -> dict:
     """Scalability ceiling per radix + PolarFly uniform saturation."""

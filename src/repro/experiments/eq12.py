@@ -16,6 +16,11 @@ from repro.core.moore import (
 from repro.core.polarstar import best_config, polarstar_order
 from repro.experiments.common import format_table
 
+__all__ = [
+    "run",
+    "format_figure",
+]
+
 
 def run(radixes=(16, 24, 32, 48, 64, 96, 128)) -> dict:
     """Evaluate Eq. 1/2 against the exhaustive design-space search."""

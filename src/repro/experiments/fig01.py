@@ -18,6 +18,13 @@ from repro.topologies.bundlefly import bundlefly_max_order
 from repro.topologies.dragonfly import dragonfly_max_order
 from repro.topologies.hyperx import hyperx_max_order
 
+__all__ = [
+    "kautz_bidirectional_order",
+    "spectralfly_orders",
+    "run",
+    "format_figure",
+]
+
 
 def kautz_bidirectional_order(radix: int) -> int:
     """Largest diameter-3 Kautz order when every link is bidirectional

@@ -17,6 +17,14 @@ from repro.fields import is_prime_power, prime_powers_up_to
 from repro.graphs.er_polarity import er_order
 from repro.graphs.mms import mms_degree, mms_order
 
+__all__ = [
+    "er_order_at_degree",
+    "mms_order_at_degree",
+    "paley_order_at_degree",
+    "run",
+    "format_figure",
+]
+
 
 def er_order_at_degree(degree: int) -> int:
     """ER order at this network degree (0 if infeasible)."""

@@ -11,6 +11,11 @@ from __future__ import annotations
 from repro.core.polarstar import best_config, design_space
 from repro.experiments.common import format_table
 
+__all__ = [
+    "run",
+    "format_figure",
+]
+
 
 def run(radix_lo: int = 8, radix_hi: int = 128) -> dict:
     """Enumerate the PolarStar design space per radix."""

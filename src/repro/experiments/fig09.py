@@ -27,6 +27,15 @@ from repro.traffic import (
     UniformRandomPattern,
 )
 
+__all__ = [
+    "PATTERNS",
+    "DEFAULT_TOPOLOGIES",
+    "pattern_demand",
+    "run",
+    "packet_sim_curves",
+    "format_figure",
+]
+
 PATTERNS = {
     "uniform": UniformRandomPattern,
     "permutation": lambda t: RandomPermutationPattern(t, seed=0),

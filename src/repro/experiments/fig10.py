@@ -13,6 +13,12 @@ from repro.experiments.common import format_table, table3_instance, table3_route
 from repro.sim.flow import saturation_load, ugal_saturation_load
 from repro.traffic import AdversarialGroupPattern
 
+__all__ = [
+    "HIERARCHICAL",
+    "run",
+    "format_figure",
+]
+
 HIERARCHICAL = ("PS-IQ", "PS-Pal", "BF", "DF", "MF")
 
 

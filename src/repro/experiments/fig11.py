@@ -12,6 +12,13 @@ from repro.experiments.common import format_table, table3_instance, table3_route
 from repro.sim.motif import MotifEngine, MotifNetworkConfig
 from repro.traffic import allreduce_events, sweep3d_events
 
+__all__ = [
+    "TOPOLOGIES",
+    "CFG",
+    "run",
+    "format_figure",
+]
+
 TOPOLOGIES = ("PS-IQ", "DF", "HX", "FT")
 CFG = MotifNetworkConfig(link_bw=4e9, link_latency=20e-9, router_latency=20e-9)
 

@@ -29,6 +29,13 @@ from repro.topologies import (
 from repro.topologies.base import Topology
 from repro.topologies.spectralfly import spectralfly_design_points
 
+__all__ = [
+    "topology_at_radix",
+    "DEFAULT_FAMILIES",
+    "run",
+    "format_figure",
+]
+
 
 def _normalized_bisection(topo: Topology, restarts: int = 2, seed: int = 0) -> float:
     """Cut fraction; for indirect networks only links touching

@@ -13,6 +13,11 @@ from repro.analysis.bisection import bisection_fraction
 from repro.core.polarstar import best_config, build_polarstar
 from repro.experiments.common import format_table
 
+__all__ = [
+    "run",
+    "format_figure",
+]
+
 
 def run(radixes=(8, 10, 12, 14, 16, 18, 20), max_order: int = 4000, restarts: int = 2) -> dict:
     """PolarStar bisection per radix for IQ and Paley supernodes."""

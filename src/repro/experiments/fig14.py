@@ -15,6 +15,13 @@ from repro.analysis.faults import (
 )
 from repro.experiments.common import format_table, table3_instance
 
+__all__ = [
+    "TOPOLOGIES",
+    "FRACTIONS",
+    "run",
+    "format_figure",
+]
+
 TOPOLOGIES = ("PS-IQ", "BF", "DF", "HX", "SF", "MF", "FT")
 FRACTIONS = (0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5)
 

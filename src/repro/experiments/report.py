@@ -12,6 +12,12 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
+__all__ = [
+    "EXPECTATIONS",
+    "HEADER",
+    "generate",
+]
+
 #: experiment id -> (title, paper expectation, notes/deviations)
 EXPECTATIONS: dict[str, tuple[str, str, str]] = {
     "fig01_moore_efficiency": (

@@ -13,6 +13,12 @@ from repro.experiments.common import format_table
 from repro.layout import bundling_report
 from repro.topologies import polarstar_topology
 
+__all__ = [
+    "CONFIGS",
+    "run",
+    "format_figure",
+]
+
 CONFIGS = (
     PolarStarConfig(q=7, dprime=3, supernode_kind="iq"),  # the Fig. 8 example
     PolarStarConfig(q=11, dprime=3, supernode_kind="iq"),  # Table 3 PS-IQ

@@ -25,6 +25,12 @@ from repro.topologies.bundlefly import bundlefly_max_order
 from repro.topologies.dragonfly import dragonfly_max_order
 from repro.topologies.hyperx import hyperx_max_order
 
+__all__ = [
+    "REFERENCE_RADIX",
+    "run",
+    "format_figure",
+]
+
 REFERENCE_RADIX = 32
 
 

@@ -14,6 +14,11 @@ from repro.graphs.inductive_quad import inductive_quad, iq_feasible_degrees
 from repro.graphs.paley import paley_feasible_degrees, paley_graph
 from repro.graphs.properties import has_property_r1, has_property_rstar
 
+__all__ = [
+    "run",
+    "format_figure",
+]
+
 
 def _check(builder, degrees) -> dict:
     """Verify R*/R_1 at each sample degree; report orders."""

@@ -5,6 +5,12 @@ from __future__ import annotations
 from repro.experiments.common import format_table, table3_instance
 from repro.topologies.table3 import TABLE3_BUILDERS
 
+__all__ = [
+    "PAPER_ROWS",
+    "run",
+    "format_figure",
+]
+
 PAPER_ROWS = {
     # name: (routers, radix, endpoints) as printed in the paper
     "PS-IQ": (1064, 15, 5320),

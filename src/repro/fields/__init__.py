@@ -19,10 +19,11 @@ from repro.fields.primes import (
     prime_powers_up_to,
     primes_up_to,
 )
-from repro.fields.gf import GF
+from repro.fields.gf import GF, FieldElement
 
 __all__ = [
     "GF",
+    "FieldElement",
     "factorize",
     "is_prime",
     "is_prime_power",

@@ -17,10 +17,21 @@ tables are a few hundred KB at most.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Iterable, Union
 
 import numpy as np
 
 from repro.fields.primes import prime_power_root
+
+__all__ = [
+    "FieldElement",
+    "irreducible_poly",
+    "GF",
+]
+
+#: Scalar-or-array field element codes accepted by the arithmetic methods.
+#: Table gathers broadcast, so whatever shape goes in comes out.
+FieldElement = Union[int, np.integer, np.ndarray]
 
 
 def _poly_mul_mod(a: tuple[int, ...], b: tuple[int, ...], p: int) -> tuple[int, ...]:
@@ -107,7 +118,7 @@ class GF:
         cls._cache[q] = self
         return self
 
-    def __init__(self, q: int):
+    def __init__(self, q: int) -> None:
         if getattr(self, "_initialized", False):
             return
         p, k = prime_power_root(q)
@@ -126,7 +137,7 @@ class GF:
             e //= self.p
         return tuple(out)
 
-    def _undigits(self, coeffs) -> int:
+    def _undigits(self, coeffs: Iterable[int]) -> int:
         e = 0
         for c in reversed(list(coeffs)):
             e = e * self.p + (c % self.p)
@@ -193,21 +204,21 @@ class GF:
 
     # -- arithmetic (scalar or ndarray, via table gathers) -------------------
 
-    def add(self, a, b):
+    def add(self, a: FieldElement, b: FieldElement) -> FieldElement:
         """Field addition; accepts scalars or ndarrays (broadcast)."""
         return self.add_table[a, b]
 
-    def sub(self, a, b):
+    def sub(self, a: FieldElement, b: FieldElement) -> FieldElement:
         return self.add_table[a, self.neg_table[b]]
 
-    def mul(self, a, b):
+    def mul(self, a: FieldElement, b: FieldElement) -> FieldElement:
         """Field multiplication; accepts scalars or ndarrays (broadcast)."""
         return self.mul_table[a, b]
 
-    def neg(self, a):
+    def neg(self, a: FieldElement) -> FieldElement:
         return self.neg_table[a]
 
-    def inv(self, a):
+    def inv(self, a: FieldElement) -> FieldElement:
         """Multiplicative inverse of nonzero *a* (``inv(0) == 0`` sentinel)."""
         return self.inv_table[a]
 
@@ -220,7 +231,7 @@ class GF:
         prods = self.mul_table[u, v]
         return self.add_table[self.add_table[prods[..., 0], prods[..., 1]], prods[..., 2]]
 
-    def is_square(self, a) -> np.ndarray:
+    def is_square(self, a: FieldElement) -> np.ndarray:
         """Boolean mask: is *a* a nonzero quadratic residue?"""
         return np.isin(np.asarray(a), self.squares)
 

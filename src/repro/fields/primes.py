@@ -13,6 +13,15 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+__all__ = [
+    "is_prime",
+    "factorize",
+    "is_prime_power",
+    "prime_power_root",
+    "primes_up_to",
+    "prime_powers_up_to",
+]
+
 
 def is_prime(n: int) -> bool:
     """Return ``True`` iff *n* is prime.

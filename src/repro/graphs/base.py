@@ -14,10 +14,14 @@ neighbor lists used by routing and simulation.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 import scipy.sparse as sp
+
+__all__ = [
+    "Graph",
+]
 
 
 class Graph:
@@ -42,7 +46,7 @@ class Graph:
         edges: Iterable[tuple[int, int]],
         self_loops: Iterable[int] = (),
         name: str = "graph",
-    ):
+    ) -> None:
         self.n = int(n)
         self.name = name
 
@@ -120,7 +124,7 @@ class Graph:
         data = np.ones(len(self.indices), dtype=np.int8)
         return sp.csr_matrix((data, self.indices, self.indptr), shape=(self.n, self.n))
 
-    def to_networkx(self, include_self_loops: bool = False):
+    def to_networkx(self, include_self_loops: bool = False) -> Any:
         import networkx as nx
 
         g = nx.Graph(name=self.name)
@@ -153,7 +157,7 @@ class Graph:
     def __repr__(self) -> str:
         return f"Graph({self.name!r}, n={self.n}, m={self.m}, loops={len(self.self_loops)})"
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Graph)
             and self.n == other.n
@@ -161,5 +165,5 @@ class Graph:
             and np.array_equal(self.self_loops, other.self_loops)
         )
 
-    def __hash__(self):  # graphs are mutated never, hash by identity
+    def __hash__(self) -> int:  # graphs are mutated never, hash by identity
         return id(self)

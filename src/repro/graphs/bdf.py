@@ -24,6 +24,12 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "bdf_feasible_degrees",
+    "bdf_supernode",
+    "bdf_order",
+]
+
 
 def _even_indegree_tournament(k: int) -> list[tuple[int, int]]:
     """Orient K_k so every in-degree is even (needs C(k,2) even).
@@ -64,9 +70,11 @@ def bdf_supernode(degree: int) -> tuple[Graph, np.ndarray]:
     module docstring); ``bdf_order`` still reports the Table 2 order for any
     degree.
     """
-    if degree % 4 not in (0, 1):
+    # -3 % 4 == 1 in Python: require positivity before the residue test.
+    if degree < 1 or degree % 4 not in (0, 1):
         raise ValueError(
-            f"regular BDF construction implemented for degree ≡ 0,1 (mod 4); got {degree}"
+            f"regular BDF construction implemented for degree >= 1 with "
+            f"degree ≡ 0,1 (mod 4); got {degree}"
         )
     k = degree
     n = 2 * k

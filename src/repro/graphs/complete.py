@@ -12,9 +12,16 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "complete_graph",
+    "complete_supernode",
+]
+
 
 def complete_graph(n: int) -> Graph:
-    """The complete graph :math:`K_n`."""
+    """The complete graph :math:`K_n` (``n >= 1``)."""
+    if n < 1:
+        raise ValueError(f"complete graph needs n >= 1, got {n}")
     edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
     return Graph(n, edges, name=f"K_{n}")
 

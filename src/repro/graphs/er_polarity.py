@@ -20,6 +20,13 @@ import numpy as np
 from repro.fields import GF, is_prime_power
 from repro.graphs.base import Graph
 
+__all__ = [
+    "projective_points",
+    "er_polarity_graph",
+    "er_order",
+    "er_degree",
+]
+
 
 def projective_points(q: int) -> np.ndarray:
     """All left-normalized points of PG(2, q) as an ``(q*q+q+1, 3)`` array.
@@ -50,6 +57,8 @@ def er_polarity_graph(q: int, block_rows: int = 512) -> Graph:
     """
     if not is_prime_power(q):
         raise ValueError(f"ER_q needs a prime power q, got {q}")
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be positive, got {block_rows}")
     field = GF(q)
     pts = projective_points(q)
     n = len(pts)

@@ -26,6 +26,13 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "IQ3_EDGES",
+    "iq_feasible_degrees",
+    "inductive_quad",
+    "iq_order",
+]
+
 #: Edges of the base degree-3 Inductive-Quad graph on vertices 0..7 with
 #: involution f(i) = i XOR 1.  One edge chosen from each f-orbit of
 #: K8-minus-matching such that the graph is 3-regular (verified in tests).
@@ -61,9 +68,12 @@ def inductive_quad(degree: int) -> tuple[Graph, np.ndarray]:
         with ``f[f[v]] == v`` and ``f[v] != v`` implementing the Property-R*
         bijection.
     """
-    if degree % 4 not in (0, 3):
+    # Python's modulo makes -1 % 4 == 3, so the residue test alone would
+    # silently accept negative degrees; guard nonnegativity explicitly.
+    if degree < 0 or degree % 4 not in (0, 3):
         raise ValueError(
-            f"Inductive-Quad exists only for degree ≡ 0 or 3 (mod 4), got {degree}"
+            f"Inductive-Quad exists only for degree >= 0 with "
+            f"degree ≡ 0 or 3 (mod 4), got {degree}"
         )
 
     if degree % 4 == 0:

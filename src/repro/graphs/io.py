@@ -13,6 +13,12 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "write_edgelist",
+    "read_edgelist",
+    "write_dot",
+]
+
 
 def write_edgelist(graph: Graph, path: str | Path) -> None:
     """Write ``u v`` lines (plus ``v v`` lines for self-loops) with a header

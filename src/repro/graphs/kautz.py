@@ -17,6 +17,11 @@ from itertools import product
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "kautz_order",
+    "kautz_graph",
+]
+
 
 def kautz_order(d: int, n: int) -> int:
     """Number of vertices of ``K(d, n)``: ``(d+1) * d**(n-1)``."""

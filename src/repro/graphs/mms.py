@@ -36,6 +36,13 @@ import numpy as np
 from repro.fields import GF, is_prime_power, prime_power_root
 from repro.graphs.base import Graph
 
+__all__ = [
+    "mms_degree",
+    "mms_order",
+    "mms_feasible_degrees",
+    "mms_graph",
+]
+
 
 def mms_degree(q: int) -> int:
     """Network degree of the MMS graph on ``2q²`` vertices."""

@@ -20,6 +20,12 @@ import numpy as np
 from repro.fields import GF, is_prime_power
 from repro.graphs.base import Graph
 
+__all__ = [
+    "paley_graph",
+    "paley_feasible_degrees",
+    "paley_order",
+]
+
 
 def paley_graph(q: int) -> tuple[Graph, np.ndarray]:
     """Build the Paley graph on ``q`` vertices plus its R_1 bijection.

@@ -11,6 +11,13 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "has_property_r",
+    "has_property_rstar",
+    "has_property_r1",
+    "rstar_order_bound",
+]
+
 
 def _dense_adjacency(g: Graph, with_self_loops: bool) -> np.ndarray:
     a = np.zeros((g.n, g.n), dtype=bool)

@@ -15,6 +15,10 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "random_regular_graph",
+]
+
 
 def random_regular_graph(n: int, degree: int, seed: int = 0, max_tries: int = 20) -> Graph:
     """Sample a simple connected ``degree``-regular graph on *n* vertices.

@@ -20,6 +20,12 @@ import numpy as np
 from repro.core.star_product import StarProduct
 from repro.topologies.base import Topology
 
+__all__ = [
+    "supernode_clusters",
+    "BundlingReport",
+    "bundling_report",
+]
+
 
 def supernode_clusters(q: int) -> np.ndarray:
     """Cluster id of every ER_q vertex: affine points ``(1, a, b)`` cluster

@@ -11,6 +11,11 @@ from abc import ABC, abstractmethod
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "Router",
+    "route_path",
+]
+
 
 class Router(ABC):
     """Destination-based minimal routing policy for one graph."""

@@ -14,6 +14,10 @@ import numpy as np
 from repro.routing.base import Router
 from repro.topologies.base import Topology
 
+__all__ = [
+    "DragonflyRouter",
+]
+
 
 class DragonflyRouter(Router):
     """Minimal l-g-l routing on a :func:`dragonfly_topology` network."""

@@ -13,6 +13,11 @@ import numpy as np
 from repro.routing.base import Router
 from repro.topologies.base import Topology
 
+__all__ = [
+    "HyperXRouter",
+    "HyperXDoalRouter",
+]
+
 
 class HyperXRouter(Router):
     """All-minimal-path dimension-ordered routing on a HyperX."""

@@ -35,6 +35,10 @@ from repro.core.star_product import StarProduct
 from repro.graphs.base import Graph
 from repro.routing.base import Router
 
+__all__ = [
+    "PolarStarRouter",
+]
+
 
 def _dense_adj(graph: Graph, aug_diag: bool = False) -> np.ndarray:
     a = np.zeros((graph.n, graph.n), dtype=bool)

@@ -16,6 +16,10 @@ from repro.analysis.distances import bfs_distances
 from repro.graphs.base import Graph
 from repro.routing.base import Router
 
+__all__ = [
+    "TableRouter",
+]
+
 
 class TableRouter(Router):
     """All-minpath routing from a precomputed distance matrix."""

@@ -17,6 +17,12 @@ import numpy as np
 
 from repro.routing.base import Router, route_path
 
+__all__ = [
+    "valiant_path",
+    "UgalDecision",
+    "UgalPolicy",
+]
+
 
 def valiant_path(router: Router, src: int, dest: int, intermediate: int) -> list[int]:
     """Minimal path src -> intermediate -> dest (duplicate joint removed)."""

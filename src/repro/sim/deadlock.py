@@ -22,6 +22,13 @@ import scipy.sparse as sp
 from repro.routing.base import Router
 from repro.topologies.base import Topology
 
+__all__ = [
+    "max_route_hops",
+    "verify_vc_scheme",
+    "channel_dependency_graph",
+    "is_acyclic",
+]
+
 
 def max_route_hops(
     topology: Topology, router: Router, valiant: bool = False, sample: int | None = None

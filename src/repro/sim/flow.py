@@ -27,6 +27,14 @@ import numpy as np
 from repro.routing.base import Router
 from repro.topologies.base import Topology
 
+__all__ = [
+    "link_loads",
+    "saturation_load",
+    "valiant_link_loads",
+    "ugal_saturation_load",
+    "latency_curve",
+]
+
 
 def _edge_index(topology: Topology) -> dict[tuple[int, int], int]:
     """Directed link -> index, CSR order."""
@@ -57,7 +65,7 @@ def link_loads(
         return _link_loads_vectorized(topology, router.dist, demand)
     g = topology.graph
     eidx = _edge_index(topology)
-    loads = np.zeros(len(eidx))
+    loads = np.zeros(len(eidx), dtype=np.float64)
     n = g.n
 
     for t in range(n):
@@ -98,7 +106,7 @@ def _link_loads_vectorized(topology: Topology, dist: np.ndarray, demand: np.ndar
     g = topology.graph
     u_arr = np.repeat(np.arange(g.n), np.diff(g.indptr))
     v_arr = g.indices
-    loads = np.zeros(len(u_arr))
+    loads = np.zeros(len(u_arr), dtype=np.float64)
     du = dist[u_arr]  # (E, n): distance of edge tail to every dest
     dv = dist[v_arr]
     dag = du == dv + 1  # (E, n) minimal-DAG membership per destination
@@ -157,9 +165,9 @@ def valiant_link_loads(
     n = topology.num_routers
     out_rate = demand.sum(axis=1)
     in_rate = demand.sum(axis=0)
-    spread1 = np.outer(out_rate, np.full(n, 1.0 / n))
+    spread1 = np.outer(out_rate, np.full(n, 1.0 / n, dtype=np.float64))
     np.fill_diagonal(spread1, 0.0)
-    spread2 = np.outer(np.full(n, 1.0 / n), in_rate)
+    spread2 = np.outer(np.full(n, 1.0 / n, dtype=np.float64), in_rate)
     np.fill_diagonal(spread2, 0.0)
     return link_loads(topology, router, spread1, mode) + link_loads(
         topology, router, spread2, mode

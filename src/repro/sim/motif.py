@@ -29,6 +29,11 @@ from repro.routing.base import Router, route_path
 from repro.topologies.base import Topology
 from repro.traffic.motifs import Message
 
+__all__ = [
+    "MotifNetworkConfig",
+    "MotifEngine",
+]
+
 
 @dataclass
 class MotifNetworkConfig:

@@ -32,6 +32,13 @@ from repro.routing.base import Router
 from repro.topologies.base import Topology
 from repro.traffic.patterns import TrafficPattern
 
+__all__ = [
+    "PacketSimConfig",
+    "PacketSimResult",
+    "PacketSimulator",
+    "latency_load_sweep",
+]
+
 
 @dataclass
 class PacketSimConfig:

@@ -19,6 +19,11 @@ import numpy as np
 
 from repro.graphs.base import Graph
 
+__all__ = [
+    "Topology",
+    "uniform_endpoints",
+]
+
 
 @dataclass
 class Topology:

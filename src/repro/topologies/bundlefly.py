@@ -13,6 +13,11 @@ from repro.graphs.paley import paley_feasible_degrees, paley_graph, paley_order
 from repro.core.star_product import star_product
 from repro.topologies.base import Topology, uniform_endpoints
 
+__all__ = [
+    "bundlefly_topology",
+    "bundlefly_max_order",
+]
+
 
 def bundlefly_topology(q: int, dprime: int, p: int | None = None) -> Topology:
     """Build Bundlefly with structure ``MMS(q)`` and supernode

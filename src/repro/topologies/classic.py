@@ -14,6 +14,12 @@ import numpy as np
 from repro.graphs.base import Graph
 from repro.topologies.base import Topology, uniform_endpoints
 
+__all__ = [
+    "torus_topology",
+    "hypercube_topology",
+    "flattened_butterfly_topology",
+]
+
 
 def torus_topology(dims: tuple[int, ...], p: int = 1) -> Topology:
     """k-ary n-dimensional torus (ring per dimension)."""

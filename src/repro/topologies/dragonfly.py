@@ -16,6 +16,11 @@ import numpy as np
 from repro.graphs.base import Graph
 from repro.topologies.base import Topology, uniform_endpoints
 
+__all__ = [
+    "dragonfly_topology",
+    "dragonfly_max_order",
+]
+
 
 def dragonfly_topology(a: int, h: int, p: int | None = None) -> Topology:
     """Build Dragonfly(a, h) with ``a·h + 1`` groups."""

@@ -14,6 +14,12 @@ from pathlib import Path
 
 from repro.topologies.base import Topology
 
+__all__ = [
+    "write_booksim_anynet",
+    "write_sst_edge_csv",
+    "read_booksim_anynet",
+]
+
 
 def write_booksim_anynet(topology: Topology, path: str | Path) -> None:
     """Write a Booksim2 anynet_file describing this topology.

@@ -16,6 +16,10 @@ import numpy as np
 from repro.graphs.base import Graph
 from repro.topologies.base import Topology
 
+__all__ = [
+    "fattree_topology",
+]
+
 
 def fattree_topology(p: int) -> Topology:
     """Build the 3-level Fat-tree for half-radix *p* (router radix ``2p``)."""

@@ -15,6 +15,11 @@ import numpy as np
 from repro.graphs.base import Graph
 from repro.topologies.base import Topology, uniform_endpoints
 
+__all__ = [
+    "hyperx_topology",
+    "hyperx_max_order",
+]
+
 
 def hyperx_topology(dims: tuple[int, ...], p: int | None = None) -> Topology:
     """Build a HyperX with the given per-dimension sizes."""

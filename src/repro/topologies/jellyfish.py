@@ -9,6 +9,10 @@ from __future__ import annotations
 from repro.graphs.random_regular import random_regular_graph
 from repro.topologies.base import Topology, uniform_endpoints
 
+__all__ = [
+    "jellyfish_topology",
+]
+
 
 def jellyfish_topology(n: int, radix: int, p: int | None = None, seed: int = 0) -> Topology:
     """Random ``radix``-regular network on *n* routers."""

@@ -15,6 +15,10 @@ import numpy as np
 from repro.graphs.base import Graph
 from repro.topologies.base import Topology
 
+__all__ = [
+    "megafly_topology",
+]
+
 
 def megafly_topology(rho: int, a: int, p: int) -> Topology:
     """Build Megafly(ρ, a) with *p* endpoints per **leaf** router."""

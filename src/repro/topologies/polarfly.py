@@ -21,6 +21,12 @@ from repro.graphs.mms import mms_graph
 from repro.routing.base import Router
 from repro.topologies.base import Topology, uniform_endpoints
 
+__all__ = [
+    "polarfly_topology",
+    "slimfly_topology",
+    "PolarFlyRouter",
+]
+
 
 def polarfly_topology(q: int, p: int | None = None) -> Topology:
     """PolarFly: the ER_q graph as a direct network (radix q+1)."""

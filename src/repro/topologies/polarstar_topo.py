@@ -5,6 +5,10 @@ from __future__ import annotations
 from repro.core.polarstar import PolarStarConfig, best_config, build_polarstar
 from repro.topologies.base import Topology, uniform_endpoints
 
+__all__ = [
+    "polarstar_topology",
+]
+
 
 def polarstar_topology(
     config: PolarStarConfig | int,

@@ -15,6 +15,11 @@ from repro.fields.primes import primes_up_to
 from repro.graphs.lps import lps_graph, lps_order
 from repro.topologies.base import Topology, uniform_endpoints
 
+__all__ = [
+    "spectralfly_topology",
+    "spectralfly_design_points",
+]
+
 
 def spectralfly_topology(p_gen: int, q: int, p: int | None = None) -> Topology:
     """Build Spectralfly on the LPS graph ``X^{p_gen, q}`` (radix

@@ -22,6 +22,13 @@ from repro.topologies.megafly import megafly_topology
 from repro.topologies.polarstar_topo import polarstar_topology
 from repro.topologies.spectralfly import spectralfly_topology
 
+__all__ = [
+    "TABLE3_BUILDERS",
+    "build_table3_topology",
+    "REDUCED_BUILDERS",
+    "build_reduced_topology",
+]
+
 
 def _ps_iq() -> Topology:
     return polarstar_topology(PolarStarConfig(q=11, dprime=3, supernode_kind="iq"), p=5)

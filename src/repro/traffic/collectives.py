@@ -18,6 +18,14 @@ from __future__ import annotations
 
 from repro.traffic.motifs import Message, allreduce_events
 
+__all__ = [
+    "recursive_doubling_allreduce",
+    "ring_allreduce_events",
+    "rabenseifner_allreduce_events",
+    "broadcast_events",
+    "alltoall_events",
+]
+
 recursive_doubling_allreduce = allreduce_events
 
 

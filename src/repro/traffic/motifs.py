@@ -12,6 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+__all__ = [
+    "Message",
+    "allreduce_events",
+    "sweep3d_events",
+]
+
 
 @dataclass
 class Message:

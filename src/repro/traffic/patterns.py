@@ -22,6 +22,18 @@ import numpy as np
 
 from repro.topologies.base import Topology
 
+__all__ = [
+    "TrafficPattern",
+    "UniformRandomPattern",
+    "RandomPermutationPattern",
+    "BitShufflePattern",
+    "BitReversePattern",
+    "TransposePattern",
+    "TornadoPattern",
+    "NeighborPattern",
+    "AdversarialGroupPattern",
+]
+
 
 class TrafficPattern(ABC):
     """Endpoint-level traffic specification for one topology."""

@@ -1,0 +1,628 @@
+"""Tests for the repro-lint static-analysis framework (tools/lint).
+
+Each rule gets at least one positive fixture (snippet that must trigger)
+and one negative fixture (snippet that must pass), plus suppression-comment
+coverage.  The meta-tests at the bottom assert the real repository is clean
+under the full rule catalog — the same gate CI enforces.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.lint.cli import lint_file, main, run_paths
+from tools.lint.config import LintConfig, load_config, path_in_scope
+from tools.lint.core import Suppressions, Violation, all_rules, get_rule
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_source(
+    tmp_path: Path,
+    source: str,
+    rule: str,
+    relpath: str = "src/repro/graphs/mod.py",
+    options: dict | None = None,
+):
+    """Lint a snippet as if it lived at *relpath* inside a repo at tmp_path."""
+    file = tmp_path / relpath
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source))
+    cls = get_rule(rule)
+    r = cls(options or {})
+    return lint_file(file, [r], LintConfig(root=tmp_path))
+
+
+def codes(violations) -> list[str]:
+    return [v.rule for v in violations]
+
+
+# -- RL101 contract-validation ----------------------------------------------
+
+
+class TestContractValidation:
+    def test_factory_without_validation_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def widget_graph(q):
+                return [q]
+            """,
+            "RL101",
+        )
+        assert codes(out) == ["RL101"]
+
+    def test_factory_with_raise_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def widget_graph(q):
+                if q < 2:
+                    raise ValueError("q too small")
+                return [q]
+            """,
+            "RL101",
+        )
+        assert out == []
+
+    def test_factory_with_validator_call_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro.fields import is_prime_power
+
+            def widget_graph(q):
+                is_prime_power(q)
+                return [q]
+            """,
+            "RL101",
+        )
+        assert out == []
+
+    def test_factory_delegation_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def widget_graph(q):
+                return other_graph(q)
+            """,
+            "RL101",
+        )
+        assert out == []
+
+    def test_assert_does_not_count_as_validation(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def widget_graph(q):
+                assert q >= 2
+                return [q]
+            """,
+            "RL101",
+        )
+        assert codes(out) == ["RL101"]
+
+    def test_init_without_validation_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            class Widget:
+                def __init__(self, q):
+                    self.q = q
+            """,
+            "RL101",
+        )
+        assert codes(out) == ["RL101"]
+
+    def test_out_of_scope_path_ignored(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def widget_graph(q):\n    return [q]\n",
+            "RL101",
+            relpath="src/repro/analysis/mod.py",
+        )
+        assert out == []
+
+
+# -- RL201 mutable-default-arg ----------------------------------------------
+
+
+class TestMutableDefaultArg:
+    def test_list_default_triggers(self, tmp_path):
+        out = lint_source(tmp_path, "def f(x=[]):\n    return x\n", "RL201")
+        assert codes(out) == ["RL201"]
+
+    def test_dict_call_default_triggers(self, tmp_path):
+        out = lint_source(tmp_path, "def f(*, x=dict()):\n    return x\n", "RL201")
+        assert codes(out) == ["RL201"]
+
+    def test_none_default_passes(self, tmp_path):
+        out = lint_source(tmp_path, "def f(x=None, y=(), z=3):\n    return x\n", "RL201")
+        assert out == []
+
+
+# -- RL202 broad-except ------------------------------------------------------
+
+
+class TestBroadExcept:
+    def test_silent_broad_except_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            try:
+                risky()
+            except Exception:
+                fallback()
+            """,
+            "RL202",
+        )
+        assert codes(out) == ["RL202"]
+
+    def test_bare_except_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            try:
+                risky()
+            except:
+                pass
+            """,
+            "RL202",
+        )
+        assert codes(out) == ["RL202"]
+
+    def test_specific_exception_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            try:
+                risky()
+            except ValueError:
+                fallback()
+            """,
+            "RL202",
+        )
+        assert out == []
+
+    def test_logged_fallback_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            try:
+                risky()
+            except Exception:
+                logger.warning("fallback path taken")
+                fallback()
+            """,
+            "RL202",
+        )
+        assert out == []
+
+    def test_reraise_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            try:
+                risky()
+            except Exception:
+                cleanup()
+                raise
+            """,
+            "RL202",
+        )
+        assert out == []
+
+    def test_used_exception_binding_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            failures = []
+            try:
+                risky()
+            except Exception as exc:
+                failures.append(exc)
+            """,
+            "RL202",
+        )
+        assert out == []
+
+
+# -- RL203 implicit-dtype ----------------------------------------------------
+
+
+class TestImplicitDtype:
+    def test_zeros_without_dtype_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import numpy as np\nx = np.zeros(10)\n",
+            "RL203",
+            relpath="src/repro/sim/mod.py",
+        )
+        assert codes(out) == ["RL203"]
+
+    def test_full_without_dtype_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import numpy as np\nx = np.full(10, 0.5)\n",
+            "RL203",
+            relpath="src/repro/routing/mod.py",
+        )
+        assert codes(out) == ["RL203"]
+
+    def test_explicit_dtype_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "x = np.zeros(10, dtype=np.int64)\n"
+            "y = np.full(10, 0.5, dtype=np.float64)\n"
+            "z = np.empty((3, 3), np.int32)\n",
+            "RL203",
+            relpath="src/repro/sim/mod.py",
+        )
+        assert out == []
+
+    def test_out_of_scope_path_ignored(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import numpy as np\nx = np.zeros(10)\n",
+            "RL203",
+            relpath="src/repro/analysis/mod.py",
+        )
+        assert out == []
+
+
+# -- RL204 legacy-random -----------------------------------------------------
+
+
+class TestLegacyRandom:
+    def test_legacy_call_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import numpy as np\nnp.random.seed(0)\nx = np.random.rand(3)\n",
+            "RL204",
+        )
+        assert codes(out) == ["RL204", "RL204"]
+
+    def test_generator_api_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "x = rng.random(3)\n",
+            "RL204",
+        )
+        assert out == []
+
+
+# -- RL205 seedless-rng ------------------------------------------------------
+
+
+class TestSeedlessRng:
+    def test_seedless_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "RL205",
+        )
+        assert codes(out) == ["RL205"]
+
+    def test_seeded_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+            "rng2 = np.random.default_rng(seed=13)\n",
+            "RL205",
+        )
+        assert out == []
+
+
+# -- RL301 missing-all -------------------------------------------------------
+
+
+class TestMissingAll:
+    def test_module_without_all_triggers(self, tmp_path):
+        out = lint_source(tmp_path, "def api():\n    return 1\n", "RL301")
+        assert codes(out) == ["RL301"]
+
+    def test_module_with_all_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            '__all__ = ["api"]\n\ndef api():\n    return 1\n',
+            "RL301",
+        )
+        assert out == []
+
+    def test_main_module_exempt(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def api():\n    return 1\n",
+            "RL301",
+            relpath="src/repro/__main__.py",
+        )
+        assert out == []
+
+    def test_private_module_exempt(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def api():\n    return 1\n",
+            "RL301",
+            relpath="src/repro/_internal.py",
+        )
+        assert out == []
+
+
+# -- RL302 stale-all ---------------------------------------------------------
+
+
+class TestStaleAll:
+    def test_undefined_export_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            '__all__ = ["api", "ghost"]\n\ndef api():\n    return 1\n',
+            "RL302",
+        )
+        assert codes(out) == ["RL302"]
+        assert "ghost" in out[0].message
+
+    def test_non_literal_all_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            'names = ["api"]\n__all__ = names\n\ndef api():\n    return 1\n',
+            "RL302",
+        )
+        assert codes(out) == ["RL302"]
+
+    def test_defined_and_imported_exports_pass(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "from os.path import join\n"
+            "import sys\n"
+            '__all__ = ["join", "sys", "api", "LIMIT"]\n'
+            "LIMIT = 3\n"
+            "def api():\n    return 1\n",
+            "RL302",
+        )
+        assert out == []
+
+
+# -- RL303 undocumented-public ----------------------------------------------
+
+
+class TestUndocumentedPublic:
+    def test_missing_docstring_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def run_fig99():\n    return 1\n",
+            "RL303",
+            relpath="src/repro/experiments/fig99.py",
+        )
+        assert codes(out) == ["RL303"]
+
+    def test_docstring_and_private_pass(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            '''
+            def run_fig99():
+                """Reproduce Fig. 99."""
+                return 1
+
+            def _helper():
+                return 2
+            ''',
+            "RL303",
+            relpath="src/repro/experiments/fig99.py",
+        )
+        assert out == []
+
+
+# -- RL304 assert-in-lib -----------------------------------------------------
+
+
+class TestAssertInLib:
+    def test_assert_in_src_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def f(x):\n    assert x > 0\n    return x\n",
+            "RL304",
+        )
+        assert codes(out) == ["RL304"]
+
+    def test_raise_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def f(x):\n"
+            "    if x <= 0:\n"
+            "        raise ValueError(x)\n"
+            "    return x\n",
+            "RL304",
+        )
+        assert out == []
+
+    def test_tests_out_of_scope(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def test_f():\n    assert 1 + 1 == 2\n",
+            "RL304",
+            relpath="tests/test_x.py",
+        )
+        assert out == []
+
+
+# -- suppression comments ----------------------------------------------------
+
+
+class TestSuppressions:
+    def test_line_suppression_by_code(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def f(x=[]):  # repro-lint: disable=RL201\n    return x\n",
+            "RL201",
+        )
+        assert out == []
+
+    def test_line_suppression_by_slug(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def f(x=[]):  # repro-lint: disable=mutable-default-arg\n    return x\n",
+            "RL201",
+        )
+        assert out == []
+
+    def test_line_suppression_all(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def f(x=[]):  # repro-lint: disable=all\n    return x\n",
+            "RL201",
+        )
+        assert out == []
+
+    def test_file_suppression(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "# repro-lint: disable-file=RL201\n"
+            "def f(x=[]):\n    return x\n"
+            "def g(y={}):\n    return y\n",
+            "RL201",
+        )
+        assert out == []
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "def f(x=[]):  # repro-lint: disable=RL204\n    return x\n",
+            "RL201",
+        )
+        assert codes(out) == ["RL201"]
+
+    def test_suppression_index_parsing(self):
+        sup = Suppressions(
+            "x = 1  # repro-lint: disable=RL201, RL204\n"
+            "# repro-lint: disable-file=broad-except\n"
+        )
+        assert sup.line_rules[1] == {"RL201", "RL204"}
+        assert sup.file_rules == {"broad-except"}
+        hit = Violation("RL202", "broad-except", "f.py", 9, 1, "m")
+        assert sup.is_suppressed(hit)
+
+
+# -- framework / config ------------------------------------------------------
+
+
+class TestFramework:
+    def test_catalog_has_at_least_eight_rules(self):
+        rules = all_rules()
+        assert len(rules) >= 8
+        assert len({r.code for r in rules}) == len(rules)
+        assert len({r.name for r in rules}) == len(rules)
+
+    def test_get_rule_by_code_and_slug(self):
+        assert get_rule("RL203") is get_rule("implicit-dtype")
+        with pytest.raises(KeyError):
+            get_rule("RL999")
+
+    def test_path_in_scope_component_boundaries(self):
+        assert path_in_scope("src/repro/sim/flow.py", ("src/repro/sim",))
+        assert not path_in_scope("src/repro/simx.py", ("src/repro/sim",))
+        assert path_in_scope("anything.py", None)
+
+    def test_config_severity_override(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint.rules.RL304]\nseverity = \"warning\"\n"
+        )
+        src = tmp_path / "src" / "repro" / "mod.py"
+        src.parent.mkdir(parents=True)
+        src.write_text('__all__: list[str] = []\n\nassert True\n')
+        rc = main([str(src), "--root", str(tmp_path)])
+        assert rc == 0  # downgraded to warning -> gate passes
+
+    def test_config_rejects_unknown_rule(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint.rules.RL999]\nseverity = \"warning\"\n"
+        )
+        with pytest.raises(ValueError):
+            load_config(tmp_path)
+
+    def test_parse_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        out, n = run_paths([str(bad)], root=tmp_path)
+        assert n == 1
+        assert codes(out) == ["RL000"]
+
+    def test_cli_exit_codes(self, tmp_path):
+        dirty = tmp_path / "src" / "repro" / "dirty.py"
+        dirty.parent.mkdir(parents=True)
+        dirty.write_text("def f(x=[]):\n    return x\n")
+        assert main([str(dirty), "--root", str(tmp_path)]) == 1
+        assert main([str(dirty), "--root", str(tmp_path), "--select", "RL202"]) == 0
+        assert (
+            main([str(dirty), "--root", str(tmp_path), "--ignore", "RL201,RL301"]) == 0
+        )
+
+    def test_cli_relative_paths_resolve_against_root(self, tmp_path):
+        dirty = tmp_path / "src" / "repro" / "dirty.py"
+        dirty.parent.mkdir(parents=True)
+        dirty.write_text("def f(x=[]):\n    return x\n")
+        # "src" is relative to --root, not to the process CWD.
+        assert main(["src", "--root", str(tmp_path)]) == 1
+
+    def test_cli_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["src", "--root", str(tmp_path), "--select", "RL999"])
+        assert exc.value.code == 2
+        assert "unknown rule 'RL999'" in capsys.readouterr().err
+
+    def test_cli_missing_path_is_clean_error(self, tmp_path, capsys):
+        assert main(["no/such/dir", "--root", str(tmp_path)]) == 2
+        assert "repro-lint: error:" in capsys.readouterr().err
+
+
+# -- meta: the repository itself is clean ------------------------------------
+
+
+class TestRepoIsClean:
+    def test_repro_lint_clean_on_repo(self):
+        """The CI gate: the full catalog finds nothing in the repo."""
+        violations, files_checked = run_paths(
+            [
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "tests"),
+                str(REPO_ROOT / "benchmarks"),
+                str(REPO_ROOT / "examples"),
+            ],
+            root=REPO_ROOT,
+        )
+        errors = [v for v in violations if v.severity == "error"]
+        assert errors == [], "\n".join(v.format() for v in errors)
+        assert files_checked > 100  # sanity: discovery actually walked the tree
+
+    def test_cli_entry_point_runs(self):
+        """`python -m tools.lint` is the documented entry point."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint", "src", "--root", str(REPO_ROOT)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 errors" in proc.stdout
+
+    @pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+    def test_mypy_clean_on_typed_subset(self):
+        """The declared typed subset (pyproject [tool.mypy] files) passes."""
+        proc = subprocess.run(
+            ["mypy", "--no-error-summary"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,86 @@
+"""Configuration loading for repro-lint.
+
+Configuration lives in ``[tool.repro-lint]`` of the repo's
+``pyproject.toml``::
+
+    [tool.repro-lint]
+    exclude = ["src/repro.egg-info"]
+
+    [tool.repro-lint.rules.RL203]
+    paths = ["src/repro/sim", "src/repro/routing"]
+    severity = "error"
+    functions = ["zeros", "ones", "empty", "full"]
+
+Every rule table accepts ``enabled`` (bool), ``severity`` (``error`` /
+``warning``) and ``paths`` (list of path prefixes the rule is restricted
+to); remaining keys are rule-specific options handed to the rule instance.
+Rules may also be addressed by slug (``rules.implicit-dtype``).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from tools.lint.core import SEVERITIES, all_rules
+
+__all__ = ["LintConfig", "load_config", "path_in_scope"]
+
+#: Directories never linted regardless of configuration.
+ALWAYS_EXCLUDE = (".git", "__pycache__", ".github")
+
+
+@dataclass
+class LintConfig:
+    """Materialized ``[tool.repro-lint]`` settings."""
+
+    root: Path
+    exclude: tuple[str, ...] = ()
+    rule_options: dict[str, dict] = field(default_factory=dict)
+
+    def options_for(self, code: str, slug: str) -> dict:
+        merged: dict = {}
+        merged.update(self.rule_options.get(code, {}))
+        merged.update(self.rule_options.get(slug, {}))
+        return merged
+
+
+def load_config(root: Path) -> LintConfig:
+    """Read ``[tool.repro-lint]`` from ``<root>/pyproject.toml`` (if any)."""
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return LintConfig(root=root)
+    with pyproject.open("rb") as fh:
+        data = tomllib.load(fh)
+    section = data.get("tool", {}).get("repro-lint", {})
+    rule_tables = section.get("rules", {})
+    known = {cls.code for cls in all_rules()} | {cls.name for cls in all_rules()}
+    for key, table in rule_tables.items():
+        if key not in known:
+            raise ValueError(f"[tool.repro-lint.rules] refers to unknown rule {key!r}")
+        sev = table.get("severity")
+        if sev is not None and sev not in SEVERITIES:
+            raise ValueError(f"rule {key}: unknown severity {sev!r}")
+    return LintConfig(
+        root=root,
+        exclude=tuple(section.get("exclude", ())),
+        rule_options={k: dict(v) for k, v in rule_tables.items()},
+    )
+
+
+def path_in_scope(rel_path: str, prefixes: tuple[str, ...] | None) -> bool:
+    """Is *rel_path* (POSIX, repo-relative) under any of *prefixes*?
+
+    ``None`` means unrestricted.  A prefix matches whole path components:
+    ``src/repro/sim`` covers ``src/repro/sim/flow.py`` but not
+    ``src/repro/simx.py``.
+    """
+    if prefixes is None:
+        return True
+    parts = PurePosixPath(rel_path).parts
+    for prefix in prefixes:
+        p = PurePosixPath(prefix).parts
+        if parts[: len(p)] == p:
+            return True
+    return False

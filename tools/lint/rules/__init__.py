@@ -1,0 +1,12 @@
+"""repro-lint rule catalog.
+
+Importing this package registers every rule.  Codes are grouped by family:
+
+* ``RL1xx`` — domain contract rules (graph/topology preconditions);
+* ``RL2xx`` — numerics and determinism rules;
+* ``RL3xx`` — public-API hygiene rules.
+"""
+
+from tools.lint.rules import contracts, hygiene, numerics
+
+__all__ = ["contracts", "hygiene", "numerics"]

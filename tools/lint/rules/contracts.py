@@ -1,0 +1,134 @@
+"""Domain contract rules (RL1xx).
+
+The constructions in this repository are only defined for particular
+number-theoretic parameters: :math:`ER_q` needs a prime power ``q``
+(Theorem 1), Paley supernodes a prime power ``q ≡ 1 (mod 4)`` (Theorem 5),
+Inductive-Quad a degree ``d' ≡ 0,3 (mod 4)`` (Proposition 2), and the
+PolarStar radix split must satisfy Eq. 1.  A constructor that silently
+accepts a bad parameter builds a *wrong graph* — no exception, no test
+failure, just an object violating Property R/R*/R_1 downstream.  These
+rules force every graph/topology factory to validate-or-delegate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.core import (
+    ModuleContext,
+    Rule,
+    Violation,
+    dotted_name,
+    matches_any,
+    register,
+)
+
+__all__ = ["ContractValidation"]
+
+#: Function-name patterns treated as graph/topology factories.
+FACTORY_PATTERNS = (
+    "*_graph",
+    "*_supernode",
+    "*_topology",
+    "build_*",
+    "inductive_quad",
+    "star_product",
+)
+
+#: Callee-name patterns that count as precondition validation.
+VALIDATOR_PATTERNS = (
+    "is_prime_power",
+    "prime_power_root",
+    "validate*",
+    "_validate*",
+    "check_*",
+    "_check*",
+    "require_*",
+)
+
+#: Constructor method names checked inside classes.
+CONSTRUCTOR_METHODS = ("__init__", "__post_init__")
+
+
+def _calls(node: ast.AST) -> Iterator[str]:
+    """Names of every function called anywhere inside *node* (last attribute
+    segment for dotted calls, so ``repro.fields.is_prime_power`` → the
+    pattern match sees both the full chain and ``is_prime_power``)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            full = dotted_name(sub.func)
+            if full is not None:
+                yield full
+                if "." in full:
+                    yield full.rsplit(".", 1)[1]
+
+
+def _validates(fn: ast.FunctionDef, factories: tuple[str, ...], validators: tuple[str, ...]) -> bool:
+    for sub in ast.walk(fn):
+        if isinstance(sub, ast.Raise):
+            return True
+    for callee in _calls(fn):
+        if matches_any(callee, validators) or matches_any(callee, factories):
+            return True
+    return False
+
+
+@register
+class ContractValidation(Rule):
+    """Graph/topology factories must validate their preconditions.
+
+    A factory (function matching ``FACTORY_PATTERNS``, or an ``__init__`` /
+    ``__post_init__`` in a contract module) passes if its body contains a
+    ``raise`` statement, a call to a validator (``is_prime_power``,
+    ``validate_*``, ``check_*``, ...), or a delegation to another factory
+    that does.  ``assert`` does **not** count: it disappears under
+    ``python -O`` and a production-scale deployment will run optimized.
+    """
+
+    code = "RL101"
+    name = "contract-validation"
+    severity = "error"
+    default_paths = (
+        "src/repro/graphs",
+        "src/repro/topologies",
+        "src/repro/core",
+    )
+    description = (
+        "graph/topology constructors must validate number-theoretic "
+        "preconditions (prime-power q, degree residues, radix split) or "
+        "delegate to a factory that does"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        factories = tuple(self.option("factories", FACTORY_PATTERNS))
+        validators = tuple(self.option("validators", VALIDATOR_PATTERNS))
+
+        for node in ctx.top_level(ast.FunctionDef):
+            if node.name.startswith("_"):
+                continue
+            if not matches_any(node.name, factories):
+                continue
+            if not _validates(node, factories, validators):
+                yield self.flag(
+                    ctx,
+                    node,
+                    f"factory {node.name!r} builds a graph/topology without "
+                    "validating its preconditions (no raise, validator call, "
+                    "or factory delegation)",
+                )
+
+        for cls in ctx.top_level(ast.ClassDef):
+            for item in cls.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if item.name not in CONSTRUCTOR_METHODS:
+                    continue
+                if not _validates(item, factories, validators):
+                    yield self.flag(
+                        ctx,
+                        item,
+                        f"{cls.name}.{item.name} constructs a contract object "
+                        "without validating its inputs (no raise, validator "
+                        "call, or factory delegation)",
+                    )
