@@ -5,14 +5,23 @@ the same rows/series the paper reports, and archives them under
 ``benchmarks/results/`` for EXPERIMENTS.md.  Benchmarks run the experiment
 once (``pedantic`` with a single round) — the interesting output is the
 data, not the wall-clock.
+
+Each archived ``<name>.txt`` is stamped with a sibling
+``<name>.manifest.json`` — a :class:`repro.obs.RunManifest` recording the
+git revision, interpreter, wall-clock duration, quick-mode flag, and any
+seed / topology parameters the benchmark passes — so ``benchmarks/results``
+entries are self-describing.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 import pytest
+
+from repro.obs import RunManifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -20,9 +29,21 @@ RESULTS_DIR = Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def save_result():
     RESULTS_DIR.mkdir(exist_ok=True)
+    last_save = time.perf_counter()
 
-    def _save(name: str, text: str) -> None:
+    def _save(name: str, text: str, seed: int | None = None, **params) -> None:
+        nonlocal last_save
+        now = time.perf_counter()
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        manifest = RunManifest.capture(
+            seed=seed,
+            benchmark=name,
+            duration_s=round(now - last_save, 3),
+            quick_mode=quick_mode(),
+            **params,
+        )
+        (RESULTS_DIR / f"{name}.manifest.json").write_text(manifest.to_json() + "\n")
+        last_save = now
         print(f"\n===== {name} =====")
         print(text)
 

@@ -18,7 +18,11 @@ def flow_result(save_result):
         "PS-IQ", "PS-Pal", "BF", "HX", "DF", "MF", "FT", "SF"
     )
     result = fig09.run(names=names)
-    save_result("fig09_synthetic_saturation", fig09.format_figure(result))
+    save_result(
+        "fig09_synthetic_saturation",
+        fig09.format_figure(result),
+        topologies=list(names),
+    )
     return result
 
 
@@ -69,7 +73,14 @@ def test_fig09_packet_sim_uniform(benchmark, save_result):
                 f"{name:6s} load={p['load']:.2f} latency={p['latency']:8.1f} "
                 f"thr={p['throughput']:.3f} stable={p['stable']}"
             )
-    save_result("fig09_packet_sim_uniform", "\n".join(lines))
+    save_result(
+        "fig09_packet_sim_uniform",
+        "\n".join(lines),
+        seed=cfg.seed,
+        config=cfg,
+        topologies=["PS-IQ", "DF"],
+        loads=list(loads),
+    )
 
     ps = curves["PS-IQ"]
     stable = [p for p in ps if p["stable"]]

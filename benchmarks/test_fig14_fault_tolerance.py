@@ -12,7 +12,12 @@ def test_fig14(benchmark, save_result):
     result = benchmark.pedantic(
         fig14.run, kwargs={"names": names, "scenarios": scenarios}, rounds=1, iterations=1
     )
-    save_result("fig14_fault_tolerance", fig14.format_figure(result))
+    save_result(
+        "fig14_fault_tolerance",
+        fig14.format_figure(result),
+        topologies=list(names),
+        scenarios=scenarios,
+    )
 
     # §11.2: PolarStar and Bundlefly disconnect around 60% failed links;
     # Dragonfly a bit higher (~65%).

@@ -20,6 +20,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import obs
 from repro.graphs.base import Graph
 
 __all__ = [
@@ -130,7 +131,8 @@ def min_bisection(graph: Graph, restarts: int = 2, seed: int = 0) -> tuple[int, 
     spectral seed plus ``restarts`` random seeds, each FM-refined.
     """
     rng = np.random.default_rng(seed)
-    candidates = [_spectral_seed(graph)]
+    with obs.span("analysis.bisection.spectral_seed"):
+        candidates = [_spectral_seed(graph)]
     for _ in range(restarts):
         perm = rng.permutation(graph.n)
         side = np.zeros(graph.n, dtype=np.int8)
@@ -138,11 +140,12 @@ def min_bisection(graph: Graph, restarts: int = 2, seed: int = 0) -> tuple[int, 
         candidates.append(side)
 
     best_cut, best_side = None, None
-    for side in candidates:
-        refined = _fm_refine(graph, side)
-        cut = _cut_size(graph, refined)
-        if best_cut is None or cut < best_cut:
-            best_cut, best_side = cut, refined
+    with obs.span("analysis.bisection.fm_refine"):
+        for side in candidates:
+            refined = _fm_refine(graph, side)
+            cut = _cut_size(graph, refined)
+            if best_cut is None or cut < best_cut:
+                best_cut, best_side = cut, refined
     return int(best_cut), best_side
 
 

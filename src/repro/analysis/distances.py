@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse.csgraph as csgraph
 
+from repro import obs
 from repro.graphs.base import Graph
 
 __all__ = [
@@ -50,11 +51,12 @@ def diameter(graph: Graph, sample: int | None = None, seed: int = 0, chunk: int 
     """
     sources = _source_set(graph.n, sample, seed)
     worst = 0.0
-    for start in range(0, len(sources), chunk):
-        d = bfs_distances(graph, sources[start : start + chunk])
-        worst = max(worst, float(d.max()))
-        if np.isinf(worst):
-            return worst
+    with obs.span("analysis.distances.diameter"):
+        for start in range(0, len(sources), chunk):
+            d = bfs_distances(graph, sources[start : start + chunk])
+            worst = max(worst, float(d.max()))
+            if np.isinf(worst):
+                return worst
     return worst
 
 
@@ -67,12 +69,13 @@ def average_path_length(
     sources = _source_set(graph.n, sample, seed)
     total = 0.0
     count = 0
-    for start in range(0, len(sources), chunk):
-        block = sources[start : start + chunk]
-        d = bfs_distances(graph, block)
-        finite = np.isfinite(d)
-        total += d[finite].sum()
-        count += int(finite.sum()) - len(block)  # exclude the zero self-distances
+    with obs.span("analysis.distances.average_path_length"):
+        for start in range(0, len(sources), chunk):
+            block = sources[start : start + chunk]
+            d = bfs_distances(graph, block)
+            finite = np.isfinite(d)
+            total += d[finite].sum()
+            count += int(finite.sum()) - len(block)  # exclude the zero self-distances
     return total / count if count else float("inf")
 
 

@@ -6,12 +6,17 @@ Usage (after ``pip install -e .``)::
     python -m repro topology df --a 12 --h 6
     python -m repro design-space 24                 # feasible configs
     python -m repro experiment fig01                # regenerate an artifact
-    python -m repro experiment tab03
+    python -m repro experiment tab03 --metrics-out m.json
     python -m repro route --radix 15 --src 0 --dst 900
+    python -m repro sim --radix 7 --load 0.3 --adaptive --metrics-out m.json
+    python -m repro obs summary m.json              # inspect an artifact
 
 ``experiment`` accepts any module name from :mod:`repro.experiments`
 (fig01, fig04, fig07, fig09, fig10, fig11, fig12, fig13, fig14, tab01,
-tab02, tab03, eq12, sec08).
+tab02, tab03, eq12, sec08).  ``--metrics-out PATH`` (on ``experiment`` and
+``sim``) enables the :mod:`repro.obs` subsystem for the run and writes the
+metrics + span-profile + manifest JSON artifact; ``obs summary`` renders
+such an artifact for humans (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -81,11 +86,66 @@ def _cmd_design_space(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    from repro.experiments.common import obs_session
+
     if args.name not in EXPERIMENTS:
         raise SystemExit(f"unknown experiment {args.name!r}; options: {EXPERIMENTS}")
     mod = importlib.import_module(f"repro.experiments.{args.name}")
-    result = mod.run()
+    with obs_session(args.metrics_out, experiment=args.name):
+        result = mod.run()
     print(mod.format_figure(result))
+    if args.metrics_out:
+        print(f"\nmetrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_sim(args) -> int:
+    """Instrumented packet-sim run on a small PolarStar (smoke/CI workload)."""
+    from repro.experiments.common import obs_session
+    from repro.routing import TableRouter
+    from repro.sim.packet import PacketSimConfig, PacketSimulator
+    from repro.topologies import polarstar_topology
+    from repro.traffic import RandomPermutationPattern, UniformRandomPattern
+
+    topo = polarstar_topology(args.radix, p=args.p)
+    router = TableRouter(topo.graph)
+    if args.pattern == "uniform":
+        pattern = UniformRandomPattern(topo)
+    else:
+        pattern = RandomPermutationPattern(topo, seed=args.seed)
+    cfg = PacketSimConfig(
+        warmup_cycles=args.warmup_cycles,
+        measure_cycles=args.measure_cycles,
+        drain_cycles=args.drain_cycles,
+        seed=args.seed,
+    )
+    with obs_session(
+        args.metrics_out,
+        seed=args.seed,
+        config=cfg,
+        topology=topo,
+        load=args.load,
+        pattern=args.pattern,
+        adaptive=args.adaptive,
+    ):
+        sim = PacketSimulator(topo, router, pattern, cfg, adaptive=args.adaptive)
+        res = sim.run(args.load)
+    print(
+        f"{topo.name}: load={res.offered_load:.2f} avg_lat={res.avg_latency:.1f} "
+        f"p99={res.p99_latency:.1f} thr={res.throughput:.3f} "
+        f"delivered={res.delivered}/{res.injected} stable={res.stable}"
+    )
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs import console_summary, load_json
+
+    if args.action != "summary":
+        raise SystemExit(f"unknown obs action {args.action!r}")
+    print(console_summary(load_json(args.path)))
     return 0
 
 
@@ -126,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")
     e.add_argument("name", help=f"one of {EXPERIMENTS}")
+    e.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs for the run and export the JSON artifact here",
+    )
     e.set_defaults(fn=_cmd_experiment)
 
     r = sub.add_parser("route", help="route analytically on a PolarStar")
@@ -133,6 +199,31 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--src", type=int, required=True)
     r.add_argument("--dst", type=int, required=True)
     r.set_defaults(fn=_cmd_route)
+
+    s = sub.add_parser(
+        "sim", help="run the packet simulator on a small PolarStar instance"
+    )
+    s.add_argument("--radix", type=int, default=7, help="PolarStar network radix")
+    s.add_argument("--p", type=int, default=2, help="endpoints per router")
+    s.add_argument("--load", type=float, default=0.3, help="offered load in [0, 1]")
+    s.add_argument("--pattern", choices=["uniform", "permutation"], default="uniform")
+    s.add_argument("--adaptive", action="store_true", help="UGAL-L injection choice")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--warmup-cycles", type=int, default=300)
+    s.add_argument("--measure-cycles", type=int, default=1500)
+    s.add_argument("--drain-cycles", type=int, default=1500)
+    s.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs for the run and export the JSON artifact here",
+    )
+    s.set_defaults(fn=_cmd_sim)
+
+    o = sub.add_parser("obs", help="inspect an exported observability artifact")
+    o.add_argument("action", choices=["summary"], help="summary: render for humans")
+    o.add_argument("path", help="JSON artifact written by --metrics-out")
+    o.set_defaults(fn=_cmd_obs)
 
     return p
 

@@ -1,13 +1,15 @@
 """Shared experiment utilities: routers per topology, table rendering,
-geometric means."""
+geometric means, and the observability session every driver can opt into."""
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.routing import (
     DragonflyRouter,
     HyperXRouter,
@@ -21,11 +23,33 @@ from repro.topologies.table3 import build_reduced_topology
 
 __all__ = [
     "geometric_mean",
+    "obs_session",
     "paper_router",
     "table3_instance",
     "table3_router",
     "format_table",
 ]
+
+
+@contextmanager
+def obs_session(metrics_out: str | None, **manifest_fields):
+    """Scoped observability for one experiment / simulator run.
+
+    When ``metrics_out`` is ``None`` this is a no-op (ambient observability
+    stays disabled, instrumented code pays null-instrument costs only).
+    Otherwise an enabled ambient session covers the body, and on exit the
+    metrics, span profile tree, and a captured :class:`~repro.obs.RunManifest`
+    (``manifest_fields`` land in its ``extra`` section, except the
+    recognized ``seed``/``config``/``topology`` keywords) are exported to
+    ``metrics_out`` as JSON.  Yields the registry (or ``None``).
+    """
+    if metrics_out is None:
+        yield None
+        return
+    with obs.session() as (registry, tracer):
+        yield registry
+        manifest = obs.RunManifest.capture(**manifest_fields)
+        obs.export_json(metrics_out, registry, tracer, manifest)
 
 
 def geometric_mean(values: Sequence[float]) -> float:

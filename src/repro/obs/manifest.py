@@ -1,0 +1,130 @@
+"""Run manifests: everything needed to re-run (and trust) one result.
+
+A :class:`RunManifest` pins the reproducibility surface of a run — RNG
+seeds, configuration, topology parameters, code revision, interpreter and
+platform — so that every exported metrics file and archived benchmark
+result is self-describing.  Capture is best-effort: a missing git binary
+or a non-repo checkout degrades the revision to ``None`` rather than
+failing the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RunManifest",
+    "git_revision",
+]
+
+#: JSON schema tag written into every export (bump on breaking changes).
+SCHEMA = "repro.obs/v1"
+
+
+def git_revision(cwd: str | None = None) -> str | None:
+    """Current git commit hash (``None`` outside a repo / without git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def _clean(obj):
+    """Recursively coerce to JSON-safe types (dataclasses, numpy scalars)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _clean(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): _clean(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_clean(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    return repr(obj)
+
+
+@dataclass
+class RunManifest:
+    """Reproducibility record attached to metrics exports and benchmarks."""
+
+    created_unix: float = 0.0
+    git: str | None = None
+    python: str = ""
+    platform: str = ""
+    argv: list[str] = field(default_factory=list)
+    seed: int | None = None
+    config: dict = field(default_factory=dict)
+    topology: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        seed: int | None = None,
+        config=None,
+        topology=None,
+        **extra,
+    ) -> "RunManifest":
+        """Snapshot the environment plus caller-supplied run parameters.
+
+        ``config`` may be a dataclass (e.g. ``PacketSimConfig``) or a dict;
+        ``topology`` a :class:`~repro.topologies.base.Topology` or a dict.
+        Extra keyword arguments land in ``extra`` verbatim.
+        """
+        topo_info: dict = {}
+        if topology is not None:
+            if isinstance(topology, dict):
+                topo_info = _clean(topology)
+            else:  # a Topology: record its identifying parameters
+                topo_info = {
+                    "name": getattr(topology, "name", repr(topology)),
+                    "routers": getattr(getattr(topology, "graph", None), "n", None),
+                    "links": getattr(getattr(topology, "graph", None), "m", None),
+                    "endpoints": getattr(topology, "num_endpoints", None),
+                    "meta": _clean(
+                        {
+                            k: v
+                            for k, v in getattr(topology, "meta", {}).items()
+                            if isinstance(v, (str, int, float, bool, tuple, list))
+                        }
+                    ),
+                }
+        return cls(
+            created_unix=time.time(),
+            git=git_revision(),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            argv=list(sys.argv),
+            seed=None if seed is None else int(seed),
+            config=_clean(config) if config is not None else {},
+            topology=topo_info,
+            extra=_clean(extra),
+        )
+
+    def to_dict(self) -> dict:
+        return {"schema": SCHEMA, **dataclasses.asdict(self)}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Inverse of :meth:`to_dict` (unknown keys ignored)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})

@@ -1,0 +1,119 @@
+"""Lightweight tracing: ``span("phase")`` wall-clock profile trees.
+
+A :class:`Tracer` maintains a stack of open spans; each ``span(name)``
+context manager accumulates elapsed wall-clock into a tree node keyed by
+name under its parent, so repeated entries aggregate (count + total time)
+rather than growing an event log.  The result is a profile tree — "where
+did this run spend its time" — exported alongside the metrics.
+
+This module is the only place in ``src/repro`` allowed to read the wall
+clock directly (enforced by repro-lint rule RL206): everything else calls
+``obs.span`` so profiles stay structured and disabled runs stay free of
+timing syscalls.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "SpanNode",
+    "Tracer",
+    "NULL_TRACER",
+]
+
+
+class SpanNode:
+    """Aggregated timings of one span name at one position in the tree."""
+
+    __slots__ = ("name", "count", "total_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.children: dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def self_s(self) -> float:
+        """Time spent in this span minus its children (exclusive time)."""
+        return self.total_s - sum(c.total_s for c in self.children.values())
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "children": [
+                self.children[k].snapshot() for k in sorted(self.children)
+            ],
+        }
+
+
+class Tracer:
+    """Span-stack profiler; one per observability session."""
+
+    def __init__(self) -> None:
+        self.root = SpanNode("run")
+        self._stack: list[SpanNode] = [self.root]
+
+    @contextmanager
+    def span(self, name: str):
+        """Accumulate wall-clock time under *name* below the open span."""
+        node = self._stack[-1].child(name)
+        self._stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.total_s += time.perf_counter() - start
+            node.count += 1
+            self._stack.pop()
+
+    def snapshot(self) -> dict:
+        """The profile tree as nested dicts (exporter input)."""
+        return self.root.snapshot()
+
+    def clear(self) -> None:
+        self.root = SpanNode("run")
+        self._stack = [self.root]
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullTracer:
+    """Disabled tracer: ``span`` returns a shared no-op context manager."""
+
+    __slots__ = ()
+    root = None
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def snapshot(self) -> dict:
+        return {"name": "run", "count": 0, "total_s": 0.0, "children": []}
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = _NullTracer()

@@ -15,6 +15,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
 from repro.routing.base import Router, route_path
 
 __all__ = [
@@ -48,11 +50,27 @@ class UgalPolicy:
     in the cycle simulator, or 0 for an uncongested probe).
     """
 
-    def __init__(self, router: Router, samples: int = 4, seed: int = 0, bias: float = 1.0):
+    def __init__(
+        self,
+        router: Router,
+        samples: int = 4,
+        seed: int = 0,
+        bias: float = 1.0,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.router = router
         self.samples = samples
         self.rng = np.random.default_rng(seed)
         self.bias = bias  # multiplicative preference for minimal paths
+        # Decision counters resolve against the ambient registry unless an
+        # explicit one is given; a disabled registry hands back null
+        # instruments, so the per-choice cost is one no-op call.
+        reg = metrics if metrics is not None else obs.get_registry()
+        self._decisions = reg.counter(
+            "routing.ugal.decisions",
+            help="UGAL path choices by outcome (minimal vs Valiant detour)",
+            labels=("choice",),
+        )
 
     def choose(
         self,
@@ -78,4 +96,7 @@ class UgalPolicy:
             cost = hops * (1.0 + queue_fn(src, nxt))
             if cost < best.est_cost:
                 best = UgalDecision(minimal=False, intermediate=mid, est_cost=cost)
+        self._decisions.labels(
+            choice="minimal" if best.minimal else "nonminimal"
+        ).inc()
         return best

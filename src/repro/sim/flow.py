@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.routing.base import Router
 from repro.topologies.base import Topology
 
@@ -62,38 +63,64 @@ def link_loads(
     DAG-propagation path is used — required for full Table 3 scale.
     """
     if mode == "all" and hasattr(router, "dist"):
-        return _link_loads_vectorized(topology, router.dist, demand)
+        with obs.span("sim.flow.link_loads.vectorized"):
+            loads = _link_loads_vectorized(topology, router.dist, demand)
+            _record_flow_metrics(loads, columns=int((demand != 0).any(axis=0).sum()))
+            return loads
     g = topology.graph
     eidx = _edge_index(topology)
     loads = np.zeros(len(eidx), dtype=np.float64)
     n = g.n
+    columns = 0
 
-    for t in range(n):
-        col = demand[:, t]
-        sources = np.nonzero(col)[0]
-        if not len(sources):
-            continue
-        # Propagate flow down the minimal-path DAG toward t, farthest layer
-        # first; flow only ever moves to strictly smaller distances, so each
-        # layer is complete when processed.
-        by_dist: dict[int, dict[int, float]] = {}
-        for s in sources:
-            d = router.distance(int(s), t)
-            by_dist.setdefault(d, {})
-            by_dist[d][int(s)] = by_dist[d].get(int(s), 0.0) + float(col[s])
-        dmax = max(by_dist)
-        for d in range(dmax, 0, -1):
-            for u, f in by_dist.get(d, {}).items():
-                if f == 0.0:
-                    continue
-                hops = router.next_hops(u, t) if mode == "all" else [router.next_hop(u, t)]
-                share = f / len(hops)
-                for v in hops:
-                    loads[eidx[(u, v)]] += share
-                    nd = router.distance(v, t)
-                    by_dist.setdefault(nd, {})
-                    by_dist[nd][v] = by_dist[nd].get(v, 0.0) + share
+    with obs.span("sim.flow.link_loads.scalar"):
+        for t in range(n):
+            col = demand[:, t]
+            sources = np.nonzero(col)[0]
+            if not len(sources):
+                continue
+            columns += 1
+            # Propagate flow down the minimal-path DAG toward t, farthest layer
+            # first; flow only ever moves to strictly smaller distances, so each
+            # layer is complete when processed.
+            by_dist: dict[int, dict[int, float]] = {}
+            for s in sources:
+                d = router.distance(int(s), t)
+                by_dist.setdefault(d, {})
+                by_dist[d][int(s)] = by_dist[d].get(int(s), 0.0) + float(col[s])
+            dmax = max(by_dist)
+            for d in range(dmax, 0, -1):
+                for u, f in by_dist.get(d, {}).items():
+                    if f == 0.0:
+                        continue
+                    hops = router.next_hops(u, t) if mode == "all" else [router.next_hop(u, t)]
+                    share = f / len(hops)
+                    for v in hops:
+                        loads[eidx[(u, v)]] += share
+                        nd = router.distance(v, t)
+                        by_dist.setdefault(nd, {})
+                        by_dist[nd][v] = by_dist[nd].get(v, 0.0) + share
+    _record_flow_metrics(loads, columns=columns)
     return loads
+
+
+def _record_flow_metrics(loads: np.ndarray, columns: int) -> None:
+    """Publish one link_loads solve into the ambient registry (no-op when
+    observability is disabled: disabled registries hand out null instruments)."""
+    reg = obs.get_registry()
+    if not reg.enabled:
+        return
+    reg.counter(
+        "sim.flow.dest_columns",
+        help="destination columns propagated through the minimal-path DAG",
+    ).inc(columns)
+    reg.counter(
+        "sim.flow.solves", help="link_loads invocations (flow-model iterations)"
+    ).inc()
+    reg.gauge(
+        "sim.flow.max_link_load",
+        help="peak per-link load of the most recent worst solve (saturation = 1/peak)",
+    ).set_max(float(loads.max()) if len(loads) else 0.0)
 
 
 def _link_loads_vectorized(topology: Topology, dist: np.ndarray, demand: np.ndarray) -> np.ndarray:

@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
 from repro.routing.base import Router
 from repro.topologies.base import Topology
 from repro.traffic.patterns import TrafficPattern
@@ -98,12 +100,15 @@ class PacketSimulator:
         pattern: TrafficPattern,
         config: PacketSimConfig | None = None,
         adaptive: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         self.topology = topology
         self.router = router
         self.pattern = pattern
         self.cfg = config or PacketSimConfig()
         self.adaptive = adaptive
+        #: Explicit registry, or ``None`` to use the ambient one per run.
+        self.metrics = metrics
 
         g = topology.graph
         self.link_id: dict[tuple[int, int], int] = {}
@@ -114,24 +119,113 @@ class PacketSimulator:
                 ends.append((u, int(v)))
         self.ends = ends
         self.num_links = len(ends)
-        # Per-(router, target) next-hop memo: profiling shows repeated
-        # next_hop computation dominates the event loop otherwise.  Bounded
-        # by n² entries at the reduced scales this simulator runs at.
+        # Per-(router, target) next-hop memo, bounded by n² entries at the
+        # reduced scales this simulator runs at.  Effectiveness is tracked
+        # by the plain hit/miss tallies below and published per run as the
+        # sim.packet.nexthop_cache counter pair.
         self._nh_cache: dict[tuple[int, int], int] = {}
+        self._nh_hits = 0
+        self._nh_misses = 0
 
     def _next_hop(self, current: int, target: int) -> int:
         key = (current, target)
         hop = self._nh_cache.get(key)
         if hop is None:
+            self._nh_misses += 1
             hop = self.router.next_hop(current, target)
             self._nh_cache[key] = hop
+        else:
+            self._nh_hits += 1
         return hop
+
+    def _flush_metrics(
+        self,
+        reg: MetricsRegistry,
+        *,
+        link_busy: np.ndarray,
+        latencies: list[int],
+        injected: int,
+        delivered: int,
+        ugal: tuple[int, int],
+        vc_cap_sends: int,
+        max_hops: int,
+        nh_delta: tuple[int, int],
+        horizon: int,
+    ) -> None:
+        """Publish one run's bulk tallies into the registry (enabled mode).
+
+        The hot loop accumulates plain ints / arrays; this single flush is
+        what keeps the instrumented path within a few percent of baseline.
+        """
+        with obs.span("sim.packet.flush"):
+            flits = reg.counter(
+                "sim.packet.link_flits",
+                help="flits serialized per directed link (busy cycles)",
+                labels=("link",),
+            )
+            for lid in np.nonzero(link_busy)[0]:
+                u, v = self.ends[lid]
+                flits.labels(link=f"{u}->{v}").inc(int(link_busy[lid]))
+            reg.histogram(
+                "sim.packet.latency_cycles",
+                help="measured packet latency (injection to ejection), cycles",
+                bounds=(8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192),
+            ).observe_many(latencies)
+            pkts = reg.counter(
+                "sim.packet.packets",
+                help="measured-window packet counts by lifecycle stage",
+                labels=("stage",),
+            )
+            pkts.labels(stage="injected").inc(injected)
+            pkts.labels(stage="delivered").inc(delivered)
+            decisions = reg.counter(
+                "sim.packet.ugal_decisions",
+                help="UGAL-L injection choices (minimal vs Valiant detour)",
+                labels=("choice",),
+            )
+            decisions.labels(choice="minimal").inc(ugal[0])
+            decisions.labels(choice="nonminimal").inc(ugal[1])
+            cache = reg.counter(
+                "sim.packet.nexthop_cache",
+                help="per-(router, target) next-hop memo effectiveness",
+                labels=("result",),
+            )
+            cache.labels(result="hit").inc(nh_delta[0])
+            cache.labels(result="miss").inc(nh_delta[1])
+            reg.counter(
+                "sim.packet.deadlock.vc_cap_sends",
+                help="deadlock probe: sends by packets in the capped VC class",
+            ).inc(vc_cap_sends)
+            reg.gauge(
+                "sim.packet.deadlock.max_hops",
+                help="deadlock probe: longest hop count of any delivered packet",
+            ).set_max(max_hops)
+            reg.gauge(
+                "sim.packet.max_link_utilization",
+                help="busiest link's busy fraction over warmup + measurement",
+            ).set_max(float(link_busy.max() / max(horizon, 1)) if self.num_links else 0.0)
 
     def run(self, load: float) -> PacketSimResult:
         cfg = self.cfg
         topo = self.topology
         rng = np.random.default_rng(cfg.seed)
         horizon = cfg.warmup_cycles + cfg.measure_cycles
+
+        # Observability: resolve the registry once per run; when disabled the
+        # hot loop pays a single local-bool test per guarded block.
+        reg = self.metrics if self.metrics is not None else obs.get_registry()
+        obs_on = reg.enabled
+        nh_hits0, nh_misses0 = self._nh_hits, self._nh_misses
+        ugal_minimal = 0
+        ugal_nonminimal = 0
+        vc_cap_sends = 0  # deadlock probe: sends in the capped VC class
+        max_hops_seen = 0
+        if obs_on:
+            qdepth = reg.histogram(
+                "sim.packet.queue_depth",
+                help="output-queue depth observed at each packet enqueue",
+                bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+            )
 
         # ---- pre-generated open-loop injections (Poisson per endpoint) ----
         rate = load / cfg.packet_size  # packets / endpoint / cycle
@@ -140,23 +234,24 @@ class PacketSimulator:
         injected_measured = 0
         ARRIVE, WAKE = 0, 1
         if rate > 0:
-            for e in range(topo.num_endpoints):
-                src_r = int(topo.endpoint_router[e])
-                t = rng.exponential(1.0 / rate)
-                while t < horizon:
-                    dest_e = self.pattern.dest_endpoint(e, rng)
-                    birth = int(t)
-                    t += rng.exponential(1.0 / rate)
-                    if dest_e == e:
-                        continue
-                    dest_r = int(topo.endpoint_router[dest_e])
-                    if dest_r == src_r:
-                        continue
-                    pkt = _Packet(src_r, dest_r, birth)
-                    heapq.heappush(events, (birth, ARRIVE, seq, pkt))
-                    seq += 1
-                    if cfg.warmup_cycles <= birth < horizon:
-                        injected_measured += 1
+            with obs.span("sim.packet.inject"):
+                for e in range(topo.num_endpoints):
+                    src_r = int(topo.endpoint_router[e])
+                    t = rng.exponential(1.0 / rate)
+                    while t < horizon:
+                        dest_e = self.pattern.dest_endpoint(e, rng)
+                        birth = int(t)
+                        t += rng.exponential(1.0 / rate)
+                        if dest_e == e:
+                            continue
+                        dest_r = int(topo.endpoint_router[dest_e])
+                        if dest_r == src_r:
+                            continue
+                        pkt = _Packet(src_r, dest_r, birth)
+                        heapq.heappush(events, (birth, ARRIVE, seq, pkt))
+                        seq += 1
+                        if cfg.warmup_cycles <= birth < horizon:
+                            injected_measured += 1
 
         link_free = np.zeros(self.num_links, dtype=np.int64)
         link_busy = np.zeros(self.num_links, dtype=np.int64)  # cycles occupied
@@ -175,6 +270,7 @@ class PacketSimulator:
 
         def choose_route(pkt: _Packet) -> None:
             """UGAL-L decision at injection (minimal vs sampled Valiant)."""
+            nonlocal ugal_minimal, ugal_nonminimal
             n = topo.num_routers
             min_next = self._next_hop(pkt.src, pkt.dest)
             best_cost = self.router.distance(pkt.src, pkt.dest) * (
@@ -192,6 +288,10 @@ class PacketSimulator:
                 if cost < best_cost:
                     best_cost, best_mid = cost, mid
             pkt.intermediate = best_mid
+            if best_mid < 0:
+                ugal_minimal += 1
+            else:
+                ugal_nonminimal += 1
 
         def release(pkt: _Packet, now: int) -> None:
             """Free the buffer slot the packet held (when it leaves a router)."""
@@ -208,6 +308,7 @@ class PacketSimulator:
 
         def try_dispatch(lid: int, now: int) -> None:
             """Move sendable packets out on link lid (FIFO with VC lookahead)."""
+            nonlocal vc_cap_sends
             while waiting[lid] and link_free[lid] <= now:
                 sent = False
                 for i, pkt in enumerate(waiting[lid]):
@@ -218,6 +319,10 @@ class PacketSimulator:
                         release(pkt, now)  # leaves the current router
                         link_free[lid] = now + cfg.packet_size
                         link_busy[lid] += cfg.packet_size
+                        if obs_on and pkt.vc + 1 > nvc:
+                            # Deadlock probe: the packet exhausted its
+                            # distance-class VCs and rides the capped class.
+                            vc_cap_sends += 1
                         arrive = now + cfg.packet_size + cfg.link_latency
                         _, v = self.ends[lid]
                         pkt.router = v
@@ -238,33 +343,55 @@ class PacketSimulator:
 
         # ---- main loop ----
         end_time = horizon + cfg.drain_cycles
-        while events:
-            now, kind, _, payload = heapq.heappop(events)
-            if now > end_time:
-                break
-            if kind == WAKE:
-                lid = payload  # type: ignore[assignment]
-                wake_scheduled[lid] = False
-                try_dispatch(lid, now)
-                continue
+        with obs.span("sim.packet.events"):
+            while events:
+                now, kind, _, payload = heapq.heappop(events)
+                if now > end_time:
+                    break
+                if kind == WAKE:
+                    lid = payload  # type: ignore[assignment]
+                    wake_scheduled[lid] = False
+                    try_dispatch(lid, now)
+                    continue
 
-            pkt: _Packet = payload  # type: ignore[assignment]
-            if pkt.in_link < 0 and self.adaptive and pkt.router == pkt.src:
-                choose_route(pkt)
-            if pkt.intermediate == pkt.router:
-                pkt.intermediate = -1
-            if pkt.router == pkt.dest:
-                release(pkt, now)  # ejection frees the buffer immediately
-                if cfg.warmup_cycles <= pkt.birth < horizon:
-                    latencies.append(now - pkt.birth)
-                    hop_total += pkt.hops
-                    delivered_measured += 1
-                continue
-            target = pkt.intermediate if pkt.intermediate >= 0 else pkt.dest
-            nxt = self._next_hop(pkt.router, target)
-            lid = self.link_id[(pkt.router, nxt)]
-            waiting[lid].append(pkt)
-            try_dispatch(lid, now + cfg.router_latency)
+                pkt: _Packet = payload  # type: ignore[assignment]
+                if pkt.in_link < 0 and self.adaptive and pkt.router == pkt.src:
+                    choose_route(pkt)
+                if pkt.intermediate == pkt.router:
+                    pkt.intermediate = -1
+                if pkt.router == pkt.dest:
+                    release(pkt, now)  # ejection frees the buffer immediately
+                    if cfg.warmup_cycles <= pkt.birth < horizon:
+                        latencies.append(now - pkt.birth)
+                        hop_total += pkt.hops
+                        delivered_measured += 1
+                    if obs_on and pkt.hops > max_hops_seen:
+                        max_hops_seen = pkt.hops
+                    continue
+                target = pkt.intermediate if pkt.intermediate >= 0 else pkt.dest
+                nxt = self._next_hop(pkt.router, target)
+                lid = self.link_id[(pkt.router, nxt)]
+                waiting[lid].append(pkt)
+                if obs_on:
+                    qdepth.observe(len(waiting[lid]))
+                try_dispatch(lid, now + cfg.router_latency)
+
+        if obs_on:
+            self._flush_metrics(
+                reg,
+                link_busy=link_busy,
+                latencies=latencies,
+                injected=injected_measured,
+                delivered=delivered_measured,
+                ugal=(ugal_minimal, ugal_nonminimal),
+                vc_cap_sends=vc_cap_sends,
+                max_hops=max_hops_seen,
+                nh_delta=(
+                    self._nh_hits - nh_hits0,
+                    self._nh_misses - nh_misses0,
+                ),
+                horizon=horizon,
+            )
 
         avg_lat = float(np.mean(latencies)) if latencies else float("inf")
         p99 = float(np.percentile(latencies, 99)) if latencies else float("inf")

@@ -323,6 +323,79 @@ class TestSeedlessRng:
         assert out == []
 
 
+# -- RL206 raw-wall-clock ----------------------------------------------------
+
+
+class TestRawWallClock:
+    def test_module_attribute_call_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import time\nstart = time.perf_counter()\n",
+            "RL206",
+        )
+        assert codes(out) == ["RL206"]
+
+    def test_time_time_and_monotonic_trigger(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import time\na = time.time()\nb = time.monotonic()\n",
+            "RL206",
+        )
+        assert codes(out) == ["RL206", "RL206"]
+
+    def test_from_import_bare_call_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "from time import perf_counter\nstart = perf_counter()\n",
+            "RL206",
+        )
+        assert codes(out) == ["RL206"]
+
+    def test_from_import_alias_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "from time import perf_counter as clock\nstart = clock()\n",
+            "RL206",
+        )
+        assert codes(out) == ["RL206"]
+
+    def test_non_clock_time_functions_pass(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import time\ntime.sleep(1)\ns = time.strftime('%Y')\n",
+            "RL206",
+        )
+        assert out == []
+
+    def test_obs_package_is_exempt(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import time\nstart = time.perf_counter()\n",
+            "RL206",
+            relpath="src/repro/obs/tracing.py",
+        )
+        assert out == []
+
+    def test_unrelated_bare_name_passes(self, tmp_path):
+        # a local function that happens to be called `perf_counter` but was
+        # not imported from time must not fire
+        out = lint_source(
+            tmp_path,
+            "def perf_counter():\n    return 0\n\nx = perf_counter()\n",
+            "RL206",
+        )
+        assert out == []
+
+    def test_suppression_comment(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import time\n"
+            "start = time.time()  # repro-lint: disable=RL206\n",
+            "RL206",
+        )
+        assert out == []
+
+
 # -- RL301 missing-all -------------------------------------------------------
 
 
