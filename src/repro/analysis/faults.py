@@ -4,6 +4,11 @@ The paper removes random links until the network disconnects, reporting the
 evolution of diameter and average shortest-path length, plus the
 *disconnection ratio* (fraction of links removed when the network first
 disconnects), median over 100 scenarios.
+
+Connectivity probes share a :class:`ConnectivityProber`, which hoists the
+per-call COO endpoint/weight buffers out of the hot loop — a disconnection
+binary search issues O(log m) probes against one graph, and the median over
+scenarios issues hundreds.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from repro.analysis.distances import average_path_length, diameter
 from repro.graphs.base import Graph
 
 __all__ = [
+    "ConnectivityProber",
     "FaultSweepResult",
     "disconnection_ratio",
     "link_failure_sweep",
@@ -34,31 +40,76 @@ class FaultSweepResult:
     disconnection_ratio: float = 1.0
 
 
+class ConnectivityProber:
+    """Reusable is-the-graph-still-connected tester for one graph.
+
+    Holds the edge endpoint arrays and a unit-weight buffer once, so each
+    probe only slices them by the surviving-edge mask and runs
+    ``connected_components`` — no per-call edge-array fetch or weight
+    allocation.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        e = graph.edge_array
+        self._rows = np.ascontiguousarray(e[:, 0]) if graph.m else np.empty(0, np.int64)
+        self._cols = np.ascontiguousarray(e[:, 1]) if graph.m else np.empty(0, np.int64)
+        self._ones = np.ones(graph.m, dtype=np.int8)
+
+    def is_connected(self, keep_mask: np.ndarray) -> bool:
+        """True iff the subgraph keeping ``keep_mask`` edges is connected."""
+        n = self.graph.n
+        if n <= 1:
+            return True
+        rows = self._rows[keep_mask]
+        if len(rows) < n - 1:
+            return False  # fewer edges than any spanning tree
+        cols = self._cols[keep_mask]
+        deg = np.bincount(rows, minlength=n) + np.bincount(cols, minlength=n)
+        if (deg == 0).any():
+            return False  # isolated vertex — the common random-failure cut
+        mat = sp.coo_matrix(
+            (self._ones[: len(rows)], (rows, cols)), shape=(n, n)
+        )
+        ncomp, _ = sp.csgraph.connected_components(mat, directed=False)
+        return bool(ncomp == 1)
+
+    def first_disconnecting_count(
+        self, order: np.ndarray, lo: int = 0, hi: int | None = None
+    ) -> int:
+        """Smallest removal count (prefix of ``order``) that disconnects.
+
+        ``lo`` must leave the graph connected and ``hi`` (default ``m``)
+        disconnect it; standard bisection invariant.  Returns ``hi`` when
+        the bracket is already tight.
+        """
+        hi = self.graph.m if hi is None else hi
+        keep = np.ones(self.graph.m, dtype=bool)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            keep[:] = True
+            keep[order[:mid]] = False
+            if self.is_connected(keep):
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+
 def _is_connected_subset(graph: Graph, keep_mask: np.ndarray) -> bool:
-    e = graph.edge_array[keep_mask]
-    if graph.n > 1 and len(e) == 0:
-        return False
-    data = np.ones(len(e), dtype=np.int8)
-    mat = sp.coo_matrix((data, (e[:, 0], e[:, 1])), shape=(graph.n, graph.n))
-    ncomp, _ = sp.csgraph.connected_components(mat, directed=False)
-    return ncomp == 1
+    """One-shot probe (prefer :class:`ConnectivityProber` in loops)."""
+    return ConnectivityProber(graph).is_connected(keep_mask)
 
 
-def disconnection_ratio(graph: Graph, seed: int = 0) -> float:
+def disconnection_ratio(
+    graph: Graph, seed: int = 0, prober: ConnectivityProber | None = None
+) -> float:
     """Fraction of links whose (random-order) removal first disconnects the
     graph, found by binary search over one random removal order."""
     rng = np.random.default_rng(seed)
     order = rng.permutation(graph.m)
-    lo, hi = 0, graph.m  # lo: connected after removing `lo` links; hi: not
-    while hi - lo > 1:
-        mid = (lo + hi) // 2
-        keep = np.ones(graph.m, dtype=bool)
-        keep[order[:mid]] = False
-        if _is_connected_subset(graph, keep):
-            lo = mid
-        else:
-            hi = mid
-    return hi / graph.m
+    prober = prober if prober is not None else ConnectivityProber(graph)
+    return prober.first_disconnecting_count(order) / graph.m
 
 
 def link_failure_sweep(
@@ -72,19 +123,24 @@ def link_failure_sweep(
     ``fractions`` is an increasing sequence of failed-link fractions; each
     step reuses the same random removal order (cumulative failures, as in
     the paper).  Diameter/APL are estimated from ``sample_sources`` BFS
-    sources.  Stops early at the first disconnecting step and records the
-    disconnection ratio for this scenario.
+    sources.  Stops early at the first disconnecting step; the recorded
+    disconnection ratio is then *bisected* between the last connected step
+    and the disconnecting one, not the coarse grid fraction.
     """
     rng = np.random.default_rng(seed)
     order = rng.permutation(graph.m)
+    prober = ConnectivityProber(graph)
     result = FaultSweepResult()
+    prev_k = 0
     for frac in fractions:
         k = int(round(frac * graph.m))
         keep = np.ones(graph.m, dtype=bool)
         keep[order[:k]] = False
-        if not _is_connected_subset(graph, keep):
-            result.disconnection_ratio = frac
+        if not prober.is_connected(keep):
+            first_bad = prober.first_disconnecting_count(order, lo=prev_k, hi=k)
+            result.disconnection_ratio = first_bad / graph.m
             break
+        prev_k = k
         sub = Graph(graph.n, graph.edge_array[keep], name=graph.name)
         result.fractions.append(frac)
         result.diameters.append(diameter(sub, sample=sample_sources, seed=seed))
@@ -92,11 +148,15 @@ def link_failure_sweep(
             average_path_length(sub, sample=sample_sources, seed=seed)
         )
     else:
-        result.disconnection_ratio = disconnection_ratio(graph, seed=seed)
+        result.disconnection_ratio = prober.first_disconnecting_count(order) / graph.m
     return result
 
 
 def median_disconnection_ratio(graph: Graph, scenarios: int = 100, seed: int = 0) -> float:
     """Median disconnection ratio over independent random scenarios (§11.2)."""
-    ratios = [disconnection_ratio(graph, seed=seed + i) for i in range(scenarios)]
+    prober = ConnectivityProber(graph)
+    ratios = [
+        disconnection_ratio(graph, seed=seed + i, prober=prober)
+        for i in range(scenarios)
+    ]
     return float(np.median(ratios))

@@ -9,14 +9,21 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment tab03 --metrics-out m.json
     python -m repro route --radix 15 --src 0 --dst 900
     python -m repro sim --radix 7 --load 0.3 --adaptive --metrics-out m.json
+    python -m repro sim --radix 7 --load 0.3 --fail-links 0.1
+    python -m repro faults inject --fail-links 0.1 --fail-nodes 2
+    python -m repro faults sweep --topo PS-IQ --out sweep.json
     python -m repro obs summary m.json              # inspect an artifact
 
 ``experiment`` accepts any module name from :mod:`repro.experiments`
-(fig01, fig04, fig07, fig09, fig10, fig11, fig12, fig13, fig14, tab01,
-tab02, tab03, eq12, sec08).  ``--metrics-out PATH`` (on ``experiment`` and
-``sim``) enables the :mod:`repro.obs` subsystem for the run and writes the
-metrics + span-profile + manifest JSON artifact; ``obs summary`` renders
-such an artifact for humans (see ``docs/OBSERVABILITY.md``).
+(fig01, fig04, fig07, fig09, fig10, fig11, fig12, fig13, fig14,
+fig14_dynamic, tab01, tab02, tab03, eq12, sec08).  ``--metrics-out PATH``
+(on ``experiment``, ``sim``, and ``faults``) enables the :mod:`repro.obs`
+subsystem for the run and writes the metrics + span-profile + manifest
+JSON artifact; ``obs summary`` renders such an artifact for humans (see
+``docs/OBSERVABILITY.md``).  ``faults`` runs fault-injected simulations
+(see ``docs/FAULT_TOLERANCE.md``): ``inject`` for one scenario with
+per-kind knobs, ``sweep`` for the fig14_dynamic delivered-fraction sweep
+with a byte-deterministic ``--out`` JSON artifact.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ EXPERIMENTS = [
     "fig12",
     "fig13",
     "fig14",
+    "fig14_dynamic",
     "tab01",
     "tab02",
     "tab03",
@@ -119,6 +127,11 @@ def _cmd_sim(args) -> int:
         drain_cycles=args.drain_cycles,
         seed=args.seed,
     )
+    faults = None
+    if args.fail_links > 0:
+        from repro.faults import permanent_link_failures
+
+        faults = permanent_link_failures(topo.graph, args.fail_links, seed=args.seed)
     with obs_session(
         args.metrics_out,
         seed=args.seed,
@@ -127,14 +140,134 @@ def _cmd_sim(args) -> int:
         load=args.load,
         pattern=args.pattern,
         adaptive=args.adaptive,
+        faults=faults.summary() if faults is not None else None,
     ):
-        sim = PacketSimulator(topo, router, pattern, cfg, adaptive=args.adaptive)
+        sim = PacketSimulator(
+            topo, router, pattern, cfg, adaptive=args.adaptive, faults=faults
+        )
         res = sim.run(args.load)
     print(
         f"{topo.name}: load={res.offered_load:.2f} avg_lat={res.avg_latency:.1f} "
         f"p99={res.p99_latency:.1f} thr={res.throughput:.3f} "
         f"delivered={res.delivered}/{res.injected} stable={res.stable}"
     )
+    if faults is not None:
+        print(
+            f"faults: {len(faults)} failed links, delivered fraction "
+            f"{res.delivered_fraction:.3f}, dropped={res.dropped} "
+            f"{res.drop_causes}, reroutes={res.reroutes}"
+        )
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _build_schedule(graph, args):
+    """Compose a FaultSchedule from the ``faults inject`` CLI knobs."""
+    from repro.faults import (
+        FaultSchedule,
+        degraded_links,
+        link_flaps,
+        node_failures,
+        permanent_link_failures,
+    )
+
+    sched = FaultSchedule()
+    if args.fail_links > 0:
+        sched = sched + permanent_link_failures(
+            graph, args.fail_links, seed=args.seed, time=args.fault_time
+        )
+    if args.fail_nodes > 0:
+        sched = sched + node_failures(
+            graph, args.fail_nodes, seed=args.seed + 1, time=args.fault_time
+        )
+    if args.flap_links > 0:
+        horizon = args.warmup_cycles + args.measure_cycles
+        sched = sched + link_flaps(
+            graph, args.flap_links, horizon=horizon, seed=args.seed + 2
+        )
+    if args.degrade_links > 0:
+        sched = sched + degraded_links(
+            graph,
+            args.degrade_links,
+            factor=args.degrade_factor,
+            seed=args.seed + 3,
+            time=args.fault_time,
+        )
+    return sched
+
+
+def _cmd_faults_inject(args) -> int:
+    """One fault-injected packet-sim run on a small PolarStar instance."""
+    from repro.experiments.common import obs_session
+    from repro.routing import TableRouter
+    from repro.sim.packet import PacketSimConfig, PacketSimulator
+    from repro.topologies import polarstar_topology
+    from repro.traffic import UniformRandomPattern
+
+    topo = polarstar_topology(args.radix, p=args.p)
+    cfg = PacketSimConfig(
+        warmup_cycles=args.warmup_cycles,
+        measure_cycles=args.measure_cycles,
+        drain_cycles=args.drain_cycles,
+        seed=args.seed,
+    )
+    sched = _build_schedule(topo.graph, args)
+    with obs_session(
+        args.metrics_out,
+        seed=args.seed,
+        config=cfg,
+        topology=topo,
+        load=args.load,
+        faults=sched.summary(),
+    ):
+        sim = PacketSimulator(
+            topo, TableRouter(topo.graph), UniformRandomPattern(topo), cfg,
+            faults=sched,
+        )
+        res = sim.run(args.load)
+    print(f"{topo.name}: {sched!r}")
+    print(
+        f"load={res.offered_load:.2f} delivered={res.delivered}/{res.injected} "
+        f"delivered_fraction={res.delivered_fraction:.3f} "
+        f"avg_lat={res.avg_latency:.1f} thr={res.throughput:.3f}"
+    )
+    print(
+        f"dropped={res.dropped} {res.drop_causes} reroutes={res.reroutes} "
+        f"rungs={sim.router.rung_counts}"
+    )
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_faults_sweep(args) -> int:
+    """Delivered-fraction sweep over failed-link fractions (fig14_dynamic)."""
+    import json
+
+    from repro.experiments import fig14_dynamic
+    from repro.experiments.common import obs_session
+
+    topos = tuple(args.topo) if args.topo else ("PS-IQ",)
+    fractions = tuple(float(x) for x in args.fractions.split(","))
+    with obs_session(
+        args.metrics_out,
+        seed=args.seed,
+        load=args.load,
+        topologies=list(topos),
+        fractions=list(fractions),
+    ):
+        result = fig14_dynamic.run(
+            names=topos, fractions=fractions, load=args.load, seed=args.seed
+        )
+    print(fig14_dynamic.format_figure(result))
+    if args.out:
+        # sort_keys + no timestamps anywhere => byte-identical across reruns
+        # of the same (topo, fractions, load, seed).
+        with open(args.out, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"\nsweep artifact written to {args.out}")
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
     return 0
@@ -213,12 +346,77 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--measure-cycles", type=int, default=1500)
     s.add_argument("--drain-cycles", type=int, default=1500)
     s.add_argument(
+        "--fail-links",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="fail this fraction of links at t=0 (seeded by --seed)",
+    )
+    s.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
         help="enable repro.obs for the run and export the JSON artifact here",
     )
     s.set_defaults(fn=_cmd_sim)
+
+    f = sub.add_parser("faults", help="fault-injection runs and sweeps")
+    fsub = f.add_subparsers(dest="action", required=True)
+
+    fi = fsub.add_parser(
+        "inject", help="one fault-injected packet-sim run on a small PolarStar"
+    )
+    fi.add_argument("--radix", type=int, default=7, help="PolarStar network radix")
+    fi.add_argument("--p", type=int, default=2, help="endpoints per router")
+    fi.add_argument("--load", type=float, default=0.3)
+    fi.add_argument("--seed", type=int, default=0)
+    fi.add_argument("--warmup-cycles", type=int, default=300)
+    fi.add_argument("--measure-cycles", type=int, default=1500)
+    fi.add_argument("--drain-cycles", type=int, default=1500)
+    fi.add_argument(
+        "--fail-links", type=float, default=0.0, metavar="FRAC",
+        help="fraction of links failed permanently at --fault-time",
+    )
+    fi.add_argument(
+        "--fail-nodes", type=int, default=0, metavar="N",
+        help="routers failed permanently at --fault-time",
+    )
+    fi.add_argument(
+        "--flap-links", type=int, default=0, metavar="N",
+        help="links flapping (down 200 / up 800 cycles) until measurement ends",
+    )
+    fi.add_argument(
+        "--degrade-links", type=float, default=0.0, metavar="FRAC",
+        help="fraction of links serializing --degrade-factor x slower",
+    )
+    fi.add_argument("--degrade-factor", type=float, default=2.0)
+    fi.add_argument(
+        "--fault-time", type=int, default=0,
+        help="injection cycle for permanent failures and degrades",
+    )
+    fi.add_argument("--metrics-out", default=None, metavar="PATH")
+    fi.set_defaults(fn=_cmd_faults_inject)
+
+    fs = fsub.add_parser(
+        "sweep",
+        help="delivered fraction vs failed-link fraction (fig14_dynamic)",
+    )
+    fs.add_argument(
+        "--topo", action="append", default=None,
+        help="Table 3 topology name (repeatable; default PS-IQ)",
+    )
+    fs.add_argument(
+        "--fractions", default="0,0.05,0.1,0.15,0.2,0.3",
+        help="comma-separated failed-link fractions",
+    )
+    fs.add_argument("--load", type=float, default=0.3)
+    fs.add_argument("--seed", type=int, default=0)
+    fs.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the deterministic JSON sweep artifact here",
+    )
+    fs.add_argument("--metrics-out", default=None, metavar="PATH")
+    fs.set_defaults(fn=_cmd_faults_sweep)
 
     o = sub.add_parser("obs", help="inspect an exported observability artifact")
     o.add_argument("action", choices=["summary"], help="summary: render for humans")

@@ -1,0 +1,127 @@
+"""Fig. 14, made dynamic: delivered traffic under live link failures.
+
+The static Fig. 14 study (:mod:`repro.experiments.fig14`) deletes links
+from the graph and re-measures diameter / average path length.  This
+experiment injects the same seeded random link failures *into a running
+packet simulation* (:mod:`repro.faults`): the fault-aware router degrades
+through its fallback ladder, packets re-route at blocked routers, and the
+figure of merit becomes the **delivered fraction** — what share of the
+measured-window traffic still arrives as the failed-link fraction grows.
+
+Sweep points share one seed, so the victim sets are nested-ish across
+fractions and the whole artifact is byte-identical across reruns (the
+determinism contract ``repro faults sweep`` relies on).  For context each
+topology also reports its static disconnection ratio at the same seed —
+delivered fraction should stay well above zero until failures approach it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.faults import disconnection_ratio
+from repro.experiments.common import format_table, table3_instance, table3_router
+from repro.faults import permanent_link_failures
+from repro.sim.packet import PacketSimConfig, PacketSimulator
+from repro.traffic import UniformRandomPattern
+
+__all__ = [
+    "TOPOLOGIES",
+    "FRACTIONS",
+    "default_config",
+    "run",
+    "format_figure",
+]
+
+TOPOLOGIES = ("PS-IQ",)
+FRACTIONS = (0.0, 0.05, 0.1, 0.15, 0.2, 0.3)
+
+
+def default_config(seed: int = 0) -> PacketSimConfig:
+    """Sweep-point simulator config (a few seconds per point at PS-IQ
+    reduced scale; CI smoke uses a smaller instance via the CLI)."""
+    return PacketSimConfig(
+        warmup_cycles=400, measure_cycles=1600, drain_cycles=1600, seed=seed
+    )
+
+
+def _finite(x: float) -> float | None:
+    """JSON-safe number (``inf`` from an empty latency sample becomes null)."""
+    return float(x) if math.isfinite(x) else None
+
+
+def run(
+    names=TOPOLOGIES,
+    fractions=FRACTIONS,
+    load: float = 0.3,
+    seed: int = 0,
+    config: PacketSimConfig | None = None,
+) -> dict:
+    """Delivered fraction / latency / drop accounting per failed-link step.
+
+    Every value in the returned dict is JSON-serializable and free of
+    wall-clock state, so ``json.dumps(..., sort_keys=True)`` of it is
+    byte-identical for identical ``(names, fractions, load, seed)``.
+    """
+    cfg = config or default_config(seed)
+    out = {}
+    for name in names:
+        topo = table3_instance(name, scale="reduced")
+        router, _ = table3_router(name, scale="reduced")
+        pattern = UniformRandomPattern(topo)
+        points = []
+        for frac in fractions:
+            schedule = permanent_link_failures(topo.graph, frac, seed=seed, time=0)
+            sim = PacketSimulator(topo, router, pattern, cfg, faults=schedule)
+            res = sim.run(load)
+            points.append(
+                {
+                    "fraction": float(frac),
+                    "failed_links": len(schedule),
+                    "delivered_fraction": float(res.delivered_fraction),
+                    "throughput": float(res.throughput),
+                    "avg_latency": _finite(res.avg_latency),
+                    "p99_latency": _finite(res.p99_latency),
+                    "injected": res.injected,
+                    "delivered": res.delivered,
+                    "dropped": res.dropped,
+                    "reroutes": res.reroutes,
+                    "drop_causes": res.drop_causes,
+                }
+            )
+        out[name] = {
+            "load": float(load),
+            "seed": int(seed),
+            "disconnection_ratio": float(disconnection_ratio(topo.graph, seed=seed)),
+            "points": points,
+        }
+    return out
+
+
+def format_figure(result: dict) -> str:
+    """Render one delivered-fraction table per topology."""
+    parts = []
+    headers = [
+        "failed links", "delivered", "throughput", "avg lat", "p99 lat",
+        "dropped", "reroutes",
+    ]
+    for name, data in result.items():
+        rows = []
+        for pt in data["points"]:
+            rows.append(
+                [
+                    f"{pt['fraction']:.0%}",
+                    f"{pt['delivered_fraction']:.1%}",
+                    f"{pt['throughput']:.3f}",
+                    "-" if pt["avg_latency"] is None else f"{pt['avg_latency']:.1f}",
+                    "-" if pt["p99_latency"] is None else f"{pt['p99_latency']:.1f}",
+                    str(pt["dropped"]),
+                    str(pt["reroutes"]),
+                ]
+            )
+        parts.append(
+            f"{name} at load {data['load']:.2f} (static disconnection ratio "
+            f"{data['disconnection_ratio']:.0%}, seed {data['seed']}):\n"
+            + format_table(headers, rows)
+        )
+    return "\n\n".join(parts)

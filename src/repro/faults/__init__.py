@@ -1,0 +1,46 @@
+"""``repro.faults`` — dynamic fault injection and fault-tolerant routing.
+
+The subsystem has three parts (see ``docs/FAULT_TOLERANCE.md``):
+
+* :mod:`repro.faults.model` — typed :class:`FaultEvent` records and seeded
+  :class:`FaultSchedule` scenario generators (permanent link/node failures,
+  transient flaps, degraded links);
+* :mod:`repro.faults.health` — :class:`LinkHealth`, the live link/node
+  health mask shared by routing and simulation, with an ``epoch`` counter
+  driving cache invalidation;
+* :mod:`repro.faults.router` — :class:`FaultAwareRouter`, a
+  :class:`~repro.routing.base.Router` wrapper that degrades gracefully
+  through a primary → alternate → recomputed → detour fallback ladder and
+  raises :class:`RouteUnavailableError` when a destination is cut off.
+
+The packet simulator (:mod:`repro.sim.packet`) consumes all three: pass a
+``FaultSchedule`` to :class:`~repro.sim.packet.PacketSimulator` and fault
+events enter the event heap, packets re-route with bounded retries, and
+drops are accounted by cause.
+"""
+
+from repro.faults.health import LinkHealth, UNREACHABLE
+from repro.faults.model import (
+    EVENT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    degraded_links,
+    link_flaps,
+    node_failures,
+    permanent_link_failures,
+)
+from repro.faults.router import FaultAwareRouter, RouteUnavailableError
+
+__all__ = [
+    "EVENT_KINDS",
+    "FaultAwareRouter",
+    "FaultEvent",
+    "FaultSchedule",
+    "LinkHealth",
+    "RouteUnavailableError",
+    "UNREACHABLE",
+    "degraded_links",
+    "link_flaps",
+    "node_failures",
+    "permanent_link_failures",
+]

@@ -1,0 +1,207 @@
+"""Live link/node health state for one graph.
+
+:class:`LinkHealth` is the single source of truth the fault-aware router
+and the packet simulator share: a boolean mask over the graph's directed
+CSR adjacency entries plus a node-alive mask, mutated by applying
+:class:`~repro.faults.model.FaultEvent` records in timestamp order.  Every
+mutation bumps ``epoch`` — consumers cache routing state keyed by epoch and
+invalidate when it moves (see :class:`~repro.faults.router.FaultAwareRouter`).
+
+The mask is CSR-aligned so the degraded-graph BFS used for recomputed
+routes runs on NumPy index arrays rather than edge sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.model import FaultEvent, FaultSchedule
+from repro.graphs.base import Graph
+
+__all__ = [
+    "UNREACHABLE",
+    "LinkHealth",
+]
+
+#: Distance sentinel for vertices cut off on the healthy subgraph (large
+#: enough that cost arithmetic never wraps int64, small enough to add to).
+UNREACHABLE = 1 << 30
+
+
+class LinkHealth:
+    """Mutable health mask over one :class:`~repro.graphs.base.Graph`."""
+
+    def __init__(self, graph: Graph):
+        if graph.n < 1:
+            raise ValueError("LinkHealth needs a non-empty graph")
+        self.graph = graph
+        #: Monotone state version; bumped by every applied event.
+        self.epoch = 0
+        # CSR-aligned directed-entry mask (parallel to graph.indices).
+        self._edge_ok = np.ones(len(graph.indices), dtype=bool)
+        self._node_ok = np.ones(graph.n, dtype=bool)
+        self._down_edges: set[tuple[int, int]] = set()
+        self._degraded: dict[tuple[int, int], float] = {}
+
+    # -- CSR positions -------------------------------------------------------
+
+    def _entry(self, u: int, v: int) -> int:
+        """Position of directed entry (u -> v) in the CSR ``indices`` array."""
+        g = self.graph
+        nbrs = g.neighbors(u)
+        i = int(np.searchsorted(nbrs, v))
+        if i >= len(nbrs) or nbrs[i] != v:
+            raise ValueError(f"({u}, {v}) is not a link of {g.name!r}")
+        return int(g.indptr[u]) + i
+
+    def _set_edge(self, u: int, v: int, up: bool) -> None:
+        self._edge_ok[self._entry(u, v)] = up
+        self._edge_ok[self._entry(v, u)] = up
+
+    # -- event application ---------------------------------------------------
+
+    def apply(self, event: FaultEvent) -> None:
+        """Apply one fault event; bumps ``epoch``.
+
+        ``link_up`` clears both a down and a degraded state; ``node_up``
+        restores the node but leaves independently-failed links down.
+        """
+        if event.is_node_event:
+            if not 0 <= event.u < self.graph.n:
+                raise ValueError(f"node event names vertex {event.u} outside graph")
+            self._node_ok[event.u] = event.kind == "node_up"
+        else:
+            e = event.edge()
+            if event.kind == "link_down":
+                self._set_edge(*e, up=False)
+                self._down_edges.add(e)
+                self._degraded.pop(e, None)
+            elif event.kind == "link_up":
+                self._set_edge(*e, up=True)
+                self._down_edges.discard(e)
+                self._degraded.pop(e, None)
+            else:  # link_degrade: up, but slow
+                self._entry(*e)  # validates the link exists
+                self._degraded[e] = float(event.factor)
+        self.epoch += 1
+
+    def apply_schedule(self, schedule: FaultSchedule) -> None:
+        """Apply every event of *schedule* in time order (static studies)."""
+        for ev in schedule:
+            self.apply(ev)
+
+    def reset(self) -> None:
+        """Return to the pristine all-up state (bumps ``epoch`` if dirty)."""
+        if self.clean:
+            return
+        self._edge_ok[:] = True
+        self._node_ok[:] = True
+        self._down_edges.clear()
+        self._degraded.clear()
+        self.epoch += 1
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        """True iff no link or node is currently down or degraded."""
+        return (
+            not self._down_edges
+            and not self._degraded
+            and bool(self._node_ok.all())
+        )
+
+    def node_up(self, v: int) -> bool:
+        return bool(self._node_ok[v])
+
+    def is_up(self, u: int, v: int) -> bool:
+        """Can a packet traverse the (existing) link u -> v right now?"""
+        return bool(
+            self._node_ok[u] and self._node_ok[v] and self._edge_ok[self._entry(u, v)]
+        )
+
+    def degrade_factor(self, u: int, v: int) -> float:
+        """Serialization multiplier for link (u, v); 1.0 when healthy."""
+        e = (u, v) if u < v else (v, u)
+        return self._degraded.get(e, 1.0)
+
+    def healthy_neighbors(self, u: int) -> np.ndarray:
+        """Neighbors of *u* reachable over currently-up links (sorted)."""
+        g = self.graph
+        if not self._node_ok[u]:
+            return np.empty(0, dtype=np.int64)
+        lo, hi = int(g.indptr[u]), int(g.indptr[u + 1])
+        nbrs = g.indices[lo:hi]
+        return nbrs[self._edge_ok[lo:hi] & self._node_ok[nbrs]]
+
+    def links_down_count(self) -> int:
+        """Undirected links currently unusable (down, or touching a down
+        node) — the ``faults.links_down`` gauge value."""
+        down_nodes = np.nonzero(~self._node_ok)[0]
+        dead: set[tuple[int, int]] = set(self._down_edges)
+        for x in down_nodes:
+            xi = int(x)
+            for v in self.graph.neighbors(xi):
+                vi = int(v)
+                dead.add((xi, vi) if xi < vi else (vi, xi))
+        return len(dead)
+
+    def nodes_down_count(self) -> int:
+        return int((~self._node_ok).sum())
+
+    # -- derived structures --------------------------------------------------
+
+    def bfs_from(self, source: int) -> np.ndarray:
+        """Hop distances from *source* over the healthy subgraph.
+
+        Returns an ``int64`` vector with :data:`UNREACHABLE` for cut-off
+        vertices (including every down node, and everything if *source*
+        itself is down).  Because links fail bidirectionally this is also
+        the distance *to* ``source`` — the router's distance-to-destination
+        table.
+        """
+        g = self.graph
+        dist = np.full(g.n, UNREACHABLE, dtype=np.int64)
+        if not self._node_ok[source]:
+            return dist
+        dist[source] = 0
+        frontier = [source]
+        d = 0
+        while frontier:
+            d += 1
+            nxt: list[int] = []
+            for u in frontier:
+                lo, hi = int(g.indptr[u]), int(g.indptr[u + 1])
+                nbrs = g.indices[lo:hi][self._edge_ok[lo:hi]]
+                for v in nbrs:
+                    vi = int(v)
+                    if dist[vi] == UNREACHABLE and self._node_ok[vi]:
+                        dist[vi] = d
+                        nxt.append(vi)
+            frontier = nxt
+        return dist
+
+    def healthy_graph(self) -> Graph:
+        """Materialized copy of the graph with down links/nodes removed
+        (for static analyses and tests; routing uses the masks directly)."""
+        e = self.graph.edge_array
+        keep = (
+            self._node_ok[e[:, 0]]
+            & self._node_ok[e[:, 1]]
+            & np.array(
+                [(int(u), int(v)) not in self._down_edges for u, v in e], dtype=bool
+            )
+            if len(e)
+            else np.ones(0, dtype=bool)
+        )
+        loops = [int(v) for v in self.graph.self_loops if self._node_ok[v]]
+        return Graph(
+            self.graph.n, e[keep], self_loops=loops, name=f"{self.graph.name}~faulty"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkHealth({self.graph.name!r}, epoch={self.epoch}, "
+            f"links_down={self.links_down_count()}, "
+            f"nodes_down={self.nodes_down_count()})"
+        )

@@ -13,22 +13,38 @@ Models the mechanisms that shape the Fig. 9/10 latency-load curves:
 * FIFO arbitration per output link with VC lookahead (a credit-blocked head
   packet does not stall ready packets behind it);
 * optional **UGAL** injection decisions using real queue occupancy
-  (4 sampled Valiant intermediates, as in §9.3).
+  (4 sampled Valiant intermediates, as in §9.3);
+* optional **dynamic faults**: a :class:`~repro.faults.FaultSchedule`
+  enters the event heap, links/nodes fail (or heal, or degrade) mid-run,
+  packets re-route at the blocked router with bounded retries, and
+  TTL-based drops guard against livelock (see docs/FAULT_TOLERANCE.md).
 
 The simulator is event-driven at packet granularity, so cost scales with
 delivered packets rather than cycles x ports; reduced-scale Table 3
 analogues (~100-250 routers) run in seconds per load point.  Warm-up
 traffic is excluded from statistics, as in §9.4.
+
+When a fault schedule is supplied, the router is wrapped in a
+:class:`~repro.faults.FaultAwareRouter` automatically (unless it already
+is one), and ``run()`` resets the shared health mask first so the schedule
+is authoritative — repeated runs of one simulator stay deterministic.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
+from repro.faults import (
+    FaultAwareRouter,
+    FaultSchedule,
+    LinkHealth,
+    RouteUnavailableError,
+    UNREACHABLE,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.routing.base import Router
 from repro.topologies.base import Topology
@@ -54,6 +70,11 @@ class PacketSimConfig:
     drain_cycles: int = 4000
     ugal_samples: int = 4
     seed: int = 0
+    # -- fault handling (active only when a FaultSchedule / health mask is
+    #    attached; fault-free runs never touch these) --------------------
+    max_retries: int = 8  # per-packet reroute budget before dropping
+    ttl_hops: int = 64  # hop budget (livelock guard under detours)
+    escape_timeout: int = 64  # cycles head-of-line blocked before rerouting
 
 
 @dataclass
@@ -67,6 +88,11 @@ class PacketSimResult:
     stable: bool
     avg_hops: float = 0.0
     max_link_utilization: float = 0.0  # busiest link's busy fraction
+    # -- fault accounting (measurement-window packets) -------------------
+    delivered_fraction: float = 1.0  # delivered / injected
+    dropped: int = 0
+    reroutes: int = 0  # all reroute attempts over the whole run
+    drop_causes: dict[str, int] = field(default_factory=dict)
 
     def __repr__(self) -> str:
         return (
@@ -77,7 +103,10 @@ class PacketSimResult:
 
 
 class _Packet:
-    __slots__ = ("src", "dest", "router", "vc", "in_link", "intermediate", "birth", "hops")
+    __slots__ = (
+        "src", "dest", "router", "vc", "in_link", "intermediate", "birth",
+        "hops", "retries", "enq",
+    )
 
     def __init__(self, src_router: int, dest_router: int, birth: int):
         self.src = src_router
@@ -88,6 +117,8 @@ class _Packet:
         self.intermediate = -1  # Valiant midpoint still to visit, or -1
         self.birth = birth
         self.hops = 0
+        self.retries = 0  # reroute attempts (faults only)
+        self.enq = birth  # cycle the packet joined its current output queue
 
 
 class PacketSimulator:
@@ -101,14 +132,23 @@ class PacketSimulator:
         config: PacketSimConfig | None = None,
         adaptive: bool = False,
         metrics: MetricsRegistry | None = None,
+        faults: FaultSchedule | None = None,
     ):
         self.topology = topology
-        self.router = router
         self.pattern = pattern
         self.cfg = config or PacketSimConfig()
         self.adaptive = adaptive
         #: Explicit registry, or ``None`` to use the ambient one per run.
         self.metrics = metrics
+        #: Fault schedule injected into the event heap (None = fault-free).
+        self.faults = faults if faults is not None and len(faults) else None
+        if self.faults is not None and not isinstance(router, FaultAwareRouter):
+            router = FaultAwareRouter(router, LinkHealth(topology.graph))
+        self.router = router
+        #: Shared health mask — present iff the router is fault-aware, so a
+        #: pre-degraded network (mask mutated, no schedule) also gets the
+        #: reroute/TTL machinery.
+        self.health = router.health if isinstance(router, FaultAwareRouter) else None
 
         g = topology.graph
         self.link_id: dict[tuple[int, int], int] = {}
@@ -151,6 +191,7 @@ class PacketSimulator:
         max_hops: int,
         nh_delta: tuple[int, int],
         horizon: int,
+        faults: dict | None = None,
     ) -> None:
         """Publish one run's bulk tallies into the registry (enabled mode).
 
@@ -204,6 +245,55 @@ class PacketSimulator:
                 "sim.packet.max_link_utilization",
                 help="busiest link's busy fraction over warmup + measurement",
             ).set_max(float(link_busy.max() / max(horizon, 1)) if self.num_links else 0.0)
+            if faults is not None:
+                reg.gauge(
+                    "faults.links_down",
+                    help="undirected links unusable at end of run (down, or "
+                    "touching a down node)",
+                ).set(faults["links_down"])
+                reg.gauge(
+                    "faults.nodes_down",
+                    help="routers down at end of run",
+                ).set(faults["nodes_down"])
+                ev_ctr = reg.counter(
+                    "faults.events",
+                    help="fault events applied from the schedule, by kind",
+                    labels=("kind",),
+                )
+                for k, n in sorted(faults["events"].items()):
+                    ev_ctr.labels(kind=k).inc(n)
+                drops = reg.counter(
+                    "sim.packet.drops",
+                    help="measured-window packets dropped, by cause",
+                    labels=("cause",),
+                )
+                for cause, n in sorted(faults["drop_causes"].items()):
+                    drops.labels(cause=cause).inc(n)
+                reg.counter(
+                    "sim.packet.faults.reroutes",
+                    help="packet reroute attempts at blocked routers",
+                ).inc(faults["reroutes"])
+                rungs = reg.counter(
+                    "faults.route.rungs",
+                    help="routing decisions served per fallback-ladder rung",
+                    labels=("rung",),
+                )
+                for rung, n in faults["rungs"].items():
+                    if n:
+                        rungs.labels(rung=rung).inc(n)
+                recompute = reg.counter(
+                    "faults.recompute.dests",
+                    help="destination distance-vector recomputes (eager at "
+                    "fault time vs lazy on first use)",
+                    labels=("mode",),
+                )
+                recompute.labels(mode="eager").inc(faults["recompute_eager"])
+                recompute.labels(mode="lazy").inc(faults["recompute_lazy"])
+                reg.histogram(
+                    "faults.recompute.batch",
+                    help="eagerly recomputed destinations per topology change",
+                    bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
+                ).observe_many(faults["recompute_batches"])
 
     def run(self, load: float) -> PacketSimResult:
         cfg = self.cfg
@@ -227,12 +317,35 @@ class PacketSimulator:
                 bounds=(0, 1, 2, 4, 8, 16, 32, 64, 128),
             )
 
+        # ---- fault state ---------------------------------------------------
+        health = self.health
+        faults_on = health is not None
+        if faults_on and self.faults is not None:
+            # The schedule is authoritative: start from a pristine mask so
+            # repeated run() calls on one simulator stay deterministic.
+            health.reset()
+        reroutes = 0
+        dropped_measured = 0
+        drop_causes: dict[str, int] = {}
+        applied_events: dict[str, int] = {}
+        if faults_on:
+            self._nh_cache.clear()  # a prior run may have cached fault-era hops
+            rungs0 = dict(self.router.rung_counts)
+            eager0, lazy0 = self.router.recompute_eager, self.router.recompute_lazy
+            batches0 = len(self.router.recompute_batches)
+
         # ---- pre-generated open-loop injections (Poisson per endpoint) ----
         rate = load / cfg.packet_size  # packets / endpoint / cycle
         events: list[tuple[int, int, int, object]] = []  # (time, kind, seq, payload)
         seq = 0
         injected_measured = 0
-        ARRIVE, WAKE = 0, 1
+        # Fault events outrank arrivals at the same timestamp, so a link that
+        # dies at t is already dead for packets arriving at t.
+        FAULT, ARRIVE, WAKE = 0, 1, 2
+        if self.faults is not None:
+            for ev in self.faults:
+                heapq.heappush(events, (ev.time, FAULT, seq, ev))
+                seq += 1
         if rate > 0:
             with obs.span("sim.packet.inject"):
                 for e in range(topo.num_endpoints):
@@ -255,11 +368,20 @@ class PacketSimulator:
 
         link_free = np.zeros(self.num_links, dtype=np.int64)
         link_busy = np.zeros(self.num_links, dtype=np.int64)  # cycles occupied
+        link_ok = np.ones(self.num_links, dtype=bool)  # health mask per link
+        link_ser = np.full(self.num_links, cfg.packet_size, dtype=np.int64)
         credits = np.full(
             (self.num_links, cfg.num_vcs), cfg.buffer_packets, dtype=np.int32
         )
         waiting: list[list[_Packet]] = [[] for _ in range(self.num_links)]
         wake_scheduled = np.zeros(self.num_links, dtype=bool)
+        # Pending escape-check wake per link (dedupes heap pushes).
+        escape_at = np.full(self.num_links, -1, dtype=np.int64)
+        if faults_on:
+            # A pre-degraded mask (no schedule) must be visible from cycle 0.
+            for lid, (u, v) in enumerate(self.ends):
+                link_ok[lid] = health.is_up(u, v)
+                link_ser[lid] = int(np.ceil(cfg.packet_size * health.degrade_factor(u, v)))
 
         latencies: list[int] = []
         hop_total = 0
@@ -284,6 +406,8 @@ class PacketSimulator:
                 hops = self.router.distance(pkt.src, mid) + self.router.distance(
                     mid, pkt.dest
                 )
+                if hops >= UNREACHABLE:
+                    continue  # intermediate cut off under faults
                 cost = hops * (1.0 + occupancy(pkt.src, self._next_hop(pkt.src, mid)))
                 if cost < best_cost:
                     best_cost, best_mid = cost, mid
@@ -292,6 +416,71 @@ class PacketSimulator:
                 ugal_minimal += 1
             else:
                 ugal_nonminimal += 1
+
+        def drop(pkt: _Packet, cause: str, now: int) -> None:
+            """Give up on a packet: free its buffer slot, account the loss
+            (measurement-window packets only, like delivery stats)."""
+            nonlocal dropped_measured
+            release(pkt, now)
+            if cfg.warmup_cycles <= pkt.birth < horizon:
+                dropped_measured += 1
+                drop_causes[cause] = drop_causes.get(cause, 0) + 1
+
+        def route_next(pkt: _Packet, exclude: tuple[int, ...] = ()) -> int:
+            """Next hop honoring the fault mask.  A cut-off Valiant midpoint
+            degrades to direct routing; a cut-off destination raises."""
+            target = pkt.intermediate if pkt.intermediate >= 0 else pkt.dest
+            try:
+                if exclude:
+                    return self.router.route_hops(pkt.router, target, exclude)[0][0]
+                return self._next_hop(pkt.router, target)
+            except RouteUnavailableError:
+                if pkt.intermediate < 0:
+                    raise
+                pkt.intermediate = -1
+                return route_next(pkt, exclude)
+
+        def reroute(pkt: _Packet, blocked: int, now: int) -> None:
+            """Re-route a displaced packet at its current router, excluding
+            the *blocked* neighbor; bounded by the per-packet retry budget."""
+            nonlocal reroutes
+            if not health.node_up(pkt.router):
+                drop(pkt, "node_down", now)
+                return
+            pkt.retries += 1
+            if pkt.retries > cfg.max_retries:
+                drop(pkt, "retries", now)
+                return
+            reroutes += 1
+            try:
+                nxt = route_next(pkt, exclude=(blocked,))
+            except RouteUnavailableError:
+                drop(pkt, "unreachable", now)
+                return
+            lid = self.link_id[(pkt.router, nxt)]
+            pkt.enq = now
+            waiting[lid].append(pkt)
+            if obs_on:
+                qdepth.observe(len(waiting[lid]))
+            try_dispatch(lid, now + cfg.router_latency)
+
+        def apply_fault(ev, now: int) -> None:
+            """Apply one fault event: update the shared mask, invalidate the
+            routing caches, and displace packets queued on dead links."""
+            health.apply(ev)
+            applied_events[ev.kind] = applied_events.get(ev.kind, 0) + 1
+            self._nh_cache.clear()
+            self.router.sync()  # budgeted eager recompute at event time
+            for lid, (u, v) in enumerate(self.ends):
+                link_ok[lid] = health.is_up(u, v)
+                link_ser[lid] = int(np.ceil(cfg.packet_size * health.degrade_factor(u, v)))
+            for lid in range(self.num_links):
+                if link_ok[lid] or not waiting[lid]:
+                    continue
+                displaced, waiting[lid] = waiting[lid], []
+                blocked = self.ends[lid][1]
+                for pkt in displaced:
+                    reroute(pkt, blocked, now)
 
         def release(pkt: _Packet, now: int) -> None:
             """Free the buffer slot the packet held (when it leaves a router)."""
@@ -308,7 +497,9 @@ class PacketSimulator:
 
         def try_dispatch(lid: int, now: int) -> None:
             """Move sendable packets out on link lid (FIFO with VC lookahead)."""
-            nonlocal vc_cap_sends
+            nonlocal vc_cap_sends, seq
+            if faults_on and not link_ok[lid]:
+                return  # dead link; apply_fault displaces its queue
             while waiting[lid] and link_free[lid] <= now:
                 sent = False
                 for i, pkt in enumerate(waiting[lid]):
@@ -317,13 +508,14 @@ class PacketSimulator:
                         waiting[lid].pop(i)
                         credits[lid, nvc] -= 1
                         release(pkt, now)  # leaves the current router
-                        link_free[lid] = now + cfg.packet_size
-                        link_busy[lid] += cfg.packet_size
+                        ser = int(link_ser[lid])  # degraded links serialize slower
+                        link_free[lid] = now + ser
+                        link_busy[lid] += ser
                         if obs_on and pkt.vc + 1 > nvc:
                             # Deadlock probe: the packet exhausted its
                             # distance-class VCs and rides the capped class.
                             vc_cap_sends += 1
-                        arrive = now + cfg.packet_size + cfg.link_latency
+                        arrive = now + ser + cfg.link_latency
                         _, v = self.ends[lid]
                         pkt.router = v
                         pkt.vc = nvc
@@ -333,6 +525,20 @@ class PacketSimulator:
                         sent = True
                         break
                 if not sent:
+                    if faults_on and waiting[lid]:
+                        # Escape path: a head-of-line packet credit-blocked
+                        # past the timeout gets rerouted around this port
+                        # (this is how the detour rung becomes reachable).
+                        head_wait = now - waiting[lid][0].enq
+                        if head_wait >= cfg.escape_timeout:
+                            head = waiting[lid].pop(0)
+                            reroute(head, self.ends[lid][1], now)
+                            continue
+                        if escape_at[lid] <= now:
+                            when = now + cfg.escape_timeout - head_wait
+                            escape_at[lid] = when
+                            heapq.heappush(events, (when, WAKE, seq, lid))
+                            seq += 1
                     return
             schedule_wake(lid, int(link_free[lid]))
 
@@ -348,6 +554,9 @@ class PacketSimulator:
                 now, kind, _, payload = heapq.heappop(events)
                 if now > end_time:
                     break
+                if kind == FAULT:
+                    apply_fault(payload, now)
+                    continue
                 if kind == WAKE:
                     lid = payload  # type: ignore[assignment]
                     wake_scheduled[lid] = False
@@ -355,8 +564,19 @@ class PacketSimulator:
                     continue
 
                 pkt: _Packet = payload  # type: ignore[assignment]
+                if faults_on and not health.node_up(pkt.router):
+                    # The packet was in flight toward a router that died.
+                    drop(pkt, "node_down", now)
+                    continue
                 if pkt.in_link < 0 and self.adaptive and pkt.router == pkt.src:
-                    choose_route(pkt)
+                    if faults_on:
+                        try:
+                            choose_route(pkt)
+                        except RouteUnavailableError:
+                            drop(pkt, "unreachable", now)
+                            continue
+                    else:
+                        choose_route(pkt)
                 if pkt.intermediate == pkt.router:
                     pkt.intermediate = -1
                 if pkt.router == pkt.dest:
@@ -368,15 +588,42 @@ class PacketSimulator:
                     if obs_on and pkt.hops > max_hops_seen:
                         max_hops_seen = pkt.hops
                     continue
-                target = pkt.intermediate if pkt.intermediate >= 0 else pkt.dest
-                nxt = self._next_hop(pkt.router, target)
+                if faults_on:
+                    if pkt.hops >= cfg.ttl_hops:
+                        drop(pkt, "ttl", now)  # livelock guard under detours
+                        continue
+                    try:
+                        nxt = route_next(pkt)
+                    except RouteUnavailableError:
+                        drop(pkt, "unreachable", now)
+                        continue
+                else:
+                    target = pkt.intermediate if pkt.intermediate >= 0 else pkt.dest
+                    nxt = self._next_hop(pkt.router, target)
                 lid = self.link_id[(pkt.router, nxt)]
+                pkt.enq = now
                 waiting[lid].append(pkt)
                 if obs_on:
                     qdepth.observe(len(waiting[lid]))
                 try_dispatch(lid, now + cfg.router_latency)
 
         if obs_on:
+            faults_bundle = None
+            if faults_on:
+                faults_bundle = {
+                    "links_down": health.links_down_count(),
+                    "nodes_down": health.nodes_down_count(),
+                    "events": applied_events,
+                    "drop_causes": drop_causes,
+                    "reroutes": reroutes,
+                    "rungs": {
+                        r: n - rungs0.get(r, 0)
+                        for r, n in self.router.rung_counts.items()
+                    },
+                    "recompute_eager": self.router.recompute_eager - eager0,
+                    "recompute_lazy": self.router.recompute_lazy - lazy0,
+                    "recompute_batches": self.router.recompute_batches[batches0:],
+                }
             self._flush_metrics(
                 reg,
                 link_busy=link_busy,
@@ -391,6 +638,7 @@ class PacketSimulator:
                     self._nh_misses - nh_misses0,
                 ),
                 horizon=horizon,
+                faults=faults_bundle,
             )
 
         avg_lat = float(np.mean(latencies)) if latencies else float("inf")
@@ -413,6 +661,12 @@ class PacketSimulator:
             max_link_utilization=float(link_busy.max() / max(horizon, 1))
             if self.num_links
             else 0.0,
+            delivered_fraction=(
+                delivered_measured / injected_measured if injected_measured else 1.0
+            ),
+            dropped=dropped_measured,
+            reroutes=reroutes,
+            drop_causes=dict(sorted(drop_causes.items())),
         )
 
 
@@ -423,12 +677,13 @@ def latency_load_sweep(
     loads,
     config: PacketSimConfig | None = None,
     adaptive: bool = False,
+    faults: FaultSchedule | None = None,
 ) -> list[PacketSimResult]:
     """Simulate increasing offered loads, stopping after the first unstable
     point (beyond it the network is saturated and latency diverges, §9.5)."""
     out = []
     for load in loads:
-        sim = PacketSimulator(topology, router, pattern, config, adaptive)
+        sim = PacketSimulator(topology, router, pattern, config, adaptive, faults=faults)
         res = sim.run(float(load))
         out.append(res)
         if not res.stable:

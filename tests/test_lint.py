@@ -130,6 +130,124 @@ class TestContractValidation:
         assert out == []
 
 
+# -- RL105 fault-discipline --------------------------------------------------
+
+
+class TestFaultDiscipline:
+    RELPATH = "src/repro/faults/mod.py"
+
+    def test_bare_except_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            try:
+                inject()
+            except:
+                pass
+            """,
+            "RL105",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL105"]
+
+    def test_logged_broad_except_still_triggers(self, tmp_path):
+        # RL202 would let this pass (the error is logged); RL105 must not.
+        out = lint_source(
+            tmp_path,
+            """
+            import logging
+
+            try:
+                inject()
+            except Exception:
+                logging.exception("fault application failed")
+            """,
+            "RL105",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL105"]
+
+    def test_broad_except_in_tuple_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            try:
+                inject()
+            except (ValueError, Exception):
+                raise
+            """,
+            "RL105",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL105"]
+
+    def test_specific_except_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            try:
+                inject()
+            except KeyError:
+                pass
+            """,
+            "RL105",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_stdlib_random_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def victims(links):
+                return random.sample(links, 3)
+            """,
+            "RL105",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL105"]
+
+    def test_seedless_default_rng_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def victims(links):
+                return np.random.default_rng().choice(links)
+            """,
+            "RL105",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL105"]
+
+    def test_seeded_rng_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def victims(links, seed):
+                rng = np.random.default_rng(seed)
+                return rng.choice(links)
+            """,
+            "RL105",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_out_of_scope_path_ignored(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            "import random\n\nx = random.random()\n",
+            "RL105",
+            relpath="src/repro/analysis/mod.py",
+        )
+        assert out == []
+
+
 # -- RL201 mutable-default-arg ----------------------------------------------
 
 

@@ -8,6 +8,14 @@ PolarStar radix split must satisfy Eq. 1.  A constructor that silently
 accepts a bad parameter builds a *wrong graph* — no exception, no test
 failure, just an object violating Property R/R*/R_1 downstream.  These
 rules force every graph/topology factory to validate-or-delegate.
+
+RL105 guards the fault-injection subsystem (``repro.faults``): fault
+scenarios must be bit-reproducible (seeded ``np.random`` Generators only —
+never the stdlib ``random`` module or an unseeded ``default_rng()``) and
+fault handling must be explicit — a broad ``except`` that swallows an
+error *inside the failure model itself* turns an injected fault into a
+silently wrong result, so RL105 forbids it outright (no logging escape
+hatch, unlike the repo-wide RL202).
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from tools.lint.core import (
     register,
 )
 
-__all__ = ["ContractValidation"]
+__all__ = ["ContractValidation", "FaultDiscipline"]
 
 #: Function-name patterns treated as graph/topology factories.
 FACTORY_PATTERNS = (
@@ -132,3 +140,77 @@ class ContractValidation(Rule):
                         "without validating its inputs (no raise, validator "
                         "call, or factory delegation)",
                     )
+
+
+#: ``except`` types considered broad (swallow-everything) handlers.
+_BROAD_EXCEPT_TYPES = ("Exception", "BaseException")
+
+
+def _broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for t in types:
+        name = dotted_name(t)
+        if name is not None and name.rsplit(".", 1)[-1] in _BROAD_EXCEPT_TYPES:
+            return True
+    return False
+
+
+@register
+class FaultDiscipline(Rule):
+    """Fault-injection code: seeded RNGs only, no broad excepts. Ever.
+
+    Stricter than the repo-wide rules on its home turf:
+
+    * RL202 lets a broad handler off with a log call or a re-raise; here a
+      broad ``except`` is flagged unconditionally — inside the failure
+      model, "handled" faults are corrupted experiments.
+    * RL204/RL205 police NumPy RNG use; RL105 additionally bans the stdlib
+      ``random`` module (process-global, unseedable per-scenario) and
+      repeats the unseeded-``default_rng()`` check so the whole
+      determinism contract for fault scenarios reads from one rule.
+    """
+
+    code = "RL105"
+    name = "fault-discipline"
+    severity = "error"
+    default_paths = ("src/repro/faults",)
+    description = (
+        "fault code must draw randomness from seeded np.random Generators "
+        "(no stdlib random, no unseeded default_rng) and must never use "
+        "broad except handlers, even logged ones"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if _broad_handler(node):
+                    label = "bare except" if node.type is None else "broad except"
+                    yield self.flag(
+                        ctx,
+                        node,
+                        f"{label} in fault code: a swallowed error corrupts "
+                        "the failure model; catch the specific exception",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            parts = callee.split(".")
+            if parts[0] == "random" and len(parts) == 2:
+                yield self.flag(
+                    ctx,
+                    node,
+                    f"stdlib {callee}() uses process-global unseeded state; "
+                    "fault scenarios must come from np.random.default_rng(seed)",
+                )
+            elif parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield self.flag(
+                    ctx,
+                    node,
+                    "default_rng() without a seed makes the fault scenario "
+                    "unreproducible; thread an explicit seed through",
+                )
