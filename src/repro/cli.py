@@ -13,6 +13,9 @@ Usage (after ``pip install -e .``)::
     python -m repro faults inject --fail-links 0.1 --fail-nodes 2
     python -m repro faults sweep --topo PS-IQ --out sweep.json
     python -m repro obs summary m.json              # inspect an artifact
+    python -m repro store ls                        # on-disk artifacts
+    python -m repro store warm --topo DF --dist     # pre-build a topology
+    python -m repro store gc --dry-run              # reclaim cache space
 
 ``experiment`` accepts any module name from :mod:`repro.experiments`
 (fig01, fig04, fig07, fig09, fig10, fig11, fig12, fig13, fig14,
@@ -23,7 +26,12 @@ JSON artifact; ``obs summary`` renders such an artifact for humans (see
 ``docs/OBSERVABILITY.md``).  ``faults`` runs fault-injected simulations
 (see ``docs/FAULT_TOLERANCE.md``): ``inject`` for one scenario with
 per-kind knobs, ``sweep`` for the fig14_dynamic delivered-fraction sweep
-with a byte-deterministic ``--out`` JSON artifact.
+with a byte-deterministic ``--out`` JSON artifact.  ``store`` manages the
+content-addressed artifact cache every construction flows through
+(``docs/ARCHITECTURE.md``): ``ls`` lists on-disk entries, ``warm``
+pre-builds topologies (and, with ``--dist``, their BFS distance tables)
+so later runs skip construction, ``gc`` reclaims broken or excess
+entries.
 """
 
 from __future__ import annotations
@@ -58,27 +66,22 @@ EXPERIMENTS = [
 
 
 def _cmd_topology(args) -> int:
-    from repro.analysis import diameter
-    from repro.topologies import (
-        dragonfly_topology,
-        hyperx_topology,
-        polarstar_topology,
-    )
+    from repro import store
 
     if args.kind == "ps":
-        topo = polarstar_topology(args.radix, p=args.p)
+        topo = store.topology("polarstar", radix=args.radix, p=args.p)
     elif args.kind == "df":
-        topo = dragonfly_topology(a=args.a, h=args.h, p=args.p)
+        topo = store.topology("dragonfly", a=args.a, h=args.h, p=args.p)
     elif args.kind == "hx":
         dims = tuple(int(x) for x in args.dims.split("x"))
-        topo = hyperx_topology(dims, p=args.p)
+        topo = store.topology("hyperx", dims=dims, p=args.p)
     else:
         raise SystemExit(f"unknown topology kind {args.kind!r}")
 
     g = topo.graph
     print(f"{topo.name}: {g.n} routers, {g.m} links, network radix "
           f"{topo.network_radix}, {topo.num_endpoints} endpoints")
-    print(f"diameter: {diameter(g, sample=min(g.n, 64)):.0f}")
+    print(f"diameter: {store.diameter(g, sample=min(g.n, 64)):.0f}")
     if topo.groups is not None:
         print(f"groups: {topo.num_groups}")
     return 0
@@ -109,14 +112,13 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_sim(args) -> int:
     """Instrumented packet-sim run on a small PolarStar (smoke/CI workload)."""
+    from repro import store
     from repro.experiments.common import obs_session
-    from repro.routing import TableRouter
     from repro.sim.packet import PacketSimConfig, PacketSimulator
-    from repro.topologies import polarstar_topology
     from repro.traffic import RandomPermutationPattern, UniformRandomPattern
 
-    topo = polarstar_topology(args.radix, p=args.p)
-    router = TableRouter(topo.graph)
+    topo = store.topology("polarstar", radix=args.radix, p=args.p)
+    router = store.table_router(topo)
     if args.pattern == "uniform":
         pattern = UniformRandomPattern(topo)
     else:
@@ -199,13 +201,12 @@ def _build_schedule(graph, args):
 
 def _cmd_faults_inject(args) -> int:
     """One fault-injected packet-sim run on a small PolarStar instance."""
+    from repro import store
     from repro.experiments.common import obs_session
-    from repro.routing import TableRouter
     from repro.sim.packet import PacketSimConfig, PacketSimulator
-    from repro.topologies import polarstar_topology
     from repro.traffic import UniformRandomPattern
 
-    topo = polarstar_topology(args.radix, p=args.p)
+    topo = store.topology("polarstar", radix=args.radix, p=args.p)
     cfg = PacketSimConfig(
         warmup_cycles=args.warmup_cycles,
         measure_cycles=args.measure_cycles,
@@ -222,7 +223,7 @@ def _cmd_faults_inject(args) -> int:
         faults=sched.summary(),
     ):
         sim = PacketSimulator(
-            topo, TableRouter(topo.graph), UniformRandomPattern(topo), cfg,
+            topo, store.table_router(topo), UniformRandomPattern(topo), cfg,
             faults=sched,
         )
         res = sim.run(args.load)
@@ -271,6 +272,53 @@ def _cmd_faults_sweep(args) -> int:
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
     return 0
+
+
+def _cmd_store(args) -> int:
+    """Inspect and manage the content-addressed artifact store."""
+    from repro import store
+
+    s = store.get_store()
+    if args.action == "ls":
+        if s.root is None:
+            print("disk tier disabled (REPRO_STORE_DISABLE is set)")
+            return 0
+        entries = s.entries()
+        print(f"store root: {s.root}")
+        for e in entries:
+            kind = e.meta.get("kind", "?")
+            builder = e.meta.get("builder", "?")
+            print(f"  {e.digest[:16]}  {kind:<16} {builder:<16} {e.size_bytes:>10} B")
+        print(f"{len(entries)} entries, {s.total_bytes()} bytes")
+        return 0
+    if args.action == "gc":
+        report = s.gc(
+            max_bytes=args.max_bytes, clear=args.clear, dry_run=args.dry_run
+        )
+        verb = "would remove" if report["dry_run"] else "removed"
+        print(
+            f"{verb} {len(report['removed'])} entries "
+            f"({report['freed_bytes']} bytes), kept {len(report['kept'])}"
+        )
+        return 0
+    if args.action == "warm":
+        from repro.experiments.common import obs_session
+
+        names = list(args.topo) if args.topo else ["PS-IQ"]
+        with obs_session(args.metrics_out, warm=names, scale=args.scale):
+            for name in names:
+                topo = store.table3_topology(name, scale=args.scale)
+                line = f"{name}: {topo.graph.n} routers, {topo.graph.m} links"
+                if args.dist:
+                    dist = store.distance_table(topo)
+                    line += f", distance table {dist.nbytes} bytes"
+                print(line)
+        for rec in s.resolved():
+            print(f"  {rec['tier']:<6} {rec['kind']:<12} {rec['digest'][:16]}")
+        if args.metrics_out:
+            print(f"metrics written to {args.metrics_out}")
+        return 0
+    raise SystemExit(f"unknown store action {args.action!r}")
 
 
 def _cmd_obs(args) -> int:
@@ -417,6 +465,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fs.add_argument("--metrics-out", default=None, metavar="PATH")
     fs.set_defaults(fn=_cmd_faults_sweep)
+
+    st = sub.add_parser("store", help="inspect/manage the artifact store")
+    stsub = st.add_subparsers(dest="action", required=True)
+
+    sls = stsub.add_parser("ls", help="list complete on-disk artifacts")
+    sls.set_defaults(fn=_cmd_store)
+
+    sgc = stsub.add_parser("gc", help="reclaim broken or excess entries")
+    sgc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="evict least-recently-used entries until the store fits N bytes",
+    )
+    sgc.add_argument("--clear", action="store_true", help="remove every entry")
+    sgc.add_argument(
+        "--dry-run", action="store_true", help="report only; delete nothing"
+    )
+    sgc.set_defaults(fn=_cmd_store)
+
+    sw = stsub.add_parser(
+        "warm", help="pre-build Table 3 artifacts so later runs start warm"
+    )
+    sw.add_argument(
+        "--topo", action="append", default=None,
+        help="Table 3 topology name (repeatable; default PS-IQ)",
+    )
+    sw.add_argument("--scale", choices=["full", "reduced"], default="full")
+    sw.add_argument(
+        "--dist", action="store_true",
+        help="also build (and persist) the BFS distance table",
+    )
+    sw.add_argument("--metrics-out", default=None, metavar="PATH")
+    sw.set_defaults(fn=_cmd_store)
 
     o = sub.add_parser("obs", help="inspect an exported observability artifact")
     o.add_argument("action", choices=["summary"], help="summary: render for humans")

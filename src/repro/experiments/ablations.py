@@ -15,8 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.bisection import bisection_fraction
-from repro.analysis.distances import diameter
+from repro import store
 from repro.core.polarstar import design_space
 from repro.core.star_product import star_product
 from repro.experiments.common import format_table, table3_instance, table3_router
@@ -25,7 +24,6 @@ from repro.graphs.complete import complete_supernode
 from repro.graphs.er_polarity import er_polarity_graph
 from repro.graphs.inductive_quad import inductive_quad
 from repro.graphs.paley import paley_graph
-from repro.routing import TableRouter
 from repro.sim.flow import saturation_load
 from repro.sim.packet import PacketSimConfig, PacketSimulator
 from repro.traffic import AdversarialGroupPattern, RandomPermutationPattern, UniformRandomPattern
@@ -66,8 +64,8 @@ def supernode_kind_ablation(q: int = 7, dprime: int = 4) -> dict:
                 "kind": kind,
                 "feasible": True,
                 "order": sp.graph.n,
-                "diameter": diameter(sp.graph),
-                "bisection": bisection_fraction(sp.graph, restarts=1, seed=0),
+                "diameter": store.diameter(sp.graph),
+                "bisection": store.bisection_fraction(sp.graph, restarts=1, seed=0),
             }
         )
     return {"q": q, "dprime": dprime, "rows": rows}
@@ -85,7 +83,7 @@ def degree_split_ablation(radix: int = 16) -> dict:
                 "q": cfg.q,
                 "dprime": cfg.dprime,
                 "order": cfg.order,
-                "bisection": bisection_fraction(sp.graph, restarts=1, seed=cfg.q),
+                "bisection": store.bisection_fraction(sp.graph, restarts=1, seed=cfg.q),
             }
         )
     return {"radix": radix, "rows": sorted(rows, key=lambda r: r["q"])}
@@ -96,7 +94,7 @@ def minpath_diversity_ablation(names=("PS-IQ", "BF", "SF")) -> dict:
     rows = []
     for name in names:
         topo = table3_instance(name)
-        router = TableRouter(topo.graph)
+        router = store.table_router(topo)
         demand = RandomPermutationPattern(topo, seed=0).router_demand()
         uni = UniformRandomPattern(topo).router_demand()
         rows.append(
@@ -148,7 +146,7 @@ def routing_storage_comparison(names=("PS-IQ", "PS-Pal", "BF", "SF", "DF")) -> d
     for name in names:
         topo = table3_instance(name)
         router, _ = table3_router(name)
-        table = TableRouter(topo.graph)
+        table = store.table_router(topo)
         analytic_bytes = getattr(router, "table_bytes", table.table_bytes)
         rows.append(
             {

@@ -4,22 +4,13 @@ geometric means, and the observability session every driver can opt into."""
 from __future__ import annotations
 
 from contextlib import contextmanager
-from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
-from repro import obs
-from repro.routing import (
-    DragonflyRouter,
-    HyperXRouter,
-    PolarStarRouter,
-    TableRouter,
-)
+from repro import obs, store
 from repro.routing.base import Router
-from repro.topologies import build_table3_topology
 from repro.topologies.base import Topology
-from repro.topologies.table3 import build_reduced_topology
 
 __all__ = [
     "geometric_mean",
@@ -48,7 +39,9 @@ def obs_session(metrics_out: str | None, **manifest_fields):
         return
     with obs.session() as (registry, tracer):
         yield registry
-        manifest = obs.RunManifest.capture(**manifest_fields)
+        manifest = obs.RunManifest.capture(
+            artifacts=store.get_store().resolved(), **manifest_fields
+        )
         obs.export_json(metrics_out, registry, tracer, manifest)
 
 
@@ -61,42 +54,25 @@ def geometric_mean(values: Sequence[float]) -> float:
 
 
 def paper_router(topology: Topology) -> tuple[Router, str]:
-    """The §9.3 routing policy for each topology:
-
-    * PolarStar — analytic single-minpath routing (§9.2);
-    * Dragonfly — hierarchical l-g-l (Booksim's built-in);
-    * HyperX — dimension-aligned all-minpath (no tables);
-    * SF / BF / MF / FT — all-minpath routing tables.
-
-    Returns ``(router, flow_mode)`` where ``flow_mode`` is "single" or "all"
-    for the flow-level model.
-    """
-    if "star" in topology.meta and topology.name.startswith("PS"):
-        return PolarStarRouter(topology.meta["star"]), "single"
-    if "a" in topology.meta and topology.name == "DF":
-        return DragonflyRouter(topology), "single"
-    if "dims" in topology.meta:
-        return HyperXRouter(topology), "all"
-    return TableRouter(topology.graph), "all"
+    """The §9.3 ``(router, flow_mode)`` policy — see
+    :func:`repro.store.paper_router`, which this delegates to (results are
+    cached in the content-addressed artifact store)."""
+    return store.paper_router(topology)
 
 
-@lru_cache(maxsize=None)
 def table3_instance(name: str, scale: str = "full") -> Topology:
-    """Cached Table 3 topology (``scale='reduced'`` for packet-sim work)."""
-    if scale == "reduced":
-        return build_reduced_topology(name)
-    return build_table3_topology(name)
+    """Cached Table 3 topology (``scale='reduced'`` for packet-sim work).
 
-
-_ROUTER_CACHE: dict[tuple[str, str], tuple[Router, str]] = {}
+    Delegates to :func:`repro.store.table3_topology`: the per-process
+    ``lru_cache`` this once used is replaced by the artifact store's memory
+    tier (same object-identity guarantee) plus its on-disk tier.
+    """
+    return store.table3_topology(name, scale=scale)
 
 
 def table3_router(name: str, scale: str = "full") -> tuple[Router, str]:
     """Cached (router, flow-mode) pair for a Table 3 topology."""
-    key = (name, scale)
-    if key not in _ROUTER_CACHE:
-        _ROUTER_CACHE[key] = paper_router(table3_instance(name, scale))
-    return _ROUTER_CACHE[key]
+    return store.table3_router(name, scale=scale)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], floatfmt: str = ".3f") -> str:

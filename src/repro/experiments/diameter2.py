@@ -9,15 +9,15 @@ their limit, exactly the paper's §2.3 framing.
 
 from __future__ import annotations
 
+from repro import store
 from repro.core.moore import moore_bound
 from repro.experiments.common import format_table
 from repro.fields import is_prime_power
 from repro.graphs.er_polarity import er_order
 from repro.graphs.mms import mms_degree, mms_order
 from repro.core.polarstar import polarstar_order
-from repro.routing import TableRouter
 from repro.sim.flow import saturation_load
-from repro.topologies.polarfly import PolarFlyRouter, polarfly_topology
+from repro.topologies.polarfly import PolarFlyRouter
 from repro.traffic import UniformRandomPattern
 
 __all__ = [
@@ -51,11 +51,11 @@ def run(radixes=(8, 12, 18, 24, 32, 48, 64), sim_q: int = 11) -> dict:
 
     # Performance check: PolarFly sustains high uniform load with its
     # analytic router, like its diameter-3 descendant.
-    topo = polarfly_topology(sim_q, p=max(1, (sim_q + 1) // 2))
+    topo = store.topology("polarfly", q=sim_q, p=max(1, (sim_q + 1) // 2))
     router = PolarFlyRouter(topo)
     demand = UniformRandomPattern(topo).router_demand()
     pf_sat = saturation_load(topo, router, demand, mode="single")
-    table_sat = saturation_load(topo, TableRouter(topo.graph), demand, mode="all")
+    table_sat = saturation_load(topo, store.table_router(topo), demand, mode="all")
 
     return {
         "rows": rows,

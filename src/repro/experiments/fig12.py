@@ -13,19 +13,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.bisection import min_bisection
+from repro import store
 from repro.core.polarstar import best_config
 from repro.experiments.common import format_table
-from repro.topologies import (
-    bundlefly_topology,
-    dragonfly_topology,
-    fattree_topology,
-    hyperx_topology,
-    jellyfish_topology,
-    megafly_topology,
-    polarstar_topology,
-    spectralfly_topology,
-)
 from repro.topologies.base import Topology
 from repro.topologies.spectralfly import spectralfly_design_points
 
@@ -40,7 +30,7 @@ __all__ = [
 def _normalized_bisection(topo: Topology, restarts: int = 2, seed: int = 0) -> float:
     """Cut fraction; for indirect networks only links touching
     endpoint-hosting routers count in the denominator (Fig. 12 caption)."""
-    cut, _ = min_bisection(topo.graph, restarts=restarts, seed=seed)
+    cut, _ = store.min_bisection(topo.graph, restarts=restarts, seed=seed)
     if topo.is_direct:
         return cut / topo.graph.m
     hosts = set(np.nonzero(topo.endpoints_per_router > 0)[0].tolist())
@@ -95,29 +85,35 @@ def topology_at_radix(family: str, radix: int, max_order: int) -> Topology | Non
             cfg = best_config(radix)
             if cfg is None or cfg.order > max_order:
                 return None
-            return polarstar_topology(cfg, p=1)
+            return store.topology(
+                "polarstar",
+                q=cfg.q,
+                dprime=cfg.dprime,
+                supernode_kind=cfg.supernode_kind,
+                p=1,
+            )
         if family == "Bundlefly":
             params = _best_bundlefly(radix)
             if params is None:
                 return None
-            topo = bundlefly_topology(*params, p=1)
+            topo = store.topology("bundlefly", q=params[0], dprime=params[1], p=1)
             return topo if topo.num_routers <= max_order else None
         if family == "Dragonfly":
             a, h = _best_dragonfly(radix)
-            topo = dragonfly_topology(a, h, p=1)
+            topo = store.topology("dragonfly", a=a, h=h, p=1)
             return topo if topo.num_routers <= max_order else None
         if family == "HyperX":
             dims = _best_hyperx(radix)
             if dims is None:
                 return None
-            topo = hyperx_topology(dims, p=1)
+            topo = store.topology("hyperx", dims=dims, p=1)
             return topo if topo.num_routers <= max_order else None
         if family == "Jellyfish":
             cfg = best_config(radix)  # same radix and scale as PolarStar
             if cfg is None or cfg.order > max_order:
                 return None
             n = cfg.order if (cfg.order * radix) % 2 == 0 else cfg.order - 1
-            return jellyfish_topology(n, radix, p=1, seed=radix)
+            return store.topology("jellyfish", n=n, radix=radix, p=1, seed=radix)
         if family == "Spectralfly":
             pts = {
                 r: (pg, q)
@@ -125,18 +121,19 @@ def topology_at_radix(family: str, radix: int, max_order: int) -> Topology | Non
             }
             if radix not in pts:
                 return None
-            return spectralfly_topology(*pts[radix], p=1)
+            pg, q = pts[radix]
+            return store.topology("spectralfly", p_gen=pg, q=q, p=1)
         if family == "Megafly":
             # balanced a = radix, rho = radix/2 style group; keep radix exact
             a = radix
             if a % 2:
                 return None
-            topo = megafly_topology(rho=a // 2, a=a, p=1)
+            topo = store.topology("megafly", rho=a // 2, a=a, p=1)
             return topo if topo.num_routers <= max_order else None
         if family == "FatTree":
             if radix % 2:
                 return None
-            topo = fattree_topology(p=radix // 2)
+            topo = store.topology("fattree", p=radix // 2)
             return topo if topo.num_routers <= max_order else None
     except (ValueError, RuntimeError):
         return None

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.bisection import bisection_fraction
+from repro import store
 from repro.core.polarstar import best_config, build_polarstar
 from repro.experiments.common import format_table
 
@@ -30,7 +30,7 @@ def run(radixes=(8, 10, 12, 14, 16, 18, 20), max_order: int = 4000, restarts: in
                 row[kind] = None
                 continue
             sp = build_polarstar(cfg)
-            row[kind] = bisection_fraction(sp.graph, restarts=restarts, seed=radix)
+            row[kind] = store.bisection_fraction(sp.graph, restarts=restarts, seed=radix)
         rows.append(row)
     means = {
         kind: float(np.mean([r[kind] for r in rows if r[kind] is not None] or [0.0]))

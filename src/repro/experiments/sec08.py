@@ -8,10 +8,10 @@ supernode-cluster pairs, and the cable-count reduction factor ≈ 2d*/3.
 
 from __future__ import annotations
 
+from repro import store
 from repro.core.polarstar import PolarStarConfig
 from repro.experiments.common import format_table
 from repro.layout import bundling_report
-from repro.topologies import polarstar_topology
 
 __all__ = [
     "CONFIGS",
@@ -30,7 +30,10 @@ def run(configs=CONFIGS) -> dict:
     """Measure the §8 bundling quantities on PolarStar instances."""
     rows = []
     for cfg in configs:
-        topo = polarstar_topology(cfg, p=1)
+        topo = store.topology(
+            "polarstar", q=cfg.q, dprime=cfg.dprime,
+            supernode_kind=cfg.supernode_kind, p=1,
+        )
         rep = bundling_report(topo)
         rows.append(
             {

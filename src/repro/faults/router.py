@@ -26,6 +26,14 @@ Distance vectors are cached per destination and keyed by the health
 *eagerly* (inside an ``obs.span("faults.recompute")`` so the latency lands
 in the profile tree); the rest recompute lazily on first use.  The budget
 models a router control plane that must bound its convergence burst.
+
+Store-bypass contract: these epoch-keyed distance vectors deliberately do
+**not** go through the content-addressed artifact store
+(:mod:`repro.store`).  A degraded graph is an ephemeral mid-run state —
+its distances are invalidated by the next health event, not by a schema
+bump, and persisting them would poison warm runs with fault history.  Only
+the pristine-topology table behind the *inner* router may come from the
+store (see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations

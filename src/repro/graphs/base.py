@@ -137,9 +137,22 @@ class Graph:
     # -- derived graphs --------------------------------------------------------
 
     def without_edges(self, removed: Iterable[tuple[int, int]]) -> "Graph":
-        """Copy of this graph with the given edges deleted (for fault studies)."""
-        kill = {(min(u, v), max(u, v)) for u, v in removed}
-        kept = [e for e in map(tuple, self._edges) if (e[0], e[1]) not in kill]
+        """Copy of this graph with the given edges deleted (for fault studies).
+
+        Vectorized: edges are compared as packed ``u * n + v`` ids against a
+        mask over the canonical edge array, so deleting k of m edges costs
+        ``O((m + k) log k)`` instead of a Python loop over every edge.
+        Pairs not present in the graph (or out of range) are ignored, in
+        either orientation.
+        """
+        rem = np.asarray(list(removed), dtype=np.int64).reshape(-1, 2)
+        if rem.size == 0 or self.m == 0:
+            return Graph(self.n, self._edges, self.self_loops, name=self.name)
+        rem = np.sort(rem, axis=1)
+        rem = rem[((rem >= 0) & (rem < self.n)).all(axis=1)]
+        edge_ids = self._edges[:, 0] * self.n + self._edges[:, 1]
+        kill_ids = rem[:, 0] * self.n + rem[:, 1]
+        kept = self._edges[~np.isin(edge_ids, kill_ids)]
         return Graph(self.n, kept, self.self_loops, name=self.name)
 
     def relabeled(self, perm: np.ndarray, name: str | None = None) -> "Graph":

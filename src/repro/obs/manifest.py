@@ -71,6 +71,7 @@ class RunManifest:
     seed: int | None = None
     config: dict = field(default_factory=dict)
     topology: dict = field(default_factory=dict)
+    artifacts: list = field(default_factory=list)
     extra: dict = field(default_factory=dict)
 
     @classmethod
@@ -79,13 +80,17 @@ class RunManifest:
         seed: int | None = None,
         config=None,
         topology=None,
+        artifacts=None,
         **extra,
     ) -> "RunManifest":
         """Snapshot the environment plus caller-supplied run parameters.
 
         ``config`` may be a dataclass (e.g. ``PacketSimConfig``) or a dict;
-        ``topology`` a :class:`~repro.topologies.base.Topology` or a dict.
-        Extra keyword arguments land in ``extra`` verbatim.
+        ``topology`` a :class:`~repro.topologies.base.Topology` or a dict;
+        ``artifacts`` the artifact-store digest log
+        (:meth:`repro.store.ArtifactStore.resolved`) pinning exactly which
+        cached topologies/tables fed the run.  Extra keyword arguments land
+        in ``extra`` verbatim.
         """
         topo_info: dict = {}
         if topology is not None:
@@ -114,6 +119,7 @@ class RunManifest:
             seed=None if seed is None else int(seed),
             config=_clean(config) if config is not None else {},
             topology=topo_info,
+            artifacts=_clean(artifacts) if artifacts is not None else [],
             extra=_clean(extra),
         )
 

@@ -8,13 +8,74 @@ Valiant detours, simulation mechanics) composes on top of this.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Iterator, Sequence
+from typing import overload
+
+import numpy as np
 
 from repro.graphs.base import Graph
 
 __all__ = [
+    "HopView",
     "Router",
     "route_path",
 ]
+
+
+class HopView(Sequence[int]):
+    """Zero-copy sequence view over a NumPy array of next-hop candidates.
+
+    Routers hand back next-hop sets as array slices; this adapter gives
+    those slices ``list``-like semantics (iteration yields Python ``int``,
+    ``==`` compares element-wise against any sequence, emptiness is a plain
+    ``bool``) without materializing a list per query.  Vectorized consumers
+    can grab the underlying array via :meth:`to_array`.
+    """
+
+    __slots__ = ("_arr",)
+
+    def __init__(self, arr: np.ndarray) -> None:
+        self._arr = arr
+
+    def __len__(self) -> int:
+        return int(self._arr.shape[0])
+
+    def __bool__(self) -> bool:
+        return self._arr.shape[0] > 0
+
+    @overload
+    def __getitem__(self, index: int) -> int: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "HopView": ...
+
+    def __getitem__(self, index: int | slice) -> "int | HopView":
+        if isinstance(index, slice):
+            return HopView(self._arr[index])
+        return int(self._arr[index])
+
+    def __iter__(self) -> Iterator[int]:
+        return (int(v) for v in self._arr)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, HopView):
+            return bool(np.array_equal(self._arr, other._arr))
+        if isinstance(other, (list, tuple)):
+            return len(other) == len(self) and all(
+                int(a) == b for a, b in zip(self._arr, other)
+            )
+        if isinstance(other, np.ndarray):
+            return bool(np.array_equal(self._arr, other))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"HopView({self._arr.tolist()!r})"
+
+    def to_array(self) -> np.ndarray:
+        """The underlying candidate array (do not mutate)."""
+        return self._arr
+
+    __hash__ = None  # type: ignore[assignment]
 
 
 class Router(ABC):
@@ -23,10 +84,12 @@ class Router(ABC):
     graph: Graph
 
     @abstractmethod
-    def next_hops(self, current: int, dest: int) -> list[int]:
+    def next_hops(self, current: int, dest: int) -> Sequence[int]:
         """All neighbors of *current* on minimal paths to *dest*.
 
-        Must return ``[]`` iff ``current == dest`` or *dest* unreachable.
+        Must be empty iff ``current == dest`` or *dest* unreachable.
+        Implementations may return a ``list`` or a :class:`HopView`; both
+        compare equal to lists and are falsy when empty.
         """
 
     @abstractmethod
@@ -42,7 +105,7 @@ class Router(ABC):
         hops = self.next_hops(current, dest)
         if not hops:
             raise ValueError(f"no next hop from {current} to {dest}")
-        return hops[0]
+        return int(hops[0])
 
 
 def route_path(router: Router, src: int, dest: int, max_hops: int = 64) -> list[int]:

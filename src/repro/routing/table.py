@@ -6,44 +6,80 @@ It is exact for every topology, at ``O(n²)`` memory — the storage cost the
 paper calls out for SF and BF (§9.3, Fig. 9 caption).  PolarStar's analytic
 router avoids it; we use the table router for baselines and as the oracle
 in tests.
+
+Distance tables are expensive (one BFS per vertex), so they are a first
+class artifact: :func:`build_distance_table` is the only code path that
+constructs one, it counts each construction in the ``routing.table.builds``
+metric, and :func:`repro.store.distance_table` caches the result by graph
+content so warm runs never rebuild (see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.distances import bfs_distances
 from repro.graphs.base import Graph
-from repro.routing.base import Router
+from repro.routing.base import HopView, Router
 
 __all__ = [
     "TableRouter",
+    "build_distance_table",
 ]
 
 
-class TableRouter(Router):
-    """All-minpath routing from a precomputed distance matrix."""
+def build_distance_table(graph: Graph, chunk: int = 512) -> np.ndarray:
+    """All-pairs BFS distance matrix of *graph* as a read-only int16 array
+    (unreachable pairs hold ``iinfo(int16).max``).
 
-    def __init__(self, graph: Graph, chunk: int = 512):
+    Every call performs the full ``n`` BFS sweeps and increments the
+    ``routing.table.builds`` counter — callers wanting reuse go through
+    :func:`repro.store.distance_table`, which shares one table per graph
+    digest across routers, processes and runs.
+    """
+    obs.get_registry().counter(
+        "routing.table.builds",
+        help="BFS distance-table constructions performed by this process",
+    ).inc()
+    n = graph.n
+    dist = np.empty((n, n), dtype=np.int16)
+    for start in range(0, n, chunk):
+        idx = np.arange(start, min(start + chunk, n))
+        block = bfs_distances(graph, idx)
+        block[np.isinf(block)] = np.iinfo(np.int16).max
+        dist[idx] = block.astype(np.int16)
+    dist.setflags(write=False)
+    return dist
+
+
+class TableRouter(Router):
+    """All-minpath routing from a precomputed distance matrix.
+
+    Pass ``dist=`` to share a cached table (the store does this); without
+    it the constructor builds a fresh table via :func:`build_distance_table`.
+    """
+
+    def __init__(self, graph: Graph, chunk: int = 512, dist: np.ndarray | None = None):
         self.graph = graph
-        n = graph.n
-        dist = np.empty((n, n), dtype=np.int16)
-        for start in range(0, n, chunk):
-            idx = np.arange(start, min(start + chunk, n))
-            block = bfs_distances(graph, idx)
-            block[np.isinf(block)] = np.iinfo(np.int16).max
-            dist[idx] = block.astype(np.int16)
+        if dist is None:
+            dist = build_distance_table(graph, chunk=chunk)
+        elif dist.shape != (graph.n, graph.n):
+            raise ValueError(
+                f"distance table shape {dist.shape} does not match "
+                f"graph with {graph.n} vertices"
+            )
         self.dist = dist
 
     def distance(self, current: int, dest: int) -> int:
         return int(self.dist[current, dest])
 
-    def next_hops(self, current: int, dest: int) -> list[int]:
+    def next_hops(self, current: int, dest: int) -> HopView:
         if current == dest:
-            return []
+            return HopView(np.empty(0, dtype=np.int64))
         nbrs = self.graph.neighbors(current)
         closer = nbrs[self.dist[nbrs, dest] == self.dist[current, dest] - 1]
-        return [int(v) for v in closer]
+        return HopView(closer)
 
     def num_minimal_paths(self, src: int, dest: int) -> int:
         """Count of distinct minimal paths (path-diversity metric)."""

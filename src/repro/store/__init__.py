@@ -1,0 +1,72 @@
+"""Content-addressed artifact store and the unified construction provider.
+
+``repro.store`` is the single path through which topologies, routing
+tables, distance sweeps and bisection cuts are built.  Artifacts are keyed
+by a canonical hash of ``(kind, builder, params, schema)`` and cached in
+two tiers — a process-wide LRU that preserves object identity, and an
+on-disk ``.npz``/JSON layout under ``$REPRO_STORE_DIR`` (default
+``~/.cache/repro-store``) shared across processes.
+
+Typical use::
+
+    from repro import store
+
+    topo = store.table3_topology("PS-IQ")      # cached Topology
+    router, mode = store.paper_router(topo)    # cached router policy
+    dist = store.distance_table(topo)          # cached BFS table
+
+See ``docs/ARCHITECTURE.md`` for the layer diagram, the key scheme and
+the fault-epoch invalidation contract.
+"""
+
+from repro.store.core import (
+    ArtifactStore,
+    StoreEntry,
+    configure,
+    default_root,
+    get_store,
+)
+from repro.store.keys import SCHEMA_VERSION, ArtifactKey, graph_digest
+from repro.store.provider import (
+    average_path_length,
+    bisection_fraction,
+    diameter,
+    distance_distribution,
+    distance_table,
+    min_bisection,
+    paper_router,
+    table3_router,
+    table3_topology,
+    table_router,
+    topology,
+)
+from repro.store.registry import (
+    register_topology,
+    registered_builders,
+    resolve_builder,
+)
+
+__all__ = [
+    "ArtifactKey",
+    "ArtifactStore",
+    "SCHEMA_VERSION",
+    "StoreEntry",
+    "average_path_length",
+    "bisection_fraction",
+    "configure",
+    "default_root",
+    "diameter",
+    "distance_distribution",
+    "distance_table",
+    "get_store",
+    "graph_digest",
+    "min_bisection",
+    "paper_router",
+    "register_topology",
+    "registered_builders",
+    "resolve_builder",
+    "table3_router",
+    "table3_topology",
+    "table_router",
+    "topology",
+]

@@ -1,0 +1,215 @@
+"""Deterministic serialization of store artifacts.
+
+A codec turns one artifact value into ``(arrays, payload)`` — a dict of
+NumPy arrays (written as one ``.npz`` file) plus a JSON-safe payload dict
+(written into the entry's sidecar metadata) — and back.  Decoded values
+must be *semantically byte-identical* to the originals: same dtypes, same
+shapes, same scalar types where downstream code is sensitive to them.
+That is what makes a warm run reproduce a cold run exactly.
+
+Codecs are looked up by name at load time (the sidecar records which codec
+wrote the entry), so adding a codec never invalidates existing entries and
+removing one degrades to a cache miss.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.topologies.base import Topology
+
+__all__ = [
+    "Codec",
+    "ARRAY",
+    "BISECTION",
+    "GRAPH",
+    "JSON_VALUE",
+    "TOPOLOGY",
+    "get_codec",
+]
+
+#: Meta values that survive a JSON round trip unchanged; anything richer
+#: (StarProduct objects, dataclasses, NumPy arrays) makes the owning
+#: topology memory-tier-only (see TopologyCodec.can_encode).
+_JSON_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def _json_safe(value) -> bool:
+    if isinstance(value, bool) or isinstance(value, _JSON_PRIMITIVES):
+        return True
+    return False
+
+
+class Codec:
+    """Base codec: subclasses set ``name`` and implement encode/decode."""
+
+    name = ""
+
+    def can_encode(self, value) -> bool:
+        """Whether *value* survives a lossless round trip (default: yes)."""
+        return True
+
+    def encode(self, value) -> tuple[dict, dict]:
+        """Return ``(arrays, payload)`` for *value*."""
+        raise NotImplementedError
+
+    def decode(self, arrays: dict, payload: dict):
+        """Reconstruct the value from ``(arrays, payload)``."""
+        raise NotImplementedError
+
+    def nbytes(self, value) -> int:
+        """Approximate in-memory footprint (for metrics / LRU accounting)."""
+        arrays, payload = self.encode(value)
+        return int(
+            sum(a.nbytes for a in arrays.values())
+            + len(json.dumps(payload, sort_keys=True))
+        )
+
+
+class ArrayCodec(Codec):
+    """A single NumPy array (distance tables, masks); dtype-preserving."""
+
+    name = "array"
+
+    def encode(self, value) -> tuple[dict, dict]:
+        arr = np.asarray(value)
+        return {"arr": arr}, {"dtype": arr.dtype.str}
+
+    def decode(self, arrays: dict, payload: dict):
+        arr = arrays["arr"]
+        if payload.get("dtype") and arr.dtype.str != payload["dtype"]:
+            raise ValueError(
+                f"array artifact dtype drifted: {arr.dtype.str} != {payload['dtype']}"
+            )
+        return arr
+
+    def nbytes(self, value) -> int:
+        return int(np.asarray(value).nbytes)
+
+
+class GraphCodec(Codec):
+    """A :class:`Graph` as its canonical arrays plus its name."""
+
+    name = "graph"
+
+    def encode(self, value: Graph) -> tuple[dict, dict]:
+        return (
+            {
+                "edges": value.edge_array,
+                "self_loops": value.self_loops,
+            },
+            {"n": int(value.n), "name": value.name},
+        )
+
+    def decode(self, arrays: dict, payload: dict) -> Graph:
+        return Graph(
+            int(payload["n"]),
+            arrays["edges"].reshape(-1, 2),
+            arrays["self_loops"],
+            name=str(payload["name"]),
+        )
+
+    def nbytes(self, value: Graph) -> int:
+        return int(value.edge_array.nbytes + value.self_loops.nbytes)
+
+
+class TopologyCodec(Codec):
+    """A :class:`Topology`: graph arrays + endpoint map + groups + meta.
+
+    Only topologies whose ``meta`` holds JSON primitives round-trip; the
+    PolarStar/BundleFly topologies carry live star-product objects in
+    ``meta["star"]`` (the analytic router needs them), so ``can_encode``
+    rejects them and the store keeps those in the memory tier only.
+    """
+
+    name = "topology"
+    _graph = GraphCodec()
+
+    def can_encode(self, value: Topology) -> bool:
+        return all(_json_safe(v) for v in value.meta.values())
+
+    def encode(self, value: Topology) -> tuple[dict, dict]:
+        if not self.can_encode(value):
+            raise ValueError(
+                f"topology {value.name!r} carries non-JSON meta values and "
+                "cannot be persisted; cache it in the memory tier only"
+            )
+        arrays, payload = self._graph.encode(value.graph)
+        arrays = dict(arrays)
+        arrays["endpoint_router"] = value.endpoint_router
+        if value.groups is not None:
+            arrays["groups"] = value.groups
+        payload = {
+            "graph": payload,
+            "name": value.name,
+            "meta": dict(value.meta),
+            "has_groups": value.groups is not None,
+        }
+        return arrays, payload
+
+    def decode(self, arrays: dict, payload: dict) -> Topology:
+        graph = self._graph.decode(
+            {"edges": arrays["edges"], "self_loops": arrays["self_loops"]},
+            payload["graph"],
+        )
+        return Topology(
+            graph=graph,
+            endpoint_router=arrays["endpoint_router"],
+            name=str(payload["name"]),
+            groups=arrays["groups"] if payload.get("has_groups") else None,
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def nbytes(self, value: Topology) -> int:
+        total = self._graph.nbytes(value.graph) + value.endpoint_router.nbytes
+        if value.groups is not None:
+            total += value.groups.nbytes
+        return int(total)
+
+
+class BisectionCodec(Codec):
+    """A ``(cut_edges, side)`` minimum-bisection estimate."""
+
+    name = "bisection"
+
+    def encode(self, value) -> tuple[dict, dict]:
+        cut, side = value
+        return {"side": np.asarray(side, dtype=np.int8)}, {"cut": int(cut)}
+
+    def decode(self, arrays: dict, payload: dict):
+        return int(payload["cut"]), arrays["side"]
+
+    def nbytes(self, value) -> int:
+        return int(np.asarray(value[1]).nbytes) + 8
+
+
+class JsonCodec(Codec):
+    """A small JSON-safe value (scalar summaries, distributions as lists)."""
+
+    name = "json"
+
+    def encode(self, value) -> tuple[dict, dict]:
+        return {}, {"value": json.loads(json.dumps(value))}
+
+    def decode(self, arrays: dict, payload: dict):
+        return payload["value"]
+
+    def nbytes(self, value) -> int:
+        return len(json.dumps(value, sort_keys=True))
+
+
+ARRAY = ArrayCodec()
+GRAPH = GraphCodec()
+TOPOLOGY = TopologyCodec()
+BISECTION = BisectionCodec()
+JSON_VALUE = JsonCodec()
+
+_BY_NAME = {c.name: c for c in (ARRAY, GRAPH, TOPOLOGY, BISECTION, JSON_VALUE)}
+
+
+def get_codec(name: str) -> Codec:
+    """Codec registered under *name* (KeyError when unknown)."""
+    return _BY_NAME[name]

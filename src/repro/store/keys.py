@@ -1,0 +1,128 @@
+"""Canonical content-addressed keys for derived artifacts.
+
+An :class:`ArtifactKey` is the identity of one cached artifact: the kind of
+artifact (``"topology"``, ``"dist_table"``, ...), the builder or algorithm
+name that produces it, its parameters, and the store schema version.  The
+key digest is a SHA-256 over the *canonical JSON* encoding of those four
+fields, so it is stable across processes, platforms and dict orderings —
+two processes asking for the same ``(builder, params)`` always land on the
+same on-disk entry.
+
+Derived artifacts of a concrete graph (distance tables, bisection cuts)
+are keyed by :func:`graph_digest` — a content hash of the graph's canonical
+edge array — so they are shared between any two topologies or runs that
+produce the same structure graph (e.g. the ER_q graphs PolarStar shares
+with PolarFly, arXiv:2208.01695).
+
+Invalidation contract: bump :data:`SCHEMA_VERSION` whenever the serialized
+layout *or the semantics of any builder* changes; old entries then simply
+miss (they are reclaimed by ``repro store gc``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.base import Graph
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactKey",
+    "canonical_params",
+    "graph_digest",
+]
+
+#: Store-wide schema version, hashed into every key.  Bump on any change to
+#: artifact serialization or builder semantics (see module docstring).
+SCHEMA_VERSION = 1
+
+
+def canonical_params(obj):
+    """Recursively coerce *obj* to a canonical JSON-safe structure.
+
+    Tuples become lists, NumPy scalars become Python scalars, dict keys are
+    stringified (ordering is handled by ``sort_keys`` at hash time).  Any
+    value outside that vocabulary raises ``TypeError`` — artifact keys must
+    never depend on ``repr`` of arbitrary objects, which is not stable.
+    """
+    if isinstance(obj, dict):
+        return {str(k): canonical_params(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_params(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            raise TypeError("non-finite floats cannot appear in artifact keys")
+        return obj
+    raise TypeError(
+        f"artifact key parameter of type {type(obj).__name__!r} is not "
+        "canonical-JSON-safe; pass primitives (or lists/tuples of them)"
+    )
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one cached artifact; ``digest`` is its content address."""
+
+    kind: str
+    builder: str
+    params: dict = field(default_factory=dict)
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        if not self.kind or not self.builder:
+            raise ValueError("ArtifactKey needs a non-empty kind and builder")
+        object.__setattr__(self, "params", canonical_params(self.params))
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding (the hashed bytes)."""
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "builder": self.builder,
+                "params": self.params,
+                "schema": self.schema,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 hex digest of the canonical encoding."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def describe(self) -> dict:
+        """Sidecar-metadata / manifest form of the key."""
+        return {
+            "kind": self.kind,
+            "builder": self.builder,
+            "params": self.params,
+            "schema": self.schema,
+            "digest": self.digest,
+        }
+
+
+def graph_digest(graph: Graph) -> str:
+    """Content hash of a graph's canonical structure.
+
+    Hashes ``n``, the lexicographically-sorted canonical ``(u < v)`` edge
+    array and the self-loop set — exactly the fields :class:`Graph`
+    normalizes on construction — so isomorphic-but-relabeled graphs hash
+    differently (routing tables are label-sensitive) while any two ways of
+    *building* the same labeled graph hash identically.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro.graph/v1")
+    h.update(int(graph.n).to_bytes(8, "little"))
+    h.update(np.ascontiguousarray(graph.edge_array, dtype=np.int64).tobytes())
+    h.update(b"|loops|")
+    h.update(np.ascontiguousarray(graph.self_loops, dtype=np.int64).tobytes())
+    return h.hexdigest()

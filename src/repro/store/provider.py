@@ -1,0 +1,224 @@
+"""The topology/router/analysis provider: every cacheable construction.
+
+This is the single front door the paper calls for in §9.3: experiments,
+the CLI and the simulators resolve topologies, routing tables, distance
+sweeps and bisection cuts *here*, and the results flow through the
+content-addressed :class:`~repro.store.core.ArtifactStore` instead of
+being rebuilt per process (lint rule RL107 enforces the discipline).
+
+Key scheme (see ``docs/ARCHITECTURE.md``):
+
+* ``topology`` artifacts are keyed by **(builder name, params)** from the
+  :mod:`~repro.store.registry`;
+* derived artifacts (``dist_table``, ``bisection``, ``distance_summary``)
+  are keyed by the **content digest of the concrete graph** plus the
+  algorithm parameters, so they are shared across topologies and runs that
+  produce the same labeled graph.
+
+Invalidation contract: :mod:`repro.faults` deliberately **bypasses** this
+layer — fault-epoch distance vectors are keyed by the live
+``LinkHealth.epoch`` inside :class:`~repro.faults.router.FaultAwareRouter`
+and are never content-addressed, because the degraded graph is an
+ephemeral mid-run state, not a reproducible artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import bisection as _bisection
+from repro.analysis import distances as _distances
+from repro.graphs.base import Graph
+from repro.routing import (
+    DragonflyRouter,
+    HyperXRouter,
+    PolarStarRouter,
+    TableRouter,
+)
+from repro.routing.base import Router
+from repro.routing.table import build_distance_table
+from repro.store import codecs, registry
+from repro.store.core import get_store
+from repro.store.keys import ArtifactKey, graph_digest
+from repro.topologies.base import Topology
+
+__all__ = [
+    "topology",
+    "table3_topology",
+    "distance_table",
+    "table_router",
+    "paper_router",
+    "table3_router",
+    "min_bisection",
+    "bisection_fraction",
+    "diameter",
+    "average_path_length",
+    "distance_distribution",
+]
+
+
+def _ensure_builders() -> None:
+    """Import the topology package so its builders self-register."""
+    import repro.topologies  # noqa: F401  (import for registration side effect)
+
+
+def _graph_of(subject: Graph | Topology) -> Graph:
+    return subject.graph if isinstance(subject, Topology) else subject
+
+
+# -- topologies --------------------------------------------------------------
+
+
+def topology(builder: str, **params) -> Topology:
+    """Build (or recall) the topology ``builder(**params)`` via the store."""
+    _ensure_builders()
+    fn = registry.resolve_builder(builder)
+    key = ArtifactKey("topology", builder, params)
+    return get_store().get_or_build(key, lambda: fn(**params), codecs.TOPOLOGY)
+
+
+def table3_topology(name: str, scale: str = "full") -> Topology:
+    """A Table 3 network by its paper label (``scale='reduced'`` for the
+    cycle-level simulator's shrunken analogues)."""
+    if scale not in ("full", "reduced"):
+        raise ValueError(f"scale must be 'full' or 'reduced', not {scale!r}")
+    builder = "table3" if scale == "full" else "table3-reduced"
+    return topology(builder, name=name)
+
+
+# -- routing tables ----------------------------------------------------------
+
+
+def distance_table(subject: Graph | Topology) -> np.ndarray:
+    """The full BFS distance matrix of *subject*'s graph (int16), cached by
+    graph content — the §9.3 routing-state artifact warm runs never rebuild."""
+    graph = _graph_of(subject)
+    key = ArtifactKey("dist_table", "bfs-int16", {"graph": graph_digest(graph)})
+    return get_store().get_or_build(
+        key, lambda: build_distance_table(graph), codecs.ARRAY
+    )
+
+
+def table_router(subject: Graph | Topology) -> TableRouter:
+    """All-minpath :class:`TableRouter` over the cached distance table."""
+    graph = _graph_of(subject)
+    return TableRouter(graph, dist=distance_table(graph))
+
+
+def paper_router(topo: Topology) -> tuple[Router, str]:
+    """The §9.3 routing policy for each topology:
+
+    * PolarStar — analytic single-minpath routing (§9.2);
+    * Dragonfly — hierarchical l-g-l (Booksim's built-in);
+    * HyperX — dimension-aligned all-minpath (no tables);
+    * SF / BF / MF / FT — all-minpath routing tables.
+
+    Returns ``(router, flow_mode)`` where ``flow_mode`` is "single" or
+    "all" for the flow-level model.  The router object itself is cached in
+    the memory tier (router state is not serializable; only the distance
+    table underneath it persists to disk).
+    """
+    key = ArtifactKey(
+        "paper_router",
+        "sec9.3",
+        {"graph": graph_digest(topo.graph), "name": topo.name},
+    )
+    return get_store().get_or_build(
+        key, lambda: _build_paper_router(topo), codecs.JSON_VALUE, persist=False
+    )
+
+
+def _build_paper_router(topo: Topology) -> tuple[Router, str]:
+    if "star" in topo.meta and topo.name.startswith("PS"):
+        return PolarStarRouter(topo.meta["star"]), "single"
+    if "a" in topo.meta and topo.name == "DF":
+        return DragonflyRouter(topo), "single"
+    if "dims" in topo.meta:
+        return HyperXRouter(topo), "all"
+    return table_router(topo), "all"
+
+
+def table3_router(name: str, scale: str = "full") -> tuple[Router, str]:
+    """Cached §9.3 ``(router, flow_mode)`` pair for a Table 3 topology."""
+    return paper_router(table3_topology(name, scale))
+
+
+# -- analysis artifacts ------------------------------------------------------
+
+
+def min_bisection(
+    graph: Graph, restarts: int = 2, seed: int = 0
+) -> tuple[int, np.ndarray]:
+    """Cached minimum-bisection estimate (Fig. 12/13), keyed by graph
+    content plus the restart/seed parameters."""
+    key = ArtifactKey(
+        "bisection",
+        "spectral-fm",
+        {"graph": graph_digest(graph), "restarts": restarts, "seed": seed},
+    )
+    return get_store().get_or_build(
+        key,
+        lambda: _bisection.min_bisection(graph, restarts=restarts, seed=seed),
+        codecs.BISECTION,
+    )
+
+
+def bisection_fraction(graph: Graph, restarts: int = 2, seed: int = 0) -> float:
+    """Fraction of links crossing the cached minimum-bisection estimate."""
+    if graph.m == 0:
+        return 0.0
+    cut, _ = min_bisection(graph, restarts=restarts, seed=seed)
+    return cut / graph.m
+
+
+def _summary(graph: Graph, metric: str, build, sample, seed):
+    key = ArtifactKey(
+        "distance_summary",
+        metric,
+        {"graph": graph_digest(graph), "sample": sample, "seed": seed},
+    )
+    return get_store().get_or_build(key, build, codecs.JSON_VALUE)
+
+
+def diameter(graph: Graph, sample: int | None = None, seed: int = 0) -> float:
+    """Cached :func:`repro.analysis.distances.diameter`."""
+    return float(
+        _summary(
+            graph,
+            "diameter",
+            lambda: _distances.diameter(graph, sample=sample, seed=seed),
+            sample,
+            seed,
+        )
+    )
+
+
+def average_path_length(
+    graph: Graph, sample: int | None = None, seed: int = 0
+) -> float:
+    """Cached :func:`repro.analysis.distances.average_path_length`."""
+    return float(
+        _summary(
+            graph,
+            "apl",
+            lambda: _distances.average_path_length(graph, sample=sample, seed=seed),
+            sample,
+            seed,
+        )
+    )
+
+
+def distance_distribution(
+    graph: Graph, sample: int | None = None, seed: int = 0
+) -> np.ndarray:
+    """Cached :func:`repro.analysis.distances.distance_distribution`."""
+    out = _summary(
+        graph,
+        "dist-distribution",
+        lambda: _distances.distance_distribution(
+            graph, sample=sample, seed=seed
+        ).tolist(),
+        sample,
+        seed,
+    )
+    return np.asarray(out, dtype=np.float64)

@@ -1,0 +1,66 @@
+"""Topology-builder registry: the name half of the artifact key scheme.
+
+Every topology constructor in :mod:`repro.topologies` registers itself
+here under a stable builder name (``"polarstar"``, ``"table3"``, ...).
+Consumers never import constructors directly any more — they ask
+:func:`repro.store.topology` for ``(builder, params)`` and the store
+resolves the name through this registry, caching the result in the
+content-addressed artifact store.
+
+This module is deliberately a *leaf*: it imports nothing from the rest of
+``repro``, so the topology modules (which sit below the store in the layer
+diagram, see ``docs/ARCHITECTURE.md``) can import it at module scope to
+self-register without creating an import cycle.
+
+Registered builder parameters must be canonical-JSON-safe (primitives and
+nested lists/tuples of primitives) because they are hashed into the
+artifact key — see :mod:`repro.store.keys`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+__all__ = [
+    "register_topology",
+    "resolve_builder",
+    "registered_builders",
+]
+
+#: builder name -> constructor taking keyword params and returning a Topology.
+_BUILDERS: dict[str, Callable] = {}
+
+
+def register_topology(name: str, fn: Callable) -> Callable:
+    """Register *fn* as the topology builder called *name*.
+
+    Idempotent for the same function object (modules may be re-imported);
+    registering a *different* function under an existing name is an error —
+    silently replacing a builder would change what an artifact key means.
+    """
+    if not name or not name.replace("-", "").replace("_", "").isalnum():
+        raise ValueError(f"builder name {name!r} is not a valid registry key")
+    existing = _BUILDERS.get(name)
+    if existing is not None and existing is not fn:
+        raise ValueError(
+            f"builder {name!r} already registered as {existing!r}; "
+            f"refusing to replace it with {fn!r}"
+        )
+    _BUILDERS[name] = fn
+    return fn
+
+
+def resolve_builder(name: str) -> Callable:
+    """The registered constructor for *name* (KeyError lists the options)."""
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology builder {name!r}; registered: "
+            f"{sorted(_BUILDERS)}"
+        ) from None
+
+
+def registered_builders() -> Iterable[str]:
+    """Sorted names of every registered builder."""
+    return sorted(_BUILDERS)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.graphs.mms import mms_degree, mms_feasible_degrees, mms_graph, mms_order
 from repro.graphs.paley import paley_feasible_degrees, paley_graph, paley_order
 from repro.core.star_product import star_product
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology, uniform_endpoints
 
 __all__ = [
@@ -60,3 +61,6 @@ def bundlefly_max_order(radix: int, bdf_fallback: bool = False) -> int:
         if dp == 0:
             best = max(best, mms_order(q))
     return best
+
+
+register_topology("bundlefly", bundlefly_topology)

@@ -12,6 +12,7 @@ from itertools import product
 import numpy as np
 
 from repro.graphs.base import Graph
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology, uniform_endpoints
 
 __all__ = [
@@ -76,3 +77,8 @@ def flattened_butterfly_topology(k: int, n_dims: int, p: int | None = None) -> T
     topo.name = "FlattenedButterfly"
     topo.meta["k"] = k
     return topo
+
+
+register_topology("torus", torus_topology)
+register_topology("hypercube", hypercube_topology)
+register_topology("flattened-butterfly", flattened_butterfly_topology)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.base import Graph
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology, uniform_endpoints
 
 __all__ = [
@@ -70,3 +71,6 @@ def dragonfly_max_order(radix: int) -> int:
             continue
         best = max(best, a * (a * h + 1))
     return best
+
+
+register_topology("dragonfly", dragonfly_topology)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.base import Graph
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology
 
 __all__ = [
@@ -62,3 +63,6 @@ def fattree_topology(p: int) -> Topology:
         groups=groups,
         meta={"p": p, "levels": 3},
     )
+
+
+register_topology("fattree", fattree_topology)

@@ -13,6 +13,7 @@ from itertools import product
 import numpy as np
 
 from repro.graphs.base import Graph
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology, uniform_endpoints
 
 __all__ = [
@@ -74,3 +75,6 @@ def hyperx_max_order(radix: int, ndims: int = 3) -> int:
         base = radix // ndims + 1
         best = base**ndims
     return best
+
+
+register_topology("hyperx", hyperx_topology)

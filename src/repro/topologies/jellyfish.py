@@ -7,6 +7,7 @@ as PolarStar.  Note its diameter generally exceeds 3.
 from __future__ import annotations
 
 from repro.graphs.random_regular import random_regular_graph
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology, uniform_endpoints
 
 __all__ = [
@@ -26,3 +27,6 @@ def jellyfish_topology(n: int, radix: int, p: int | None = None, seed: int = 0) 
         groups=None,
         meta={"seed": seed, "p": p},
     )
+
+
+register_topology("jellyfish", jellyfish_topology)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.base import Graph
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology
 
 __all__ = [
@@ -62,3 +63,6 @@ def megafly_topology(rho: int, a: int, p: int) -> Topology:
         groups=groups,
         meta={"rho": rho, "a": a, "p": p, "num_groups": g},
     )
+
+
+register_topology("megafly", megafly_topology)

@@ -19,6 +19,7 @@ from repro.fields import GF, is_prime_power
 from repro.graphs.er_polarity import er_polarity_graph, projective_points
 from repro.graphs.mms import mms_graph
 from repro.routing.base import Router
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology, uniform_endpoints
 
 __all__ = [
@@ -126,3 +127,7 @@ class PolarFlyRouter(Router):
             if int(F.dot3(self.points[cand], self.points[dest])) == 0 and cand != current:
                 return [int(cand)]
         raise RuntimeError(f"no 2-hop path from {current} to {dest}")
+
+
+register_topology("polarfly", polarfly_topology)
+register_topology("slimfly", slimfly_topology)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.polarstar import PolarStarConfig, best_config, build_polarstar
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology, uniform_endpoints
 
 __all__ = [
@@ -48,3 +49,26 @@ def polarstar_topology(
         groups=sp.supernode_of,
         meta={"config": cfg, "star": sp, "p": p},
     )
+
+
+def _registered_polarstar(
+    q: int | None = None,
+    dprime: int | None = None,
+    supernode_kind: str | None = None,
+    radix: int | None = None,
+    p: int | None = None,
+) -> Topology:
+    """Key-safe registry entry point: explicit ``(q, dprime, supernode_kind)``
+    or a ``radix`` budget, all JSON primitives (``PolarStarConfig`` objects
+    cannot appear in artifact keys)."""
+    if radix is not None:
+        if q is not None or dprime is not None or supernode_kind is not None:
+            raise ValueError("pass either radix or (q, dprime, supernode_kind)")
+        return polarstar_topology(radix, p=p)
+    if q is None or dprime is None or supernode_kind is None:
+        raise ValueError("polarstar builder needs q, dprime and supernode_kind")
+    cfg = PolarStarConfig(q=q, dprime=dprime, supernode_kind=supernode_kind)
+    return polarstar_topology(cfg, p=p)
+
+
+register_topology("polarstar", _registered_polarstar)

@@ -13,6 +13,7 @@ from functools import lru_cache
 from repro.analysis.distances import bfs_distances
 from repro.fields.primes import primes_up_to
 from repro.graphs.lps import lps_graph, lps_order
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology, uniform_endpoints
 
 __all__ = [
@@ -75,3 +76,6 @@ def spectralfly_design_points(
         (radix, order, p_gen, q)
         for radix, (order, p_gen, q) in sorted(best.items())
     )
+
+
+register_topology("spectralfly", spectralfly_topology)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.polarstar import PolarStarConfig
+from repro.store.registry import register_topology
 from repro.topologies.base import Topology
 from repro.topologies.bundlefly import bundlefly_topology
 from repro.topologies.dragonfly import dragonfly_topology
@@ -104,3 +105,7 @@ def build_reduced_topology(name: str) -> Topology:
     if name not in REDUCED_BUILDERS:
         raise KeyError(f"no reduced config for {name!r}; options: {list(REDUCED_BUILDERS)}")
     return REDUCED_BUILDERS[name]()
+
+
+register_topology("table3", build_table3_topology)
+register_topology("table3-reduced", build_reduced_topology)

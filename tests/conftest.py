@@ -1,0 +1,23 @@
+"""Shared test fixtures.
+
+The artifact store (:mod:`repro.store`) defaults its disk tier to the
+user's cache directory; tests must never read or pollute that, so every
+test session gets a fresh temporary store root — both for the in-process
+ambient store and (via ``REPRO_STORE_DIR``) for any subprocesses tests
+spawn.  Warm-vs-cold behavior is still exercised: within one session the
+second construction of any artifact hits this temp store.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_store(tmp_path_factory):
+    from repro import store
+
+    root = tmp_path_factory.mktemp("repro-store")
+    os.environ["REPRO_STORE_DIR"] = str(root)
+    store.configure(root=root)
+    yield

@@ -248,6 +248,116 @@ class TestFaultDiscipline:
         assert out == []
 
 
+# -- RL107 store-discipline ---------------------------------------------------
+
+
+class TestStoreDiscipline:
+    RELPATH = "src/repro/experiments/mod.py"
+
+    def test_direct_topology_builder_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro.topologies import polarstar_topology
+
+            def run():
+                return polarstar_topology(7, p=1)
+            """,
+            "RL107",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL107"]
+
+    def test_direct_table_router_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro.routing import TableRouter
+
+            def run(topo):
+                return TableRouter(topo.graph)
+            """,
+            "RL107",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL107"]
+
+    def test_direct_min_bisection_and_dist_table_trigger(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro.analysis.bisection import min_bisection
+            from repro.routing.table import build_distance_table
+
+            def run(g):
+                cut, _ = min_bisection(g)
+                return cut, build_distance_table(g)
+            """,
+            "RL107",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL107", "RL107"]
+
+    def test_store_resolution_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro import store
+
+            def run():
+                topo = store.table3_topology("DF")
+                router = store.table_router(topo)
+                cut, _ = store.min_bisection(topo.graph)
+                return store.topology("dragonfly", a=4, h=2, p=2)
+            """,
+            "RL107",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_suppression_comment_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro.routing import TableRouter
+
+            def run(degraded_graph):
+                # ephemeral degraded graph: intentionally uncached
+                return TableRouter(degraded_graph)  # repro-lint: disable=RL107
+            """,
+            "RL107",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_out_of_scope_path_ignored(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro.topologies import polarstar_topology
+
+            def run():
+                return polarstar_topology(7, p=1)
+            """,
+            "RL107",
+            relpath="src/repro/topologies/mod.py",
+        )
+        assert out == []
+
+    def test_constructor_patterns_option(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def run(g):
+                return make_fabric(g)
+            """,
+            "RL107",
+            relpath=self.RELPATH,
+            options={"constructors": ["make_fabric"]},
+        )
+        assert codes(out) == ["RL107"]
+
+
 # -- RL201 mutable-default-arg ----------------------------------------------
 
 

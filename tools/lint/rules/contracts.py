@@ -32,7 +32,7 @@ from tools.lint.core import (
     register,
 )
 
-__all__ = ["ContractValidation", "FaultDiscipline"]
+__all__ = ["ContractValidation", "FaultDiscipline", "StoreDiscipline"]
 
 #: Function-name patterns treated as graph/topology factories.
 FACTORY_PATTERNS = (
@@ -213,4 +213,68 @@ class FaultDiscipline(Rule):
                     node,
                     "default_rng() without a seed makes the fault scenario "
                     "unreproducible; thread an explicit seed through",
+                )
+
+
+#: Callee-name patterns that construct topologies / routing state directly.
+STORE_CONSTRUCTOR_PATTERNS = (
+    "TableRouter",
+    "*_topology",
+    "build_table3_topology",
+    "build_reduced_topology",
+    "build_distance_table",
+    "min_bisection",
+)
+
+#: Dotted-prefix allowance: resolutions through the artifact store are the
+#: sanctioned path (``store.table3_topology`` ends in ``_topology`` too).
+_STORE_PREFIXES = ("store.", "repro.store.", "provider.")
+
+
+@register
+class StoreDiscipline(Rule):
+    """Expensive construction must flow through the artifact store.
+
+    Topology builders, ``TableRouter`` / distance-table construction and
+    bisection estimation are cacheable artifacts (``docs/ARCHITECTURE.md``);
+    calling them directly from experiment drivers, the simulators or the
+    CLI silently forfeits the content-addressed cache — a warm run rebuilds
+    every BFS table it was supposed to skip.  Those layers must resolve
+    through :mod:`repro.store` (``store.topology``, ``store.table_router``,
+    ``store.min_bisection``, ...).  Intentional direct construction (e.g. a
+    router built on a degraded ephemeral graph) gets an explicit
+    ``# repro-lint: disable=RL107`` with a reason.
+    """
+
+    code = "RL107"
+    name = "store-discipline"
+    severity = "error"
+    default_paths = (
+        "src/repro/experiments",
+        "src/repro/sim",
+        "src/repro/cli.py",
+    )
+    description = (
+        "experiments/sim/cli must resolve topologies, routing tables and "
+        "bisection cuts via repro.store, not by calling builders directly"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        constructors = tuple(self.option("constructors", STORE_CONSTRUCTOR_PATTERNS))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            if callee.startswith(_STORE_PREFIXES):
+                continue
+            last = callee.rsplit(".", 1)[-1]
+            if matches_any(callee, constructors) or matches_any(last, constructors):
+                yield self.flag(
+                    ctx,
+                    node,
+                    f"direct construction call {callee!r} bypasses the "
+                    "artifact store; resolve it through repro.store so warm "
+                    "runs reuse the cached artifact",
                 )
