@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro sim --radix 7 --load 0.3 --fail-links 0.1
     python -m repro faults inject --fail-links 0.1 --fail-nodes 2
     python -m repro faults sweep --topo PS-IQ --out sweep.json
+    python -m repro run fig14_dynamic --jobs 4 --timeout 120
+    python -m repro run fig14_dynamic --jobs 4 --resume  # continue a run
+    python -m repro run status                      # list run journals
     python -m repro obs summary m.json              # inspect an artifact
     python -m repro store ls                        # on-disk artifacts
     python -m repro store warm --topo DF --dist     # pre-build a topology
@@ -19,10 +22,18 @@ Usage (after ``pip install -e .``)::
 
 ``experiment`` accepts any module name from :mod:`repro.experiments`
 (fig01, fig04, fig07, fig09, fig10, fig11, fig12, fig13, fig14,
-fig14_dynamic, tab01, tab02, tab03, eq12, sec08).  ``--metrics-out PATH``
-(on ``experiment``, ``sim``, and ``faults``) enables the :mod:`repro.obs`
-subsystem for the run and writes the metrics + span-profile + manifest
-JSON artifact; ``obs summary`` renders such an artifact for humans (see
+fig14_dynamic, tab01, tab02, tab03, eq12, sec08).  ``run`` executes a
+trial-decomposed experiment (see ``repro.runtime.PLANNED_EXPERIMENTS``)
+on the crash-safe supervised worker pool: ``--jobs N`` workers,
+``--timeout S`` per-trial wall budget, checkpoint journal under the runs
+directory (or ``--journal PATH``), and ``--resume`` to skip trials the
+journal already has — an interrupted sweep continues where it stopped
+and reproduces the uninterrupted artifact byte-for-byte.  ``run status``
+lists every journal and its progress.  See ``docs/RUNTIME.md``.
+``--metrics-out PATH`` (on ``experiment``, ``sim``, ``run``, and
+``faults``) enables the :mod:`repro.obs` subsystem for the run and
+writes the metrics + span-profile + manifest JSON artifact; ``obs
+summary`` renders such an artifact for humans (see
 ``docs/OBSERVABILITY.md``).  ``faults`` runs fault-injected simulations
 (see ``docs/FAULT_TOLERANCE.md``): ``inject`` for one scenario with
 per-kind knobs, ``sweep`` for the fig14_dynamic delivered-fraction sweep
@@ -263,15 +274,174 @@ def _cmd_faults_sweep(args) -> int:
         )
     print(fig14_dynamic.format_figure(result))
     if args.out:
+        from repro.runtime import atomic_write_text
+
         # sort_keys + no timestamps anywhere => byte-identical across reruns
-        # of the same (topo, fractions, load, seed).
-        with open(args.out, "w") as f:
-            json.dump(result, f, indent=2, sort_keys=True)
-            f.write("\n")
+        # of the same (topo, fractions, load, seed); atomic replace so an
+        # interrupt never leaves a half-written artifact behind.
+        atomic_write_text(
+            args.out, json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
         print(f"\nsweep artifact written to {args.out}")
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
     return 0
+
+
+def _parse_run_opts(pairs) -> dict:
+    """``--opt key=value`` pairs; values parse as JSON, else stay strings."""
+    import json
+
+    opts = {}
+    for item in pairs or ():
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--opt expects key=value, got {item!r}")
+        try:
+            opts[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            opts[key] = raw
+    return opts
+
+
+def _cmd_run_status(args) -> int:
+    """List run journals and their progress (``repro run status``)."""
+    from pathlib import Path
+
+    from repro import runtime
+
+    if args.journal:
+        paths = [Path(args.journal)]
+    else:
+        root = runtime.runs_root()
+        paths = sorted(root.glob("*.jsonl")) if root.is_dir() else []
+        if not paths:
+            print(f"no run journals under {root}")
+            return 0
+    for path in paths:
+        records = runtime.load_records(path)
+        headers = runtime.run_headers(records)
+        if not headers:
+            print(f"{path.name}: empty or unreadable journal")
+            continue
+        head = headers[-1]
+        total = int(head.get("trials", 0))
+        done = len(runtime.completed_trials(records))
+        quarantined = len(
+            {
+                r["trial"]
+                for r in records
+                if r.get("type") == "trial" and r.get("status") == "quarantined"
+            }
+        )
+        last = records[-1].get("type")
+        if last == "complete":
+            state = "complete"
+        elif last == "interrupted":
+            state = "interrupted (resumable)"
+        else:
+            state = "incomplete (resumable)"
+        line = (
+            f"{path.name}: {head.get('experiment')} gen {head.get('generation')} "
+            f"{done}/{total} done"
+        )
+        if quarantined:
+            line += f", {quarantined} quarantined"
+        print(f"{line} — {state}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    """Supervised, journaled, resumable experiment execution."""
+    import json
+    from pathlib import Path
+
+    from repro import runtime
+    from repro.experiments.common import obs_session
+
+    if args.experiment == "status":
+        return _cmd_run_status(args)
+    if args.experiment not in runtime.PLANNED_EXPERIMENTS:
+        raise SystemExit(
+            f"unknown runnable experiment {args.experiment!r}; options: "
+            f"{list(runtime.PLANNED_EXPERIMENTS)} (or 'status')"
+        )
+    plan = runtime.build_plan(args.experiment, _parse_run_opts(args.opt))
+    if args.journal:
+        journal_path = Path(args.journal)
+    else:
+        journal_path = (
+            runtime.runs_root() / f"{args.experiment}-{plan.digest[:12]}.jsonl"
+        )
+    journal_path.parent.mkdir(parents=True, exist_ok=True)
+    config = runtime.PoolConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
+        degrade_after=args.degrade_after,
+        watchdog_grace=args.watchdog_grace,
+        seed=args.seed,
+    )
+    runtime_manifest: dict = {}
+    with obs_session(
+        args.metrics_out, experiment=args.experiment, runtime=runtime_manifest
+    ):
+        try:
+            report = runtime.run_plan(
+                plan, journal_path, config, resume=args.resume
+            )
+        except runtime.RunInterruptedWithReport as exc:
+            report = exc.report
+        runtime_manifest.update(report.manifest_info())
+
+    counts = report.counts()
+    if report.interrupted:
+        print(
+            f"interrupted: {counts['done']}/{counts['total']} trials "
+            f"checkpointed in {journal_path}",
+            file=sys.stderr,
+        )
+        print(
+            f"resume with: python -m repro run {args.experiment} --resume "
+            + (f"--journal {journal_path}" if args.journal else ""),
+            file=sys.stderr,
+        )
+        return 130
+
+    mod = runtime.experiment_module(args.experiment)
+    merged = mod.merge_trials(plan.opts, report.merge_outcomes())
+    print(mod.format_figure(merged))
+    quarantined = [o for o in report.outcomes if o.status == "quarantined"]
+    print(
+        f"\n{counts['done']}/{counts['total']} trials done "
+        f"({counts['skipped']} resumed from journal, {counts['degraded']} "
+        f"degraded, {len(quarantined)} quarantined); journal: {journal_path}"
+    )
+    for o in quarantined:
+        print(
+            f"  quarantined {o.digest[:12]} after {o.attempts} attempts: "
+            f"{o.error}",
+            file=sys.stderr,
+        )
+    if args.out:
+        # Deterministic payload only: params/results, no timings or attempt
+        # counts, so interrupted-then-resumed == uninterrupted, byte for byte.
+        payload = {
+            "experiment": plan.experiment,
+            "opts": plan.opts,
+            "plan": plan.digest,
+            "result": merged,
+            "quarantined": sorted(o.digest for o in quarantined),
+        }
+        runtime.atomic_write_text(
+            args.out, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"result artifact written to {args.out}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    return 1 if quarantined else 0
 
 
 def _cmd_store(args) -> int:
@@ -466,6 +636,56 @@ def build_parser() -> argparse.ArgumentParser:
     fs.add_argument("--metrics-out", default=None, metavar="PATH")
     fs.set_defaults(fn=_cmd_faults_sweep)
 
+    ru = sub.add_parser(
+        "run",
+        help="run a trial-decomposed experiment on the supervised worker "
+        "pool with checkpoint/resume (or 'status' to list journals)",
+    )
+    ru.add_argument(
+        "experiment",
+        help="experiment to run (fig09, fig10, fig14_dynamic, tab03, chaos) "
+        "or 'status'",
+    )
+    ru.add_argument("--jobs", type=int, default=1, help="worker processes")
+    ru.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-trial wall-clock budget in seconds (0 disables)",
+    )
+    ru.add_argument(
+        "--retries", type=int, default=3,
+        help="extra attempts per trial before quarantine",
+    )
+    ru.add_argument(
+        "--resume", action="store_true",
+        help="skip trials already checkpointed in the journal",
+    )
+    ru.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint journal (default: runs dir, keyed by plan digest)",
+    )
+    ru.add_argument(
+        "--opt", action="append", default=None, metavar="KEY=VALUE",
+        help="experiment option (value parsed as JSON; repeatable), e.g. "
+        "--opt names='[\"PS-IQ\"]' --opt cycles='[30,80,80]'",
+    )
+    ru.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the deterministic merged-result JSON artifact here",
+    )
+    ru.add_argument("--backoff-base", type=float, default=0.5)
+    ru.add_argument("--backoff-cap", type=float, default=30.0)
+    ru.add_argument(
+        "--degrade-after", type=int, default=2,
+        help="timeout-class failures before degrading trial fidelity",
+    )
+    ru.add_argument(
+        "--watchdog-grace", type=float, default=15.0,
+        help="stale-heartbeat seconds before a worker counts as hung",
+    )
+    ru.add_argument("--seed", type=int, default=0, help="retry-jitter seed")
+    ru.add_argument("--metrics-out", default=None, metavar="PATH")
+    ru.set_defaults(fn=_cmd_run)
+
     st = sub.add_parser("store", help="inspect/manage the artifact store")
     stsub = st.add_subparsers(dest="action", required=True)
 
@@ -509,7 +729,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # Commands that manage their own signal policy (repro run) never get
+        # here; everything else exits with the conventional SIGINT code.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

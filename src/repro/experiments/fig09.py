@@ -30,11 +30,18 @@ from repro.traffic import (
 __all__ = [
     "PATTERNS",
     "DEFAULT_TOPOLOGIES",
+    "TRIAL_FIDELITY",
     "pattern_demand",
     "run",
+    "plan_trials",
+    "run_trial",
+    "merge_trials",
     "packet_sim_curves",
     "format_figure",
 ]
+
+#: Trial API (repro.runtime): the saturation cells are flow-level already.
+TRIAL_FIDELITY = "flow"
 
 PATTERNS = {
     "uniform": UniformRandomPattern,
@@ -79,6 +86,50 @@ def run(
                     topo, router, demand, loads=loads, mode=mode
                 )
     return {"rows": rows, "curves": curves}
+
+
+# -- trial API (repro.runtime) ------------------------------------------------
+
+
+def plan_trials(opts: dict) -> list[dict]:
+    """One trial per (topology, pattern) saturation cell."""
+    names = tuple(opts.get("names", DEFAULT_TOPOLOGIES))
+    patterns = tuple(
+        opts.get("patterns", ("uniform", "permutation", "bitreverse", "bitshuffle"))
+    )
+    with_ugal = bool(opts.get("with_ugal", True))
+    return [
+        {"topology": str(n), "pattern": str(p), "with_ugal": with_ugal}
+        for n in names
+        for p in patterns
+    ]
+
+
+def run_trial(params: dict, fidelity: str = "flow", attempt: int = 1) -> dict:
+    """Compute one saturation row (JSON-safe; workers call this)."""
+    name, pattern = params["topology"], params["pattern"]
+    topo = table3_instance(name)
+    router, mode = table3_router(name)
+    demand = pattern_demand(topo, pattern)
+    loads = link_loads(topo, router, demand, mode=mode)
+    peak = loads.max() if len(loads) else 0.0
+    sat_min = min(1.0, 1.0 / peak) if peak > 0 else 1.0
+    row = {"topology": name, "pattern": pattern, "min_saturation": float(sat_min)}
+    if params.get("with_ugal", True):
+        row["ugal_saturation"] = float(
+            ugal_saturation_load(topo, router, demand, mode=mode)
+        )
+    return {"row": row}
+
+
+def merge_trials(opts: dict, outcomes: list[dict]) -> dict:
+    """Fold finished trial rows back into the ``run()`` result shape."""
+    rows = [
+        o["result"]["row"]
+        for o in outcomes
+        if o["status"] == "done" and o["result"] is not None
+    ]
+    return {"rows": rows, "curves": {}}
 
 
 def packet_sim_curves(

@@ -15,11 +15,18 @@ from repro.traffic import AdversarialGroupPattern
 
 __all__ = [
     "HIERARCHICAL",
+    "TRIAL_FIDELITY",
     "run",
+    "plan_trials",
+    "run_trial",
+    "merge_trials",
     "format_figure",
 ]
 
 HIERARCHICAL = ("PS-IQ", "PS-Pal", "BF", "DF", "MF")
+
+#: Trial API (repro.runtime): adversarial saturation is a flow-level model.
+TRIAL_FIDELITY = "flow"
 
 
 def run(names=HIERARCHICAL, with_ugal: bool = True) -> dict:
@@ -36,6 +43,43 @@ def run(names=HIERARCHICAL, with_ugal: bool = True) -> dict:
         if with_ugal:
             row["ugal_saturation"] = ugal_saturation_load(topo, router, demand, mode=mode)
         rows.append(row)
+    return {"rows": rows}
+
+
+# -- trial API (repro.runtime) ------------------------------------------------
+
+
+def plan_trials(opts: dict) -> list[dict]:
+    """One trial per hierarchical topology."""
+    names = tuple(opts.get("names", HIERARCHICAL))
+    with_ugal = bool(opts.get("with_ugal", True))
+    return [{"topology": str(n), "with_ugal": with_ugal} for n in names]
+
+
+def run_trial(params: dict, fidelity: str = "flow", attempt: int = 1) -> dict:
+    """Compute one adversarial saturation row (JSON-safe; workers call this)."""
+    name = params["topology"]
+    topo = table3_instance(name)
+    router, mode = table3_router(name)
+    demand = AdversarialGroupPattern(topo).router_demand()
+    row = {
+        "topology": name,
+        "min_saturation": float(saturation_load(topo, router, demand, mode=mode)),
+    }
+    if params.get("with_ugal", True):
+        row["ugal_saturation"] = float(
+            ugal_saturation_load(topo, router, demand, mode=mode)
+        )
+    return {"row": row}
+
+
+def merge_trials(opts: dict, outcomes: list[dict]) -> dict:
+    """Fold finished trial rows back into the ``run()`` result shape."""
+    rows = [
+        o["result"]["row"]
+        for o in outcomes
+        if o["status"] == "done" and o["result"] is not None
+    ]
     return {"rows": rows}
 
 

@@ -19,6 +19,9 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+import scipy.sparse as sp
+
 from repro.analysis.faults import disconnection_ratio
 from repro.experiments.common import format_table, table3_instance, table3_router
 from repro.faults import permanent_link_failures
@@ -28,13 +31,21 @@ from repro.traffic import UniformRandomPattern
 __all__ = [
     "TOPOLOGIES",
     "FRACTIONS",
+    "TRIAL_FIDELITY",
     "default_config",
     "run",
+    "plan_trials",
+    "run_trial",
+    "merge_trials",
     "format_figure",
 ]
 
 TOPOLOGIES = ("PS-IQ",)
 FRACTIONS = (0.0, 0.05, 0.1, 0.15, 0.2, 0.3)
+
+#: Trial API (repro.runtime): sweep points are packet simulations, so the
+#: supervisor may degrade a persistently timing-out point to ``flow``.
+TRIAL_FIDELITY = "packet"
 
 
 def default_config(seed: int = 0) -> PacketSimConfig:
@@ -48,6 +59,75 @@ def default_config(seed: int = 0) -> PacketSimConfig:
 def _finite(x: float) -> float | None:
     """JSON-safe number (``inf`` from an empty latency sample becomes null)."""
     return float(x) if math.isfinite(x) else None
+
+
+def _point(topo, router, pattern, cfg, frac, load, seed) -> dict:
+    """Simulate one packet-level sweep point (shared by run/run_trial)."""
+    schedule = permanent_link_failures(topo.graph, frac, seed=seed, time=0)
+    sim = PacketSimulator(topo, router, pattern, cfg, faults=schedule)
+    res = sim.run(load)
+    return {
+        "fraction": float(frac),
+        "failed_links": len(schedule),
+        "delivered_fraction": float(res.delivered_fraction),
+        "throughput": float(res.throughput),
+        "avg_latency": _finite(res.avg_latency),
+        "p99_latency": _finite(res.p99_latency),
+        "injected": res.injected,
+        "delivered": res.delivered,
+        "dropped": res.dropped,
+        "reroutes": res.reroutes,
+        "drop_causes": res.drop_causes,
+        "fidelity": "packet",
+    }
+
+
+def _flow_point(topo, frac, seed) -> dict:
+    """Degraded (flow-fidelity) sweep point: no packet simulation.
+
+    Approximates the delivered fraction by the share of ordered router
+    pairs still connected once the same seeded victim links are removed —
+    an upper bound on what any router could deliver.  Latency and packet
+    accounting are unknowable at this fidelity and reported as null.
+    """
+    schedule = permanent_link_failures(topo.graph, frac, seed=seed, time=0)
+    graph = topo.graph
+    down = {(min(ev.u, ev.v), max(ev.u, ev.v)) for ev in schedule}
+    e = graph.edge_array
+    keep = np.fromiter(
+        (
+            (min(int(e[i, 0]), int(e[i, 1])), max(int(e[i, 0]), int(e[i, 1])))
+            not in down
+            for i in range(graph.m)
+        ),
+        dtype=bool,
+        count=graph.m,
+    )
+    n = graph.n
+    if n <= 1:
+        connected = 1.0
+    else:
+        rows, cols = e[keep, 0], e[keep, 1]
+        mat = sp.coo_matrix(
+            (np.ones(len(rows), dtype=np.int8), (rows, cols)), shape=(n, n)
+        )
+        _, labels = sp.csgraph.connected_components(mat, directed=False)
+        sizes = np.bincount(labels)
+        connected = float((sizes * (sizes - 1)).sum() / (n * (n - 1)))
+    return {
+        "fraction": float(frac),
+        "failed_links": len(schedule),
+        "delivered_fraction": connected,
+        "throughput": None,
+        "avg_latency": None,
+        "p99_latency": None,
+        "injected": None,
+        "delivered": None,
+        "dropped": None,
+        "reroutes": None,
+        "drop_causes": {},
+        "fidelity": "flow",
+    }
 
 
 def run(
@@ -69,32 +149,108 @@ def run(
         topo = table3_instance(name, scale="reduced")
         router, _ = table3_router(name, scale="reduced")
         pattern = UniformRandomPattern(topo)
-        points = []
-        for frac in fractions:
-            schedule = permanent_link_failures(topo.graph, frac, seed=seed, time=0)
-            sim = PacketSimulator(topo, router, pattern, cfg, faults=schedule)
-            res = sim.run(load)
-            points.append(
-                {
-                    "fraction": float(frac),
-                    "failed_links": len(schedule),
-                    "delivered_fraction": float(res.delivered_fraction),
-                    "throughput": float(res.throughput),
-                    "avg_latency": _finite(res.avg_latency),
-                    "p99_latency": _finite(res.p99_latency),
-                    "injected": res.injected,
-                    "delivered": res.delivered,
-                    "dropped": res.dropped,
-                    "reroutes": res.reroutes,
-                    "drop_causes": res.drop_causes,
-                }
-            )
+        points = [
+            _point(topo, router, pattern, cfg, frac, load, seed)
+            for frac in fractions
+        ]
         out[name] = {
             "load": float(load),
             "seed": int(seed),
             "disconnection_ratio": float(disconnection_ratio(topo.graph, seed=seed)),
             "points": points,
         }
+    return out
+
+
+# -- trial API (repro.runtime) ------------------------------------------------
+
+
+def plan_trials(opts: dict) -> list[dict]:
+    """Per topology: one static-summary trial plus one trial per fraction.
+
+    ``opts["cycles"]`` (``[warmup, measure, drain]``) shrinks the simulated
+    window for smoke runs; it is part of trial identity, so smoke journals
+    never satisfy full-scale resumes.
+    """
+    names = tuple(opts.get("names", TOPOLOGIES))
+    fractions = tuple(float(f) for f in opts.get("fractions", FRACTIONS))
+    load = float(opts.get("load", 0.3))
+    seed = int(opts.get("seed", 0))
+    cycles = opts.get("cycles")
+    trials = []
+    for name in names:
+        trials.append(
+            {"kind": "summary", "topology": str(name), "seed": seed, "load": load}
+        )
+        for frac in fractions:
+            params = {
+                "kind": "point",
+                "topology": str(name),
+                "fraction": frac,
+                "load": load,
+                "seed": seed,
+            }
+            if cycles is not None:
+                params["cycles"] = [int(c) for c in cycles]
+            trials.append(params)
+    return trials
+
+
+def run_trial(params: dict, fidelity: str = "packet", attempt: int = 1) -> dict:
+    """Execute one sweep trial at the requested fidelity (workers call this)."""
+    name = params["topology"]
+    seed = int(params["seed"])
+    topo = table3_instance(name, scale="reduced")
+    if params["kind"] == "summary":
+        return {
+            "summary": {
+                "load": float(params["load"]),
+                "seed": seed,
+                "disconnection_ratio": float(
+                    disconnection_ratio(topo.graph, seed=seed)
+                ),
+            }
+        }
+    frac = float(params["fraction"])
+    if fidelity == "flow":
+        return {"point": _flow_point(topo, frac, seed)}
+    router, _ = table3_router(name, scale="reduced")
+    pattern = UniformRandomPattern(topo)
+    cycles = params.get("cycles")
+    if cycles is None:
+        cfg = default_config(seed)
+    else:
+        warmup, measure, drain = (int(c) for c in cycles)
+        cfg = PacketSimConfig(
+            warmup_cycles=warmup, measure_cycles=measure, drain_cycles=drain, seed=seed
+        )
+    return {"point": _point(topo, router, pattern, cfg, frac, params["load"], seed)}
+
+
+def merge_trials(opts: dict, outcomes: list[dict]) -> dict:
+    """Fold finished trials back into the ``run()`` result shape.
+
+    Quarantined or pending trials simply leave their point out (and the
+    disconnection ratio null if the summary trial itself failed), so a
+    partial sweep still renders.
+    """
+    load = float(opts.get("load", 0.3))
+    seed = int(opts.get("seed", 0))
+    out: dict = {}
+    for o in outcomes:
+        name = o["params"]["topology"]
+        entry = out.setdefault(
+            name,
+            {"load": load, "seed": seed, "disconnection_ratio": None, "points": []},
+        )
+        if o["status"] != "done" or o["result"] is None:
+            continue
+        if o["params"]["kind"] == "summary":
+            entry.update(o["result"]["summary"])
+        else:
+            entry["points"].append(o["result"]["point"])
+    for entry in out.values():
+        entry["points"].sort(key=lambda p: p["fraction"])
     return out
 
 
@@ -108,20 +264,23 @@ def format_figure(result: dict) -> str:
     for name, data in result.items():
         rows = []
         for pt in data["points"]:
+            throughput = pt["throughput"]
             rows.append(
                 [
                     f"{pt['fraction']:.0%}",
                     f"{pt['delivered_fraction']:.1%}",
-                    f"{pt['throughput']:.3f}",
+                    "-" if throughput is None else f"{throughput:.3f}",
                     "-" if pt["avg_latency"] is None else f"{pt['avg_latency']:.1f}",
                     "-" if pt["p99_latency"] is None else f"{pt['p99_latency']:.1f}",
-                    str(pt["dropped"]),
-                    str(pt["reroutes"]),
+                    "-" if pt["dropped"] is None else str(pt["dropped"]),
+                    "-" if pt["reroutes"] is None else str(pt["reroutes"]),
                 ]
             )
+        ratio = data["disconnection_ratio"]
+        ratio_txt = "n/a" if ratio is None else f"{ratio:.0%}"
         parts.append(
             f"{name} at load {data['load']:.2f} (static disconnection ratio "
-            f"{data['disconnection_ratio']:.0%}, seed {data['seed']}):\n"
+            f"{ratio_txt}, seed {data['seed']}):\n"
             + format_table(headers, rows)
         )
     return "\n\n".join(parts)

@@ -7,9 +7,16 @@ from repro.topologies.table3 import TABLE3_BUILDERS
 
 __all__ = [
     "PAPER_ROWS",
+    "TRIAL_FIDELITY",
     "run",
+    "plan_trials",
+    "run_trial",
+    "merge_trials",
     "format_figure",
 ]
+
+#: Trial API (repro.runtime): construction checks have no simulation fidelity.
+TRIAL_FIDELITY = "flow"
 
 PAPER_ROWS = {
     # name: (routers, radix, endpoints) as printed in the paper
@@ -43,6 +50,45 @@ def run(names=tuple(TABLE3_BUILDERS)) -> dict:
                 == paper,
             }
         )
+    return {"rows": rows}
+
+
+# -- trial API (repro.runtime) ------------------------------------------------
+
+
+def plan_trials(opts: dict) -> list[dict]:
+    """One trial per Table 3 network."""
+    names = tuple(opts.get("names", tuple(TABLE3_BUILDERS)))
+    return [{"name": str(n)} for n in names]
+
+
+def run_trial(params: dict, fidelity: str = "flow", attempt: int = 1) -> dict:
+    """Rebuild one network and compare it to the printed row."""
+    name = params["name"]
+    topo = table3_instance(name)
+    paper = PAPER_ROWS[name]
+    return {
+        "row": {
+            "name": name,
+            "routers": int(topo.num_routers),
+            "radix": int(topo.network_radix),
+            "endpoints": int(topo.num_endpoints),
+            "paper_routers": paper[0],
+            "paper_radix": paper[1],
+            "paper_endpoints": paper[2],
+            "match": (topo.num_routers, topo.network_radix, topo.num_endpoints)
+            == paper,
+        }
+    }
+
+
+def merge_trials(opts: dict, outcomes: list[dict]) -> dict:
+    """Fold finished trial rows back into the ``run()`` result shape."""
+    rows = [
+        o["result"]["row"]
+        for o in outcomes
+        if o["status"] == "done" and o["result"] is not None
+    ]
     return {"rows": rows}
 
 

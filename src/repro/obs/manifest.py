@@ -13,7 +13,10 @@ from __future__ import annotations
 import dataclasses
 import json
 import platform
-import subprocess
+# Sanctioned RL108 exception: the manifest shells out to `git rev-parse`
+# once per capture — a short-lived, checked, timeout-bounded query, not a
+# worker process the runtime supervisor should own.
+import subprocess  # repro-lint: disable=RL108
 import sys
 import time
 from dataclasses import dataclass, field

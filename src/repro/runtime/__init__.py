@@ -1,0 +1,69 @@
+"""``repro.runtime`` — the crash-safe, resumable experiment runtime.
+
+Experiments decompose into deterministic, content-addressed *trials*
+(:mod:`repro.runtime.plan`) that execute on a supervised spawn-based
+worker pool (:mod:`repro.runtime.pool`, :mod:`repro.runtime.supervisor`)
+with per-trial wall-clock timeouts, exponential-backoff retries with
+seeded jitter, a hung-worker heartbeat watchdog, graceful packet→flow
+fidelity degradation, and quarantine of persistently failing trials.
+Every finished trial is checkpointed into an append-only JSONL journal
+(:mod:`repro.runtime.journal`), so ``repro run <experiment> --resume``
+skips completed work and reproduces the uninterrupted run byte-for-byte.
+
+See ``docs/RUNTIME.md`` for the trial model, journal format,
+retry/quarantine semantics, the degradation ladder and the resume
+contract.  Lint rule RL108 confines process-spawning primitives to this
+package.
+"""
+
+from repro.runtime.journal import (
+    Journal,
+    JournalError,
+    atomic_write_text,
+    completed_trials,
+    load_records,
+    run_headers,
+)
+from repro.runtime.plan import (
+    DEGRADE_LADDER,
+    PLANNED_EXPERIMENTS,
+    Plan,
+    TrialSpec,
+    build_plan,
+    execute_trial,
+    experiment_module,
+)
+from repro.runtime.supervisor import (
+    PoolConfig,
+    RunInterrupted,
+    RunInterruptedWithReport,
+    RunReport,
+    Supervisor,
+    TrialOutcome,
+    run_plan,
+    runs_root,
+)
+
+__all__ = [
+    "DEGRADE_LADDER",
+    "Journal",
+    "JournalError",
+    "PLANNED_EXPERIMENTS",
+    "Plan",
+    "PoolConfig",
+    "RunInterrupted",
+    "RunInterruptedWithReport",
+    "RunReport",
+    "Supervisor",
+    "TrialOutcome",
+    "TrialSpec",
+    "atomic_write_text",
+    "build_plan",
+    "completed_trials",
+    "execute_trial",
+    "experiment_module",
+    "load_records",
+    "run_headers",
+    "run_plan",
+    "runs_root",
+]

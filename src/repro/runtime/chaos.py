@@ -1,0 +1,135 @@
+"""The runtime's own chaos experiment: trials that misbehave on purpose.
+
+``repro run chaos`` plans ``trials`` deterministic work units (a seeded
+integer reduction each) and lets ``modes`` assign a failure behavior per
+trial index, so tests and the CI smoke job can prove every supervision
+path — retry, backoff, crash recovery, watchdog, degradation, quarantine —
+against *scheduled* faults instead of flaky timing tricks:
+
+========== =============================================================
+mode        behavior
+========== =============================================================
+``ok``      compute and return (the default)
+``slow``    sleep ``sleep`` seconds first (interrupt/kill windows)
+``fail``    raise for the first ``fail_attempts`` attempts, then succeed
+``crash``   SIGKILL the worker process for the first ``fail_attempts``
+            attempts (a worker dies mid-trial; supervisor must replace it)
+``stop``    SIGSTOP the worker (heartbeat goes stale; the hung-worker
+            watchdog must kill + retry); first ``fail_attempts`` attempts
+``hang``    sleep far past any sane per-trial timeout, every attempt
+``hang_packet``  hang only at ``packet`` fidelity — succeeds after the
+            supervisor degrades the trial to ``flow``
+========== =============================================================
+
+Chaos trials declare ``packet`` fidelity so the degradation ladder is
+exercisable; the computed value folds the fidelity in, making a degraded
+result visibly (and deterministically) different.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+
+from repro.experiments.common import format_table
+
+__all__ = [
+    "MODES",
+    "TRIAL_FIDELITY",
+    "plan_trials",
+    "run_trial",
+    "merge_trials",
+    "format_figure",
+]
+
+MODES = ("ok", "slow", "fail", "crash", "stop", "hang", "hang_packet")
+
+TRIAL_FIDELITY = "packet"
+
+#: "Forever" for hanging modes — any per-trial timeout fires first.
+_HANG_SECONDS = 3600.0
+
+
+def plan_trials(opts: dict) -> list[dict]:
+    """One trial per index; ``modes`` maps index (as a string) to a mode."""
+    n = int(opts.get("trials", 4))
+    if n < 1:
+        raise ValueError("chaos needs trials >= 1")
+    modes = dict(opts.get("modes", {}))
+    fail_attempts = int(opts.get("fail_attempts", 1))
+    sleep = float(opts.get("sleep", 1.0))
+    seed = int(opts.get("seed", 0))
+    out = []
+    for i in range(n):
+        mode = str(modes.get(str(i), "ok"))
+        if mode not in MODES:
+            raise ValueError(f"unknown chaos mode {mode!r}; options: {MODES}")
+        params = {"index": i, "mode": mode, "seed": seed}
+        if mode in ("fail", "crash", "stop"):
+            params["fail_attempts"] = fail_attempts
+        if mode == "slow":
+            params["sleep"] = sleep
+        out.append(params)
+    return out
+
+
+def _compute(index: int, seed: int, fidelity: str) -> int:
+    rng = np.random.default_rng([seed, index])
+    value = int(rng.integers(0, 1_000_000, size=64).sum())
+    # Fold the fidelity in so a degraded result is distinguishable.
+    return value + (1 if fidelity == "flow" else 0)
+
+
+def run_trial(params: dict, fidelity: str = "packet", attempt: int = 1) -> dict:
+    """Execute one chaos trial (worker side; may never return, on purpose)."""
+    mode = params.get("mode", "ok")
+    fail_attempts = int(params.get("fail_attempts", 1))
+    if mode == "slow":
+        time.sleep(float(params.get("sleep", 1.0)))
+    elif mode == "fail" and attempt <= fail_attempts:
+        raise RuntimeError(
+            f"chaos: scheduled failure (attempt {attempt}/{fail_attempts})"
+        )
+    elif mode == "crash" and attempt <= fail_attempts:
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "stop" and attempt <= fail_attempts:
+        os.kill(os.getpid(), signal.SIGSTOP)
+    elif mode == "hang" or (mode == "hang_packet" and fidelity == "packet"):
+        time.sleep(_HANG_SECONDS)
+    return {
+        "index": int(params["index"]),
+        "value": _compute(int(params["index"]), int(params.get("seed", 0)), fidelity),
+        "fidelity": fidelity,
+    }
+
+
+def merge_trials(opts: dict, outcomes: list[dict]) -> dict:
+    """Fold outcomes into rows (quarantined/pending trials stay visible)."""
+    rows = []
+    for o in outcomes:
+        row = {"index": o["params"]["index"], "mode": o["params"].get("mode", "ok"),
+               "status": o["status"]}
+        if o["status"] == "done" and o["result"] is not None:
+            row["value"] = o["result"]["value"]
+            row["fidelity"] = o["result"].get("fidelity", o.get("fidelity"))
+        rows.append(row)
+    return {"rows": rows}
+
+
+def format_figure(result: dict) -> str:
+    """Render the chaos outcome table."""
+    headers = ["index", "mode", "status", "fidelity", "value"]
+    rows = [
+        [
+            r["index"],
+            r["mode"],
+            r["status"],
+            r.get("fidelity", "-"),
+            r.get("value", "-"),
+        ]
+        for r in result["rows"]
+    ]
+    return format_table(headers, rows)

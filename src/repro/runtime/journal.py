@@ -1,0 +1,145 @@
+"""Append-only JSONL checkpoint journal for supervised runs.
+
+One :class:`Journal` file records everything a run does: a ``run`` header
+per generation (first run, then one per ``--resume``), a ``trial`` record
+per finished attempt (``done`` with the full JSON result, or
+``quarantined`` with the terminal error), plus ``retry`` / ``degrade`` /
+``interrupted`` / ``complete`` bookkeeping records.  The file is the
+single source of truth for resume: a trial whose latest record says
+``done`` is never re-executed — its journaled result is replayed, which is
+what makes a resumed run byte-identical to an uninterrupted one.
+
+Durability contract: every :meth:`Journal.append` writes one canonical
+JSON line, flushes, and ``fsync``\\ s, so a SIGKILL at any instant loses at
+most the line being written.  :func:`load_records` tolerates exactly that
+failure mode — an undecodable (truncated) line is dropped with a warning —
+and :class:`Journal` repairs a missing trailing newline before appending,
+so a record written after a crash never fuses with the partial line.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+__all__ = [
+    "Journal",
+    "JournalError",
+    "atomic_write_text",
+    "completed_trials",
+    "load_records",
+    "run_headers",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class JournalError(RuntimeError):
+    """The journal on disk does not match the run being attempted."""
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write *text* to *path* via a same-directory temp file + ``os.replace``.
+
+    Output artifacts (``--out`` files) must never be observable half-written:
+    a ctrl-C mid-dump either leaves the previous file intact or the new one
+    complete, nothing in between.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp-" + str(os.getpid()))
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            logger.warning("journal: stray temp file left behind: %s", tmp)
+        raise
+
+
+def load_records(path: str | Path) -> list[dict]:
+    """Parse a journal file into its record dicts.
+
+    Undecodable lines — the partial line a SIGKILL mid-``write`` leaves
+    behind — are dropped with a warning rather than failing the resume;
+    every complete line before and after them is kept.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return []
+    records: list[dict] = []
+    for lineno, line in enumerate(path.read_bytes().decode("utf-8", "replace").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            logger.warning(
+                "journal %s:%d: dropping undecodable (partial) record", path, lineno
+            )
+            continue
+        if isinstance(rec, dict):
+            records.append(rec)
+    return records
+
+
+def completed_trials(records: list[dict]) -> dict[str, dict]:
+    """Latest ``done`` trial record per trial digest (the resume skip set)."""
+    done: dict[str, dict] = {}
+    for rec in records:
+        if rec.get("type") == "trial" and rec.get("status") == "done":
+            done[rec["trial"]] = rec
+    return done
+
+
+def run_headers(records: list[dict]) -> list[dict]:
+    """Every ``run`` header, in order (one per generation)."""
+    return [rec for rec in records if rec.get("type") == "run"]
+
+
+class Journal:
+    """Append-only, fsync-per-record JSONL writer for one run."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_trailing_newline()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _repair_trailing_newline(self) -> None:
+        """Terminate a partial last line so the next record starts clean."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size == 0:
+            return
+        with open(self.path, "rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)
+        if last != b"\n":
+            with open(self.path, "ab") as fh:
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (canonical JSON, flush, fsync)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

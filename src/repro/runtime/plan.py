@@ -1,0 +1,150 @@
+"""Experiment decomposition into deterministic, content-addressed trials.
+
+A *trial* is the unit the supervised runtime schedules, retries and
+checkpoints: one independent, seeded piece of an experiment (one
+``(topology, pattern)`` cell of Fig. 9, one failed-link fraction of the
+fig14_dynamic sweep, ...).  Experiments opt in by exporting three module
+functions, mirroring the builder registry of :mod:`repro.store`:
+
+* ``plan_trials(opts) -> list[dict]`` — JSON-safe parameter dicts, one per
+  trial, in deterministic output order;
+* ``run_trial(params, fidelity) -> dict`` — execute one trial and return a
+  JSON-safe result (workers call this in a subprocess);
+* ``merge_trials(opts, outcomes) -> dict`` — fold the per-trial outcomes
+  (plan order) back into the result shape ``format_figure`` renders.
+
+Each trial is identified by an :class:`~repro.store.keys.ArtifactKey` of
+kind ``"trial"`` over ``(experiment, params)`` — the same canonical-JSON
+digest machinery the artifact store uses — so a trial's identity is stable
+across processes, runs and resumes.  Execution *fidelity* ("packet" vs
+"flow") is deliberately **not** part of the identity: a trial that the
+supervisor degrades mid-run still checkpoints under its planned digest,
+with the fidelity it actually ran at recorded in the journal and result.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field
+
+from repro.store.keys import ArtifactKey, canonical_params
+
+__all__ = [
+    "DEGRADE_LADDER",
+    "PLANNED_EXPERIMENTS",
+    "Plan",
+    "TrialSpec",
+    "build_plan",
+    "execute_trial",
+    "experiment_module",
+]
+
+#: Experiments with trial decompositions (``repro run`` targets).  ``chaos``
+#: is the runtime's own fault-injection experiment (tests / CI smoke).
+PLANNED_EXPERIMENTS = ("fig09", "fig10", "fig14_dynamic", "tab03", "chaos")
+
+#: The graceful-degradation ladder: repeated per-trial timeouts step a
+#: trial's fidelity down one rung (``None`` = nowhere left to go).
+DEGRADE_LADDER = {"packet": "flow", "flow": None}
+
+
+def experiment_module(name: str):
+    """The module implementing the trial API for *name*."""
+    if name not in PLANNED_EXPERIMENTS:
+        raise ValueError(
+            f"experiment {name!r} has no trial plan; options: {PLANNED_EXPERIMENTS}"
+        )
+    if name == "chaos":
+        return importlib.import_module("repro.runtime.chaos")
+    return importlib.import_module(f"repro.experiments.{name}")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One schedulable trial: an experiment name plus canonical params."""
+
+    experiment: str
+    params: dict
+    fidelity: str = "flow"
+
+    def __post_init__(self):
+        if self.experiment not in PLANNED_EXPERIMENTS:
+            raise ValueError(f"unknown experiment {self.experiment!r}")
+        object.__setattr__(self, "params", canonical_params(self.params))
+
+    def key(self) -> ArtifactKey:
+        """Content address of this trial (fidelity excluded — see module
+        docstring: degradation must not change a trial's identity)."""
+        return ArtifactKey("trial", self.experiment, {"params": self.params})
+
+    @property
+    def digest(self) -> str:
+        return self.key().digest
+
+    def to_wire(self, fidelity: str | None = None, attempt: int = 1) -> dict:
+        """Picklable task message handed to a worker."""
+        return {
+            "experiment": self.experiment,
+            "params": self.params,
+            "fidelity": fidelity or self.fidelity,
+            "attempt": attempt,
+            "digest": self.digest,
+        }
+
+
+@dataclass
+class Plan:
+    """A full experiment decomposition: opts plus the ordered trial list."""
+
+    experiment: str
+    opts: dict = field(default_factory=dict)
+    specs: list[TrialSpec] = field(default_factory=list)
+
+    @property
+    def digest(self) -> str:
+        """Content address of the whole plan (validates resume compatibility)."""
+        key = ArtifactKey(
+            "trial_plan",
+            self.experiment,
+            {"opts": self.opts, "trials": [s.digest for s in self.specs]},
+        )
+        return key.digest
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def build_plan(experiment: str, opts: dict | None = None) -> Plan:
+    """Decompose *experiment* under *opts* into its deterministic trials."""
+    opts = canonical_params(opts or {})
+    mod = experiment_module(experiment)
+    fidelity = getattr(mod, "TRIAL_FIDELITY", "flow")
+    specs = [
+        TrialSpec(experiment, params, fidelity=fidelity)
+        for params in mod.plan_trials(opts)
+    ]
+    digests = [s.digest for s in specs]
+    if len(set(digests)) != len(digests):
+        raise ValueError(
+            f"experiment {experiment!r} planned duplicate trials; params must "
+            "make every trial unique"
+        )
+    return Plan(experiment=experiment, opts=opts, specs=specs)
+
+
+def execute_trial(task: dict) -> dict:
+    """Run one wire-format trial task; returns the canonical JSON result.
+
+    This is the worker-side entry point: it dispatches to the experiment's
+    ``run_trial`` and round-trips the result through canonical JSON, so an
+    in-process result is byte-for-byte the same as one replayed from the
+    journal — the resume determinism contract rests on this.
+    """
+    mod = experiment_module(task["experiment"])
+    result = mod.run_trial(
+        dict(task["params"]),
+        fidelity=task.get("fidelity", "flow"),
+        attempt=int(task.get("attempt", 1)),
+    )
+    return json.loads(json.dumps(result, sort_keys=True))

@@ -1,0 +1,196 @@
+"""Spawn-based worker processes for the supervised trial runtime.
+
+Each worker is a fresh ``spawn`` interpreter (no inherited locks, no
+copy-on-write surprises) running :func:`worker_main`: it pulls wire-format
+trial tasks from its own single-slot task queue, executes them via
+:func:`repro.runtime.plan.execute_trial`, and pushes ``(kind, ...)`` tuples
+onto the shared result queue.  Workers inherit the parent environment, so
+every worker resolves artifacts against the same ``REPRO_STORE_DIR`` root —
+a resumed or parallel run hits the warm topologies/tables the first
+execution materialized.
+
+Liveness signals, in increasing severity of what they catch:
+
+* **heartbeat** — a daemon thread stamps a shared ``Value`` with
+  ``time.monotonic()`` every ``interval`` seconds; a worker that stops
+  beating while busy (e.g. SIGSTOP, C-level wedge) is *hung* even if its
+  process is technically alive.  The same thread watches the parent pid
+  and exits the worker if the supervisor is SIGKILLed, so an interrupted
+  run never strands orphan workers.
+* **process death** — the supervisor polls ``Process.is_alive``; a worker
+  that dies mid-trial (SIGKILL, OOM) is detected and replaced.
+
+Workers never touch the journal; only the supervisor writes checkpoints.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import queue
+import threading
+import time
+import traceback
+
+from repro.runtime.plan import execute_trial
+
+__all__ = [
+    "WorkerHandle",
+    "spawn_worker",
+    "worker_main",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Message kinds a worker can emit on the result queue.
+MSG_START = "start"
+MSG_DONE = "done"
+MSG_ERROR = "error"
+
+
+def _heartbeat_loop(beat, interval: float, parent_pid: int) -> None:
+    """Daemon thread: stamp the heartbeat and die with the parent."""
+    while True:
+        beat.value = time.monotonic()
+        if os.getppid() != parent_pid:
+            # The supervisor is gone (SIGKILL leaves us orphaned); there is
+            # nobody to report to, so exit instead of running forever.
+            os._exit(1)
+        time.sleep(interval)
+
+
+def worker_main(
+    worker_id: int,
+    task_q,
+    result_q,
+    beat,
+    interval: float,
+    parent_pid: int,
+) -> None:
+    """Worker process entry point (module-level so ``spawn`` can pickle it)."""
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(beat, interval, parent_pid),
+        daemon=True,
+        name=f"heartbeat-{worker_id}",
+    ).start()
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        digest = task["digest"]
+        result_q.put((MSG_START, worker_id, digest))
+        try:
+            value = execute_trial(task)
+        except Exception as exc:  # noqa: BLE001 — boundary: error crosses process
+            logger.warning("worker %d: trial %s failed: %s", worker_id, digest[:12], exc)
+            result_q.put(
+                (
+                    MSG_ERROR,
+                    worker_id,
+                    digest,
+                    f"{type(exc).__name__}: {exc}",
+                    traceback.format_exc(limit=8),
+                )
+            )
+        else:
+            result_q.put((MSG_DONE, worker_id, digest, value))
+
+
+class WorkerHandle:
+    """Supervisor-side view of one worker process and its channels."""
+
+    __slots__ = (
+        "worker_id",
+        "process",
+        "task_q",
+        "beat",
+        "busy_digest",
+        "assigned_at",
+        "started_at",
+        "trial_timeout",
+        "deadline",
+    )
+
+    def __init__(self, worker_id: int, process, task_q, beat):
+        self.worker_id = worker_id
+        self.process = process
+        self.task_q = task_q
+        self.beat = beat
+        #: digest of the trial this worker is executing (None = idle).
+        self.busy_digest: str | None = None
+        self.assigned_at = 0.0
+        self.started_at = 0.0
+        self.trial_timeout = 0.0
+        self.deadline = float("inf")
+
+    def assign(self, task: dict, timeout: float) -> None:
+        """Queue a trial.  The wall-clock deadline is armed only once the
+        worker reports MSG_START (see :meth:`mark_started`), so interpreter
+        spawn and import time never eat into the per-trial budget."""
+        self.busy_digest = task["digest"]
+        self.assigned_at = time.monotonic()
+        self.started_at = 0.0
+        self.trial_timeout = timeout
+        self.deadline = float("inf")
+        self.task_q.put(task)
+
+    def mark_started(self) -> None:
+        now = time.monotonic()
+        self.started_at = now
+        self.deadline = (
+            now + self.trial_timeout if self.trial_timeout > 0 else float("inf")
+        )
+
+    def release(self) -> None:
+        self.busy_digest = None
+        self.assigned_at = 0.0
+        self.started_at = 0.0
+        self.trial_timeout = 0.0
+        self.deadline = float("inf")
+
+    def heartbeat_age(self) -> float:
+        return max(0.0, time.monotonic() - self.beat.value)
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """Hard-stop the worker (timeout/hang path; nothing graceful left)."""
+        try:
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        except (OSError, ValueError) as exc:
+            logger.warning("pool: could not kill worker %d: %s", self.worker_id, exc)
+
+    def shutdown(self, grace: float = 2.0) -> None:
+        """Ask the worker to exit (sentinel), then escalate to kill."""
+        if self.alive():
+            try:
+                self.task_q.put_nowait(None)
+            except (OSError, ValueError, queue.Full):
+                pass
+            self.process.join(timeout=grace)
+        if self.alive():
+            self.kill()
+
+
+def spawn_worker(
+    worker_id: int,
+    result_q,
+    ctx=None,
+    heartbeat_interval: float = 0.5,
+) -> WorkerHandle:
+    """Start one spawn-context worker wired to the shared result queue."""
+    ctx = ctx or multiprocessing.get_context("spawn")
+    task_q = ctx.Queue(maxsize=2)
+    beat = ctx.Value("d", time.monotonic(), lock=False)
+    process = ctx.Process(
+        target=worker_main,
+        args=(worker_id, task_q, result_q, beat, heartbeat_interval, os.getpid()),
+        name=f"repro-worker-{worker_id}",
+        daemon=True,
+    )
+    process.start()
+    return WorkerHandle(worker_id, process, task_q, beat)

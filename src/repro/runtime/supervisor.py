@@ -1,0 +1,697 @@
+"""The crash-safe trial supervisor: scheduling, retries, quarantine, resume.
+
+:func:`run_plan` is the front door: given a :class:`~repro.runtime.plan.Plan`
+and a journal path it replays completed trials from the journal, schedules
+the remainder onto a spawn-based worker pool, and returns a
+:class:`RunReport` whose outcomes (in plan order) are what
+``merge_trials`` folds back into the experiment result.
+
+Failure policy, per trial:
+
+* a worker **error** (exception), **crash** (process death — SIGKILL, OOM),
+  **timeout** (wall-clock budget exceeded) or **hang** (heartbeat stopped)
+  consumes one attempt; the trial is re-queued after an exponential
+  backoff with seeded jitter, and the dead/poisoned worker is replaced;
+* after ``degrade_after`` timeout-class failures a trial whose fidelity
+  has a lower rung (``packet`` → ``flow``) is *degraded* rather than
+  retried at full cost — the downgrade is journaled and stamped into the
+  result;
+* after ``retries + 1`` total attempts the trial is **quarantined**: the
+  sweep keeps going and the report lists the poisoned trial explicitly
+  instead of hanging or crashing the harness.
+
+Signal policy (the CLI contract): the first SIGINT/SIGTERM stops
+dispatching, flushes the journal, tears the pool down and raises
+:class:`RunInterrupted` (the CLI exits non-zero with a ``--resume`` hint);
+a second signal hard-kills the process immediately.
+
+Observability: ``runtime.trials{status}``, ``runtime.retries{cause}`` and
+``runtime.worker.restarts`` counters, a ``runtime.heartbeat.age`` gauge
+(high-water mark) and a ``runtime.trial.duration`` histogram land in the
+ambient :mod:`repro.obs` registry; the run's resume lineage and per-trial
+attempt history go into the manifest via :meth:`RunReport.manifest_info`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import multiprocessing
+import os
+import queue
+import signal
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.runtime import journal as journal_mod
+from repro.runtime.plan import DEGRADE_LADDER, Plan
+from repro.runtime.pool import MSG_DONE, MSG_ERROR, MSG_START, spawn_worker
+
+__all__ = [
+    "PoolConfig",
+    "RunInterrupted",
+    "RunInterruptedWithReport",
+    "RunReport",
+    "Supervisor",
+    "TrialOutcome",
+    "run_plan",
+    "runs_root",
+]
+
+logger = logging.getLogger(__name__)
+
+
+class RunInterrupted(RuntimeError):
+    """The run was stopped by SIGINT/SIGTERM after a clean journal flush."""
+
+
+def runs_root():
+    """Directory journals default into: ``$REPRO_RUNS_DIR``, else a ``runs/``
+    subdirectory of the artifact-store root, else ``~/.cache/repro-runs``."""
+    from pathlib import Path
+
+    from repro.store import default_root
+
+    explicit = os.environ.get("REPRO_RUNS_DIR")
+    if explicit:
+        return Path(explicit)
+    store_root = default_root()
+    if store_root is not None:
+        return store_root / "runs"
+    return Path.home() / ".cache" / "repro-runs"
+
+
+@dataclass
+class PoolConfig:
+    """Supervisor knobs (CLI flags map one-to-one onto these)."""
+
+    jobs: int = 1
+    timeout: float = 300.0  # per-trial wall-clock budget, seconds (0 = none)
+    retries: int = 3  # extra attempts after the first
+    backoff_base: float = 0.5  # seconds; doubles per failure
+    backoff_cap: float = 30.0
+    degrade_after: int = 2  # timeout-class failures before degrading
+    heartbeat_interval: float = 0.5
+    watchdog_grace: float = 15.0  # stale-heartbeat threshold, seconds
+    seed: int = 0  # jitter seed (mixed with trial digest + attempt)
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+
+@dataclass
+class TrialOutcome:
+    """Final state of one planned trial after the run."""
+
+    digest: str
+    params: dict
+    status: str  # "done" | "quarantined" | "pending"
+    result: dict | None = None
+    fidelity: str = "flow"
+    attempts: int = 0
+    skipped: bool = False  # replayed from the journal, not executed
+    degraded: bool = False
+    error: str | None = None
+    history: list[dict] = field(default_factory=list)
+
+
+@dataclass
+class RunReport:
+    """Everything a driver needs after :func:`run_plan` returns."""
+
+    experiment: str
+    plan_digest: str
+    generation: int
+    outcomes: list[TrialOutcome]
+    retries: int = 0
+    worker_restarts: int = 0
+    interrupted: bool = False
+
+    def counts(self) -> dict[str, int]:
+        c = {"total": len(self.outcomes), "done": 0, "quarantined": 0,
+             "pending": 0, "skipped": 0, "degraded": 0}
+        for o in self.outcomes:
+            c[o.status] += 1
+            if o.skipped:
+                c["skipped"] += 1
+            if o.degraded:
+                c["degraded"] += 1
+        return c
+
+    def merge_outcomes(self) -> list[dict]:
+        """Plan-order outcome dicts in the shape ``merge_trials`` consumes."""
+        return [
+            {
+                "params": o.params,
+                "status": o.status,
+                "result": o.result,
+                "fidelity": o.fidelity,
+            }
+            for o in self.outcomes
+        ]
+
+    def manifest_info(self) -> dict:
+        """Resume lineage + per-trial attempt history for the RunManifest."""
+        return {
+            "experiment": self.experiment,
+            "plan": self.plan_digest,
+            "generation": self.generation,
+            "counts": self.counts(),
+            "retries": self.retries,
+            "worker_restarts": self.worker_restarts,
+            "interrupted": self.interrupted,
+            "trials": {
+                o.digest[:16]: {
+                    "status": o.status,
+                    "attempts": o.attempts,
+                    "skipped": o.skipped,
+                    "fidelity": o.fidelity,
+                    "degraded": o.degraded,
+                    "error": o.error,
+                    "history": o.history,
+                }
+                for o in self.outcomes
+            },
+        }
+
+
+class _TrialState:
+    """Supervisor-internal mutable execution state for one trial."""
+
+    __slots__ = ("spec", "attempts", "timeout_failures", "fidelity", "degraded",
+                 "last_error", "history")
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.attempts = 0
+        self.timeout_failures = 0
+        self.fidelity = spec.fidelity
+        self.degraded = False
+        self.last_error: str | None = None
+        self.history: list[dict] = []
+
+
+class Supervisor:
+    """Runs one plan's pending trials on a supervised worker pool."""
+
+    def __init__(self, plan: Plan, journal: journal_mod.Journal, config: PoolConfig):
+        self.plan = plan
+        self.journal = journal
+        self.config = config
+        self._ctx = multiprocessing.get_context("spawn")
+        self._result_q = self._ctx.Queue()
+        self._workers: dict[int, object] = {}
+        self._next_worker_id = 0
+        self._stop_signals = 0
+        self._prev_handlers: dict[int, object] = {}
+        self.retries = 0
+        self.worker_restarts = 0
+
+    # -- observability -------------------------------------------------------
+
+    def _count_trial(self, status: str) -> None:
+        obs.get_registry().counter(
+            "runtime.trials",
+            help="supervised trials by terminal status",
+            labels=("status",),
+        ).labels(status=status).inc()
+
+    def _count_retry(self, cause: str) -> None:
+        obs.get_registry().counter(
+            "runtime.retries",
+            help="trial retries by failure cause",
+            labels=("cause",),
+        ).labels(cause=cause).inc()
+        self.retries += 1
+
+    def _count_restart(self) -> None:
+        obs.get_registry().counter(
+            "runtime.worker.restarts",
+            help="worker processes killed and replaced by the supervisor",
+        ).inc()
+        self.worker_restarts += 1
+
+    def _observe_duration(self, seconds: float) -> None:
+        obs.get_registry().histogram(
+            "runtime.trial.duration",
+            help="wall-clock seconds per successful trial attempt",
+            bounds=obs.exponential_buckets(0.05, 2.0, 16),
+        ).observe(seconds)
+
+    def _gauge_heartbeat(self, age: float) -> None:
+        obs.get_registry().gauge(
+            "runtime.heartbeat.age",
+            help="oldest observed worker heartbeat age (high-water mark)",
+        ).set_max(age)
+
+    # -- signals -------------------------------------------------------------
+
+    def _install_signals(self) -> None:
+        def handler(signum, frame):
+            self._stop_signals += 1
+            if self._stop_signals >= 2:
+                os._exit(128 + signum)  # second signal: hard kill, no cleanup
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._prev_handlers[signum] = signal.signal(signum, handler)
+            except ValueError:
+                pass  # not the main thread (embedded/test use) — skip
+
+    def _restore_signals(self) -> None:
+        for signum, prev in self._prev_handlers.items():
+            try:
+                signal.signal(signum, prev)
+            except ValueError:
+                pass
+        self._prev_handlers.clear()
+
+    # -- workers -------------------------------------------------------------
+
+    def _spawn(self):
+        self._next_worker_id += 1
+        w = spawn_worker(
+            self._next_worker_id,
+            self._result_q,
+            ctx=self._ctx,
+            heartbeat_interval=self.config.heartbeat_interval,
+        )
+        self._workers[w.worker_id] = w
+        return w
+
+    def _replace(self, worker) -> None:
+        worker.kill()
+        self._workers.pop(worker.worker_id, None)
+        self._count_restart()
+        self._spawn()
+
+    def _teardown(self) -> None:
+        for w in list(self._workers.values()):
+            w.shutdown()
+        self._workers.clear()
+
+    # -- retry / quarantine policy ------------------------------------------
+
+    def _jitter(self, digest: str, attempt: int) -> float:
+        rng = np.random.default_rng(
+            [self.config.seed, attempt, int(digest[:12], 16)]
+        )
+        return float(rng.uniform(0.0, 0.25))
+
+    def _backoff(self, digest: str, attempt: int) -> float:
+        base = self.config.backoff_base * (2.0 ** max(0, attempt - 1))
+        return min(self.config.backoff_cap, base) * (1.0 + self._jitter(digest, attempt))
+
+    def _handle_failure(self, state: _TrialState, cause: str, error: str,
+                        pending_heap, quarantined) -> None:
+        """One attempt failed; decide retry / degrade / quarantine."""
+        digest = state.spec.digest
+        state.last_error = error
+        state.history.append(
+            {"attempt": state.attempts, "status": cause, "fidelity": state.fidelity}
+        )
+        if cause in ("timeout", "hung"):
+            state.timeout_failures += 1
+            lower = DEGRADE_LADDER.get(state.fidelity)
+            if state.timeout_failures >= self.config.degrade_after and lower:
+                state.fidelity = lower
+                state.degraded = True
+                state.timeout_failures = 0
+                self.journal.append(
+                    {
+                        "type": "degrade",
+                        "trial": digest,
+                        "fidelity": lower,
+                        "after_attempt": state.attempts,
+                    }
+                )
+                logger.warning(
+                    "runtime: trial %s degraded to %s fidelity after repeated "
+                    "timeouts", digest[:12], lower,
+                )
+        if state.attempts > self.config.retries:
+            self.journal.append(
+                {
+                    "type": "trial",
+                    "trial": digest,
+                    "status": "quarantined",
+                    "attempt": state.attempts,
+                    "cause": cause,
+                    "error": error,
+                }
+            )
+            self._count_trial("quarantined")
+            quarantined[digest] = state
+            logger.error(
+                "runtime: trial %s quarantined after %d attempts (%s: %s)",
+                digest[:12], state.attempts, cause, error,
+            )
+            return
+        delay = self._backoff(digest, state.attempts)
+        self.journal.append(
+            {
+                "type": "retry",
+                "trial": digest,
+                "attempt": state.attempts,
+                "cause": cause,
+                "delay": round(delay, 3),
+            }
+        )
+        self._count_retry(cause)
+        heapq.heappush(pending_heap, (time.monotonic() + delay, digest))
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, pending: list[_TrialState]) -> tuple[dict, dict]:
+        """Execute *pending* trials; returns ``(done, quarantined)`` maps.
+
+        ``done`` maps trial digest to the journaled ``done`` record written
+        for it this run; ``quarantined`` maps digest to its final state.
+        Raises :class:`RunInterrupted` on the first SIGINT/SIGTERM (after
+        flushing the journal and tearing down the pool).
+        """
+        states = {s.spec.digest: s for s in pending}
+        # (ready_at, digest) heap; plan order seeds the initial ordering.
+        pending_heap: list[tuple[float, str]] = [
+            (0.0, s.spec.digest) for s in pending
+        ]
+        heapq.heapify(pending_heap)
+        in_flight: dict[str, object] = {}  # digest -> WorkerHandle
+        done: dict[str, dict] = {}
+        quarantined: dict[str, _TrialState] = {}
+
+        if not states:
+            return done, quarantined
+
+        self._install_signals()
+        try:
+            target_workers = min(self.config.jobs, len(states))
+            for _ in range(target_workers):
+                self._spawn()
+
+            while len(done) + len(quarantined) < len(states):
+                if self._stop_signals:
+                    raise RunInterrupted()
+                now = time.monotonic()
+
+                # Dispatch ready trials onto idle workers.
+                idle = [w for w in self._workers.values()
+                        if w.busy_digest is None and w.alive()]
+                while idle and pending_heap and pending_heap[0][0] <= now:
+                    _, digest = heapq.heappop(pending_heap)
+                    if digest in done or digest in quarantined:
+                        continue  # a late result landed while this retry waited
+                    state = states[digest]
+                    state.attempts += 1
+                    worker = idle.pop()
+                    worker.assign(
+                        state.spec.to_wire(
+                            fidelity=state.fidelity, attempt=state.attempts
+                        ),
+                        self.config.timeout,
+                    )
+                    in_flight[digest] = worker
+
+                self._drain_results(states, in_flight, done, quarantined,
+                                    pending_heap)
+                self._police_workers(states, in_flight, pending_heap,
+                                     quarantined)
+        finally:
+            self._restore_signals()
+            self._teardown()
+        return done, quarantined
+
+    def _drain_results(self, states, in_flight, done, quarantined,
+                       pending_heap) -> None:
+        """Pull every available worker message (blocking briefly for one)."""
+        block = True
+        while True:
+            try:
+                msg = self._result_q.get(timeout=0.05 if block else 0.0)
+            except queue.Empty:
+                return
+            except (OSError, EOFError) as exc:
+                # A worker killed mid-put can poison its end of the pipe;
+                # the watchdog/crash path re-queues whatever it was running.
+                logger.warning("runtime: result queue hiccup: %s", exc)
+                return
+            block = False
+            kind = msg[0]
+            if kind == MSG_START:
+                worker = self._workers.get(msg[1])
+                if worker is not None and worker.busy_digest == msg[2]:
+                    worker.mark_started()  # arm the wall-clock deadline
+                continue
+            _, worker_id, digest = msg[0], msg[1], msg[2]
+            worker = self._workers.get(worker_id)
+            state = states.get(digest)
+            if state is None or digest in done or digest in quarantined:
+                continue  # stale message from a superseded attempt
+            if worker is not None and worker.busy_digest == digest:
+                if kind == MSG_DONE:
+                    self._observe_duration(
+                        max(
+                            0.0,
+                            time.monotonic()
+                            - (worker.started_at or worker.assigned_at),
+                        )
+                    )
+                worker.release()
+            in_flight.pop(digest, None)
+            if kind == MSG_DONE:
+                record = {
+                    "type": "trial",
+                    "trial": digest,
+                    "status": "done",
+                    "attempt": state.attempts,
+                    "fidelity": state.fidelity,
+                    "degraded": state.degraded,
+                    "params": state.spec.params,
+                    "result": msg[3],
+                }
+                self.journal.append(record)
+                self._count_trial("done")
+                state.history.append(
+                    {"attempt": state.attempts, "status": "done",
+                     "fidelity": state.fidelity}
+                )
+                done[digest] = record
+            elif kind == MSG_ERROR:
+                self._handle_failure(
+                    state, "error", msg[3], pending_heap, quarantined
+                )
+
+    def _police_workers(self, states, in_flight, pending_heap,
+                        quarantined) -> None:
+        """Detect timeouts, hangs and crashes; kill + replace + re-queue."""
+        now = time.monotonic()
+        for worker in list(self._workers.values()):
+            age = worker.heartbeat_age()
+            self._gauge_heartbeat(age)
+            digest = worker.busy_digest
+            cause = None
+            if digest is not None:
+                if not worker.alive():
+                    cause = "crash"
+                elif now > worker.deadline:
+                    cause = "timeout"
+                elif age > self.config.watchdog_grace:
+                    cause = "hung"
+            elif not worker.alive():
+                # Idle worker died (shouldn't happen) — just replace it.
+                self._replace(worker)
+                continue
+            if cause is None:
+                continue
+            state = states[digest]
+            in_flight.pop(digest, None)
+            self._replace(worker)
+            detail = {
+                "crash": "worker process died mid-trial",
+                "timeout": f"exceeded {self.config.timeout:.1f}s wall budget",
+                "hung": f"worker heartbeat stale for {age:.1f}s",
+            }[cause]
+            self._handle_failure(state, cause, detail, pending_heap, quarantined)
+
+
+def _check_plan_match(header: dict, plan: Plan) -> None:
+    if header.get("plan") != plan.digest:
+        raise journal_mod.JournalError(
+            f"journal belongs to plan {header.get('plan', '?')[:12]} "
+            f"({header.get('experiment')}), not {plan.digest[:12]} "
+            f"({plan.experiment}); use a fresh --journal path"
+        )
+
+
+def run_plan(
+    plan: Plan,
+    journal_path,
+    config: PoolConfig | None = None,
+    resume: bool = False,
+) -> RunReport:
+    """Execute *plan* under supervision, checkpointing into *journal_path*.
+
+    With ``resume=False`` the journal must not already contain trial
+    records (refusing to silently mix two runs); with ``resume=True``
+    completed trials are replayed from the journal and only the remainder
+    executes.  Returns the :class:`RunReport`; raises
+    :class:`RunInterrupted` on first-signal shutdown.
+    """
+    config = config or PoolConfig()
+    records = journal_mod.load_records(journal_path)
+    headers = journal_mod.run_headers(records)
+    if headers:
+        _check_plan_match(headers[-1], plan)
+    completed = journal_mod.completed_trials(records)
+    has_trials = any(r.get("type") == "trial" for r in records)
+    if has_trials and not resume:
+        raise journal_mod.JournalError(
+            f"journal {journal_path} already has checkpointed trials; "
+            "pass --resume to continue it (or point --journal elsewhere)"
+        )
+
+    plan_digests = {s.digest for s in plan.specs}
+    completed = {d: rec for d, rec in completed.items() if d in plan_digests}
+    pending = [
+        _TrialState(s) for s in plan.specs if s.digest not in completed
+    ]
+    generation = len(headers) + 1
+
+    reg = obs.get_registry()
+    for _ in completed:
+        reg.counter(
+            "runtime.trials",
+            help="supervised trials by terminal status",
+            labels=("status",),
+        ).labels(status="skipped").inc()
+
+    with journal_mod.Journal(journal_path) as journal:
+        journal.append(
+            {
+                "type": "run",
+                "experiment": plan.experiment,
+                "opts": plan.opts,
+                "plan": plan.digest,
+                "trials": len(plan.specs),
+                "generation": generation,
+                "resumed": bool(resume and (completed or has_trials)),
+                "skipped": len(completed),
+                "jobs": config.jobs,
+                "timeout": config.timeout,
+                "retries": config.retries,
+            }
+        )
+        supervisor = Supervisor(plan, journal, config)
+        interrupted = False
+        try:
+            done, quarantined = supervisor.run(pending)
+        except RunInterrupted:
+            interrupted = True
+            done, quarantined = {}, {}
+            # Re-read this run's own checkpoints so the report is honest
+            # about what finished before the signal landed.
+            for rec in journal_mod.load_records(journal_path):
+                if rec.get("type") == "trial" and rec.get("status") == "done":
+                    if rec["trial"] in plan_digests and rec["trial"] not in completed:
+                        done[rec["trial"]] = rec
+            journal.append(
+                {"type": "interrupted", "generation": generation,
+                 "done_this_run": len(done)}
+            )
+        else:
+            journal.append(
+                {
+                    "type": "complete",
+                    "generation": generation,
+                    "done": len(completed) + len(done),
+                    "quarantined": len(quarantined),
+                }
+            )
+
+    outcomes = []
+    state_by_digest = {s.spec.digest: s for s in pending}
+    for spec in plan.specs:
+        digest = spec.digest
+        if digest in completed:
+            rec = completed[digest]
+            outcomes.append(
+                TrialOutcome(
+                    digest=digest,
+                    params=spec.params,
+                    status="done",
+                    result=rec.get("result"),
+                    fidelity=rec.get("fidelity", spec.fidelity),
+                    attempts=int(rec.get("attempt", 1)),
+                    skipped=True,
+                    degraded=bool(rec.get("degraded", False)),
+                )
+            )
+            continue
+        state = state_by_digest[digest]
+        if digest in done:
+            rec = done[digest]
+            outcomes.append(
+                TrialOutcome(
+                    digest=digest,
+                    params=spec.params,
+                    status="done",
+                    result=rec.get("result"),
+                    fidelity=rec.get("fidelity", spec.fidelity),
+                    attempts=int(rec.get("attempt", 1)),
+                    degraded=bool(rec.get("degraded", False)),
+                    history=list(state.history),
+                )
+            )
+        elif digest in quarantined:
+            outcomes.append(
+                TrialOutcome(
+                    digest=digest,
+                    params=spec.params,
+                    status="quarantined",
+                    fidelity=state.fidelity,
+                    attempts=state.attempts,
+                    degraded=state.degraded,
+                    error=state.last_error,
+                    history=list(state.history),
+                )
+            )
+        else:  # interrupted before this trial finished
+            outcomes.append(
+                TrialOutcome(
+                    digest=digest,
+                    params=spec.params,
+                    status="pending",
+                    fidelity=state.fidelity,
+                    attempts=state.attempts,
+                    degraded=state.degraded,
+                    error=state.last_error,
+                    history=list(state.history),
+                )
+            )
+
+    report = RunReport(
+        experiment=plan.experiment,
+        plan_digest=plan.digest,
+        generation=generation,
+        outcomes=outcomes,
+        retries=supervisor.retries,
+        worker_restarts=supervisor.worker_restarts,
+        interrupted=interrupted,
+    )
+    if interrupted:
+        raise RunInterruptedWithReport(report)
+    return report
+
+
+class RunInterruptedWithReport(RunInterrupted):
+    """Interrupt carrying the partial :class:`RunReport` for the CLI."""
+
+    def __init__(self, report: RunReport):
+        super().__init__("run interrupted by signal; resume with --resume")
+        self.report = report

@@ -9,6 +9,12 @@ through two tiers:
 2. **disk** — one ``<digest>.npz`` (arrays) + ``<digest>.json`` (key
    echo, codec name, JSON payload) pair per artifact under the store root,
    written atomically, shared by every process pointed at the same root.
+   Concurrent writers are safe without locks: content addressing makes
+   racing writes byte-identical, each goes through a process-unique
+   O_EXCL temp file and an atomic rename, and a complete sidecar lets
+   later writers skip the redundant store (the worker pool in
+   :mod:`repro.runtime` leans on this — N workers warming one topology
+   cost one build each at worst, never a corrupt entry).
 
 On a miss the builder runs once and the result is persisted to both tiers
 (disk only when the codec can round-trip it — see
@@ -208,9 +214,22 @@ class ArtifactStore:
         return value
 
     def _disk_store(self, key: ArtifactKey, value, codec: Codec) -> None:
+        """Persist one entry; safe under concurrent multi-process writers.
+
+        Entries are content-addressed, so two processes racing on the same
+        key write byte-identical files: each writes to its own unique temp
+        file (``mkstemp`` — O_EXCL names, never shared) and publishes with
+        an atomic ``os.replace``, so whichever rename lands last simply
+        re-installs equivalent content and readers never observe a partial
+        file.  The sidecar is written after the array blob, and a complete
+        sidecar already on disk means some process finished the whole
+        entry — this writer skips the redundant I/O (first writer wins).
+        """
         if self.root is None:
             return
         data_path, meta_path = self._paths(key.digest)
+        if meta_path.is_file():
+            return  # a concurrent writer (or an earlier run) beat us to it
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             arrays, payload = codec.encode(value)
@@ -238,6 +257,13 @@ class ArtifactStore:
             )
 
     def _atomic_write(self, path: Path, write: Callable) -> int:
+        """Write via a process-unique temp file + atomic rename.
+
+        ``mkstemp`` opens the temp name with O_EXCL, so concurrent writers
+        can never interleave into one file; ``os.replace`` makes the final
+        publish atomic (readers see the old entry, the new one, never a
+        torn one).  The temp file is unlinked on any failure.
+        """
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
         try:
             with os.fdopen(fd, "wb") as fh:

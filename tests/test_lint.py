@@ -358,6 +358,141 @@ class TestStoreDiscipline:
         assert codes(out) == ["RL107"]
 
 
+# -- RL108 process-discipline -------------------------------------------------
+
+
+class TestProcessDiscipline:
+    RELPATH = "src/repro/experiments/mod.py"
+    RUNTIME_RELPATH = "src/repro/runtime/mod.py"
+
+    def test_multiprocessing_import_outside_runtime_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import multiprocessing
+
+            def run():
+                return multiprocessing.Pool(4)
+            """,
+            "RL108",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL108"]
+
+    def test_subprocess_from_import_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from subprocess import run as sprun
+
+            def shell(cmd):
+                return sprun(cmd)
+            """,
+            "RL108",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL108"]
+
+    def test_os_fork_and_system_trigger(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import os
+
+            def split():
+                if os.fork() == 0:
+                    os.system("true")
+            """,
+            "RL108",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL108", "RL108"]
+
+    def test_runtime_package_may_spawn(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import multiprocessing
+            import os
+
+            def spawn():
+                ctx = multiprocessing.get_context("spawn")
+                return ctx, os.getpid()
+            """,
+            "RL108",
+            relpath=self.RUNTIME_RELPATH,
+        )
+        assert out == []
+
+    def test_runtime_stdlib_random_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import random
+
+            def jitter():
+                return random.uniform(0.0, 0.25)
+            """,
+            "RL108",
+            relpath=self.RUNTIME_RELPATH,
+        )
+        assert codes(out) == ["RL108"]
+
+    def test_runtime_unseeded_default_rng_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng().uniform()
+            """,
+            "RL108",
+            relpath=self.RUNTIME_RELPATH,
+        )
+        assert codes(out) == ["RL108"]
+
+    def test_runtime_seeded_rng_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def jitter(seed, attempt):
+                return float(np.random.default_rng([seed, attempt]).uniform())
+            """,
+            "RL108",
+            relpath=self.RUNTIME_RELPATH,
+        )
+        assert out == []
+
+    def test_suppression_comment_is_honored(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import subprocess  # repro-lint: disable=RL108
+
+            def rev():
+                return subprocess.run(["git", "rev-parse", "HEAD"])
+            """,
+            "RL108",
+            relpath="src/repro/obs/mod.py",
+        )
+        assert out == []
+
+    def test_exempt_dirs_option(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import multiprocessing
+            """,
+            "RL108",
+            relpath="src/repro/workers/mod.py",
+            options={"exempt-dirs": ["workers"]},
+        )
+        assert out == []
+
+
 # -- RL201 mutable-default-arg ----------------------------------------------
 
 

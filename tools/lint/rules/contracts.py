@@ -32,7 +32,12 @@ from tools.lint.core import (
     register,
 )
 
-__all__ = ["ContractValidation", "FaultDiscipline", "StoreDiscipline"]
+__all__ = [
+    "ContractValidation",
+    "FaultDiscipline",
+    "ProcessDiscipline",
+    "StoreDiscipline",
+]
 
 #: Function-name patterns treated as graph/topology factories.
 FACTORY_PATTERNS = (
@@ -213,6 +218,136 @@ class FaultDiscipline(Rule):
                     node,
                     "default_rng() without a seed makes the fault scenario "
                     "unreproducible; thread an explicit seed through",
+                )
+
+
+#: Modules whose import means "this code spawns or manages processes".
+_PROCESS_MODULES = ("multiprocessing", "subprocess")
+
+#: ``os.`` functions that fork/spawn/replace processes.
+_OS_PROCESS_FNS = (
+    "fork",
+    "forkpty",
+    "system",
+    "popen",
+    "spawnl",
+    "spawnle",
+    "spawnlp",
+    "spawnlpe",
+    "spawnv",
+    "spawnve",
+    "spawnvp",
+    "spawnvpe",
+    "posix_spawn",
+    "posix_spawnp",
+    "execl",
+    "execle",
+    "execlp",
+    "execlpe",
+    "execv",
+    "execve",
+    "execvp",
+    "execvpe",
+)
+
+
+@register
+class ProcessDiscipline(Rule):
+    """Process management belongs to ``repro.runtime`` — nowhere else.
+
+    The supervised worker pool (``docs/RUNTIME.md``) is the one place in
+    the library allowed to spawn, fork or exec: it owns the spawn context,
+    heartbeats, timeouts, retry/quarantine policy and the journal that
+    makes runs resumable.  A stray ``multiprocessing`` pool or
+    ``subprocess`` call elsewhere escapes all of that — no supervision, no
+    checkpointing, orphaned children on interrupt.  Library code that
+    needs parallelism goes through the runtime; intentional exceptions
+    (e.g. ``repro.obs`` shelling out to ``git`` for the manifest) carry an
+    explicit ``# repro-lint: disable=RL108`` with the reason.
+
+    Inside the exempt runtime dirs the rule still polices worker
+    determinism: stdlib ``random`` calls and unseeded ``default_rng()``
+    are banned, so retry jitter and trial work stay reproducible across
+    resumes (same checks RL105 applies to fault scenarios).
+    """
+
+    code = "RL108"
+    name = "process-discipline"
+    severity = "error"
+    default_paths = ("src/repro",)
+    description = (
+        "multiprocessing/subprocess/os.fork-family calls are confined to "
+        "repro.runtime (the supervised worker pool); runtime code itself "
+        "must draw randomness from seeded np.random Generators"
+    )
+
+    #: path components exempt from the spawn ban: the runtime owns processes.
+    DEFAULT_EXEMPT_DIRS = ("runtime",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        exempt = tuple(self.option("exempt-dirs", self.DEFAULT_EXEMPT_DIRS))
+        parts = ctx.path.replace("\\", "/").split("/")
+        if any(d in parts for d in exempt):
+            yield from self._check_worker_determinism(ctx)
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _PROCESS_MODULES:
+                        yield self.flag(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r} outside repro.runtime; "
+                            "process management must go through the "
+                            "supervised worker pool",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _PROCESS_MODULES:
+                    yield self.flag(
+                        ctx,
+                        node,
+                        f"import from {node.module!r} outside repro.runtime; "
+                        "process management must go through the supervised "
+                        "worker pool",
+                    )
+            elif isinstance(node, ast.Call):
+                callee = dotted_name(node.func)
+                if callee is None:
+                    continue
+                base, _, attr = callee.rpartition(".")
+                if base == "os" and attr in _OS_PROCESS_FNS:
+                    yield self.flag(
+                        ctx,
+                        node,
+                        f"{callee}() outside repro.runtime; forked/spawned "
+                        "processes escape the supervisor's heartbeats, "
+                        "timeouts and checkpoint journal",
+                    )
+
+    def _check_worker_determinism(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            parts = callee.split(".")
+            if parts[0] == "random" and len(parts) == 2:
+                yield self.flag(
+                    ctx,
+                    node,
+                    f"stdlib {callee}() in runtime code: worker results must "
+                    "be reproducible across resumes; use "
+                    "np.random.default_rng(seed)",
+                )
+            elif parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield self.flag(
+                    ctx,
+                    node,
+                    "default_rng() without a seed in runtime code breaks the "
+                    "byte-identical resume contract; thread an explicit seed",
                 )
 
 
