@@ -15,7 +15,6 @@ from repro.topologies.base import Topology
 __all__ = [
     "geometric_mean",
     "obs_session",
-    "paper_router",
     "table3_instance",
     "table3_router",
     "format_table",
@@ -51,13 +50,6 @@ def geometric_mean(values: Sequence[float]) -> float:
     if not len(arr):
         return 0.0
     return float(np.exp(np.log(arr).mean()))
-
-
-def paper_router(topology: Topology) -> tuple[Router, str]:
-    """The §9.3 ``(router, flow_mode)`` policy — see
-    :func:`repro.store.paper_router`, which this delegates to (results are
-    cached in the content-addressed artifact store)."""
-    return store.paper_router(topology)
 
 
 def table3_instance(name: str, scale: str = "full") -> Topology:

@@ -33,7 +33,10 @@ SCHEMA = "repro.obs/v1"
 def git_revision(cwd: str | None = None) -> str | None:
     """Current git commit hash (``None`` outside a repo / without git)."""
     try:
-        out = subprocess.run(
+        # repro-lint: disable=RL108 -- sanctioned exception: the manifest
+        # shells out to `git rev-parse` once per export; no worker pool
+        # involvement, bounded by timeout, failure degrades to None.
+        out = subprocess.run(  # repro-lint: disable=RL108
             ["git", "rev-parse", "HEAD"],
             cwd=cwd,
             capture_output=True,

@@ -141,5 +141,5 @@ class Journal:
     def __enter__(self) -> "Journal":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -27,6 +27,7 @@ from __future__ import annotations
 import importlib
 import json
 from dataclasses import dataclass, field
+from types import ModuleType
 
 from repro.store.keys import ArtifactKey, canonical_params
 
@@ -49,7 +50,7 @@ PLANNED_EXPERIMENTS = ("fig09", "fig10", "fig14_dynamic", "tab03", "chaos")
 DEGRADE_LADDER = {"packet": "flow", "flow": None}
 
 
-def experiment_module(name: str):
+def experiment_module(name: str) -> ModuleType:
     """The module implementing the trial API for *name*."""
     if name not in PLANNED_EXPERIMENTS:
         raise ValueError(
@@ -68,7 +69,7 @@ class TrialSpec:
     params: dict
     fidelity: str = "flow"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.experiment not in PLANNED_EXPERIMENTS:
             raise ValueError(f"unknown experiment {self.experiment!r}")
         object.__setattr__(self, "params", canonical_params(self.params))

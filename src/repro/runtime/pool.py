@@ -32,6 +32,7 @@ import queue
 import threading
 import time
 import traceback
+from typing import Any
 
 from repro.runtime.plan import execute_trial
 
@@ -49,7 +50,7 @@ MSG_DONE = "done"
 MSG_ERROR = "error"
 
 
-def _heartbeat_loop(beat, interval: float, parent_pid: int) -> None:
+def _heartbeat_loop(beat: Any, interval: float, parent_pid: int) -> None:
     """Daemon thread: stamp the heartbeat and die with the parent."""
     while True:
         beat.value = time.monotonic()
@@ -62,9 +63,9 @@ def _heartbeat_loop(beat, interval: float, parent_pid: int) -> None:
 
 def worker_main(
     worker_id: int,
-    task_q,
-    result_q,
-    beat,
+    task_q: Any,
+    result_q: Any,
+    beat: Any,
     interval: float,
     parent_pid: int,
 ) -> None:
@@ -113,7 +114,7 @@ class WorkerHandle:
         "deadline",
     )
 
-    def __init__(self, worker_id: int, process, task_q, beat):
+    def __init__(self, worker_id: int, process: Any, task_q: Any, beat: Any) -> None:
         self.worker_id = worker_id
         self.process = process
         self.task_q = task_q
@@ -178,8 +179,8 @@ class WorkerHandle:
 
 def spawn_worker(
     worker_id: int,
-    result_q,
-    ctx=None,
+    result_q: Any,
+    ctx: Any = None,
     heartbeat_interval: float = 0.5,
 ) -> WorkerHandle:
     """Start one spawn-context worker wired to the shared result queue."""

@@ -42,13 +42,21 @@ import queue
 import signal
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from repro import obs
 from repro.runtime import journal as journal_mod
-from repro.runtime.plan import DEGRADE_LADDER, Plan
-from repro.runtime.pool import MSG_DONE, MSG_ERROR, MSG_START, spawn_worker
+from repro.runtime.plan import DEGRADE_LADDER, Plan, TrialSpec
+from repro.runtime.pool import (
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_START,
+    WorkerHandle,
+    spawn_worker,
+)
 
 __all__ = [
     "PoolConfig",
@@ -68,11 +76,9 @@ class RunInterrupted(RuntimeError):
     """The run was stopped by SIGINT/SIGTERM after a clean journal flush."""
 
 
-def runs_root():
+def runs_root() -> Path:
     """Directory journals default into: ``$REPRO_RUNS_DIR``, else a ``runs/``
     subdirectory of the artifact-store root, else ``~/.cache/repro-runs``."""
-    from pathlib import Path
-
     from repro.store import default_root
 
     explicit = os.environ.get("REPRO_RUNS_DIR")
@@ -98,7 +104,7 @@ class PoolConfig:
     watchdog_grace: float = 15.0  # stale-heartbeat threshold, seconds
     seed: int = 0  # jitter seed (mixed with trial digest + attempt)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         if self.retries < 0:
@@ -187,7 +193,7 @@ class _TrialState:
     __slots__ = ("spec", "attempts", "timeout_failures", "fidelity", "degraded",
                  "last_error", "history")
 
-    def __init__(self, spec):
+    def __init__(self, spec: TrialSpec) -> None:
         self.spec = spec
         self.attempts = 0
         self.timeout_failures = 0
@@ -200,16 +206,18 @@ class _TrialState:
 class Supervisor:
     """Runs one plan's pending trials on a supervised worker pool."""
 
-    def __init__(self, plan: Plan, journal: journal_mod.Journal, config: PoolConfig):
+    def __init__(
+        self, plan: Plan, journal: journal_mod.Journal, config: PoolConfig
+    ) -> None:
         self.plan = plan
         self.journal = journal
         self.config = config
         self._ctx = multiprocessing.get_context("spawn")
-        self._result_q = self._ctx.Queue()
-        self._workers: dict[int, object] = {}
+        self._result_q: Any = self._ctx.Queue()
+        self._workers: dict[int, WorkerHandle] = {}
         self._next_worker_id = 0
         self._stop_signals = 0
-        self._prev_handlers: dict[int, object] = {}
+        self._prev_handlers: dict[int, Any] = {}
         self.retries = 0
         self.worker_restarts = 0
 
@@ -253,7 +261,7 @@ class Supervisor:
     # -- signals -------------------------------------------------------------
 
     def _install_signals(self) -> None:
-        def handler(signum, frame):
+        def handler(signum: int, frame: Any) -> None:
             self._stop_signals += 1
             if self._stop_signals >= 2:
                 os._exit(128 + signum)  # second signal: hard kill, no cleanup
@@ -274,7 +282,7 @@ class Supervisor:
 
     # -- workers -------------------------------------------------------------
 
-    def _spawn(self):
+    def _spawn(self) -> WorkerHandle:
         self._next_worker_id += 1
         w = spawn_worker(
             self._next_worker_id,
@@ -285,7 +293,7 @@ class Supervisor:
         self._workers[w.worker_id] = w
         return w
 
-    def _replace(self, worker) -> None:
+    def _replace(self, worker: WorkerHandle) -> None:
         worker.kill()
         self._workers.pop(worker.worker_id, None)
         self._count_restart()
@@ -308,8 +316,14 @@ class Supervisor:
         base = self.config.backoff_base * (2.0 ** max(0, attempt - 1))
         return min(self.config.backoff_cap, base) * (1.0 + self._jitter(digest, attempt))
 
-    def _handle_failure(self, state: _TrialState, cause: str, error: str,
-                        pending_heap, quarantined) -> None:
+    def _handle_failure(
+        self,
+        state: _TrialState,
+        cause: str,
+        error: str,
+        pending_heap: list[tuple[float, str]],
+        quarantined: dict[str, _TrialState],
+    ) -> None:
         """One attempt failed; decide retry / degrade / quarantine."""
         digest = state.spec.digest
         state.last_error = error
@@ -368,7 +382,9 @@ class Supervisor:
 
     # -- main loop -----------------------------------------------------------
 
-    def run(self, pending: list[_TrialState]) -> tuple[dict, dict]:
+    def run(
+        self, pending: list[_TrialState]
+    ) -> tuple[dict[str, dict], dict[str, _TrialState]]:
         """Execute *pending* trials; returns ``(done, quarantined)`` maps.
 
         ``done`` maps trial digest to the journaled ``done`` record written
@@ -382,7 +398,7 @@ class Supervisor:
             (0.0, s.spec.digest) for s in pending
         ]
         heapq.heapify(pending_heap)
-        in_flight: dict[str, object] = {}  # digest -> WorkerHandle
+        in_flight: dict[str, WorkerHandle] = {}
         done: dict[str, dict] = {}
         quarantined: dict[str, _TrialState] = {}
 
@@ -427,8 +443,14 @@ class Supervisor:
             self._teardown()
         return done, quarantined
 
-    def _drain_results(self, states, in_flight, done, quarantined,
-                       pending_heap) -> None:
+    def _drain_results(
+        self,
+        states: dict[str, _TrialState],
+        in_flight: dict[str, WorkerHandle],
+        done: dict[str, dict],
+        quarantined: dict[str, _TrialState],
+        pending_heap: list[tuple[float, str]],
+    ) -> None:
         """Pull every available worker message (blocking briefly for one)."""
         block = True
         while True:
@@ -487,15 +509,20 @@ class Supervisor:
                     state, "error", msg[3], pending_heap, quarantined
                 )
 
-    def _police_workers(self, states, in_flight, pending_heap,
-                        quarantined) -> None:
+    def _police_workers(
+        self,
+        states: dict[str, _TrialState],
+        in_flight: dict[str, WorkerHandle],
+        pending_heap: list[tuple[float, str]],
+        quarantined: dict[str, _TrialState],
+    ) -> None:
         """Detect timeouts, hangs and crashes; kill + replace + re-queue."""
         now = time.monotonic()
         for worker in list(self._workers.values()):
             age = worker.heartbeat_age()
             self._gauge_heartbeat(age)
             digest = worker.busy_digest
-            cause = None
+            cause: str | None = None
             if digest is not None:
                 if not worker.alive():
                     cause = "crash"
@@ -507,7 +534,7 @@ class Supervisor:
                 # Idle worker died (shouldn't happen) — just replace it.
                 self._replace(worker)
                 continue
-            if cause is None:
+            if cause is None or digest is None:
                 continue
             state = states[digest]
             in_flight.pop(digest, None)
@@ -531,7 +558,7 @@ def _check_plan_match(header: dict, plan: Plan) -> None:
 
 def run_plan(
     plan: Plan,
-    journal_path,
+    journal_path: str | Path,
     config: PoolConfig | None = None,
     resume: bool = False,
 ) -> RunReport:
@@ -614,7 +641,7 @@ def run_plan(
                 }
             )
 
-    outcomes = []
+    outcomes: list[TrialOutcome] = []
     state_by_digest = {s.spec.digest: s for s in pending}
     for spec in plan.specs:
         digest = spec.digest
@@ -692,6 +719,6 @@ def run_plan(
 class RunInterruptedWithReport(RunInterrupted):
     """Interrupt carrying the partial :class:`RunReport` for the CLI."""
 
-    def __init__(self, report: RunReport):
+    def __init__(self, report: RunReport) -> None:
         super().__init__("run interrupted by signal; resume with --resume")
         self.report = report

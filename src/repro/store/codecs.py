@@ -15,6 +15,7 @@ removing one degrades to a cache miss.
 from __future__ import annotations
 
 import json
+from typing import Any
 
 import numpy as np
 
@@ -37,7 +38,7 @@ __all__ = [
 _JSON_PRIMITIVES = (str, int, float, bool, type(None))
 
 
-def _json_safe(value) -> bool:
+def _json_safe(value: Any) -> bool:
     if isinstance(value, bool) or isinstance(value, _JSON_PRIMITIVES):
         return True
     return False
@@ -48,19 +49,19 @@ class Codec:
 
     name = ""
 
-    def can_encode(self, value) -> bool:
+    def can_encode(self, value: Any) -> bool:
         """Whether *value* survives a lossless round trip (default: yes)."""
         return True
 
-    def encode(self, value) -> tuple[dict, dict]:
+    def encode(self, value: Any) -> tuple[dict, dict]:
         """Return ``(arrays, payload)`` for *value*."""
         raise NotImplementedError
 
-    def decode(self, arrays: dict, payload: dict):
+    def decode(self, arrays: dict, payload: dict) -> Any:
         """Reconstruct the value from ``(arrays, payload)``."""
         raise NotImplementedError
 
-    def nbytes(self, value) -> int:
+    def nbytes(self, value: Any) -> int:
         """Approximate in-memory footprint (for metrics / LRU accounting)."""
         arrays, payload = self.encode(value)
         return int(
@@ -74,11 +75,11 @@ class ArrayCodec(Codec):
 
     name = "array"
 
-    def encode(self, value) -> tuple[dict, dict]:
+    def encode(self, value: Any) -> tuple[dict, dict]:
         arr = np.asarray(value)
         return {"arr": arr}, {"dtype": arr.dtype.str}
 
-    def decode(self, arrays: dict, payload: dict):
+    def decode(self, arrays: dict, payload: dict) -> Any:
         arr = arrays["arr"]
         if payload.get("dtype") and arr.dtype.str != payload["dtype"]:
             raise ValueError(
@@ -86,7 +87,7 @@ class ArrayCodec(Codec):
             )
         return arr
 
-    def nbytes(self, value) -> int:
+    def nbytes(self, value: Any) -> int:
         return int(np.asarray(value).nbytes)
 
 
@@ -175,14 +176,14 @@ class BisectionCodec(Codec):
 
     name = "bisection"
 
-    def encode(self, value) -> tuple[dict, dict]:
+    def encode(self, value: Any) -> tuple[dict, dict]:
         cut, side = value
         return {"side": np.asarray(side, dtype=np.int8)}, {"cut": int(cut)}
 
-    def decode(self, arrays: dict, payload: dict):
+    def decode(self, arrays: dict, payload: dict) -> Any:
         return int(payload["cut"]), arrays["side"]
 
-    def nbytes(self, value) -> int:
+    def nbytes(self, value: Any) -> int:
         return int(np.asarray(value[1]).nbytes) + 8
 
 
@@ -191,13 +192,13 @@ class JsonCodec(Codec):
 
     name = "json"
 
-    def encode(self, value) -> tuple[dict, dict]:
+    def encode(self, value: Any) -> tuple[dict, dict]:
         return {}, {"value": json.loads(json.dumps(value))}
 
-    def decode(self, arrays: dict, payload: dict):
+    def decode(self, arrays: dict, payload: dict) -> Any:
         return payload["value"]
 
-    def nbytes(self, value) -> int:
+    def nbytes(self, value: Any) -> int:
         return len(json.dumps(value, sort_keys=True))
 
 

@@ -41,7 +41,7 @@ import tempfile
 import zipfile
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -80,7 +80,9 @@ class StoreEntry:
 
     __slots__ = ("digest", "meta", "data_path", "meta_path")
 
-    def __init__(self, digest: str, meta: dict, data_path: Path, meta_path: Path):
+    def __init__(
+        self, digest: str, meta: dict, data_path: Path, meta_path: Path
+    ) -> None:
         self.digest = digest
         self.meta = meta
         self.data_path = data_path
@@ -117,7 +119,7 @@ _CORRUPT_ERRORS = (
 class ArtifactStore:
     """Two-tier (memory LRU + on-disk) content-addressed artifact cache."""
 
-    def __init__(self, root: str | Path | None = None, memory_items: int = 256):
+    def __init__(self, root: str | Path | None = None, memory_items: int = 256) -> None:
         if memory_items < 1:
             raise ValueError("memory_items must be >= 1")
         self.root = Path(root) if root is not None else None
@@ -165,13 +167,13 @@ class ArtifactStore:
 
     # -- memory tier ---------------------------------------------------------
 
-    def _memory_get(self, digest: str):
+    def _memory_get(self, digest: str) -> Any:
         if digest in self._memory:
             self._memory.move_to_end(digest)
             return self._memory[digest]
         return None
 
-    def _memory_put(self, digest: str, value) -> None:
+    def _memory_put(self, digest: str, value: Any) -> None:
         self._memory[digest] = value
         self._memory.move_to_end(digest)
         while len(self._memory) > self.memory_items:
@@ -184,7 +186,7 @@ class ArtifactStore:
             raise RuntimeError("disk tier is disabled for this store")
         return self.root / (digest + _DATA_SUFFIX), self.root / (digest + _META_SUFFIX)
 
-    def _disk_load(self, key: ArtifactKey):
+    def _disk_load(self, key: ArtifactKey) -> Any:
         """Load from disk, or ``None``; deletes and logs corrupt entries."""
         if self.root is None:
             return None
@@ -213,7 +215,7 @@ class ArtifactStore:
         self._count_bytes("read", nread)
         return value
 
-    def _disk_store(self, key: ArtifactKey, value, codec: Codec) -> None:
+    def _disk_store(self, key: ArtifactKey, value: Any, codec: Codec) -> None:
         """Persist one entry; safe under concurrent multi-process writers.
 
         Entries are content-addressed, so two processes racing on the same
@@ -295,7 +297,7 @@ class ArtifactStore:
         build: Callable,
         codec: Codec,
         persist: bool | None = None,
-    ):
+    ) -> Any:
         """Resolve *key*: memory tier, then disk tier, then ``build()``.
 
         ``persist`` controls the disk tier for a freshly built value;
@@ -407,7 +409,10 @@ def get_store() -> ArtifactStore:
     """The ambient process-wide store (created from the env on first use)."""
     global _STORE
     if _STORE is None:
-        _STORE = ArtifactStore(root=default_root())
+        # repro-lint: disable=RL310 -- intentional per-process singleton:
+        # each spawn worker lazily builds its own store; cross-process
+        # sharing happens only through the disk tier's atomic writes.
+        _STORE = ArtifactStore(root=default_root())  # repro-lint: disable=RL310
     return _STORE
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -41,7 +42,7 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 
-def canonical_params(obj):
+def canonical_params(obj: Any) -> Any:
     """Recursively coerce *obj* to a canonical JSON-safe structure.
 
     Tuples become lists, NumPy scalars become Python scalars, dict keys are
@@ -76,7 +77,7 @@ class ArtifactKey:
     params: dict = field(default_factory=dict)
     schema: int = SCHEMA_VERSION
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.kind or not self.builder:
             raise ValueError("ArtifactKey needs a non-empty kind and builder")
         object.__setattr__(self, "params", canonical_params(self.params))

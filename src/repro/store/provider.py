@@ -24,6 +24,8 @@ ephemeral mid-run state, not a reproducible artifact.
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 import numpy as np
 
 from repro.analysis import bisection as _bisection
@@ -69,7 +71,7 @@ def _graph_of(subject: Graph | Topology) -> Graph:
 # -- topologies --------------------------------------------------------------
 
 
-def topology(builder: str, **params) -> Topology:
+def topology(builder: str, **params: Any) -> Topology:
     """Build (or recall) the topology ``builder(**params)`` via the store."""
     _ensure_builders()
     fn = registry.resolve_builder(builder)
@@ -171,7 +173,13 @@ def bisection_fraction(graph: Graph, restarts: int = 2, seed: int = 0) -> float:
     return cut / graph.m
 
 
-def _summary(graph: Graph, metric: str, build, sample, seed):
+def _summary(
+    graph: Graph,
+    metric: str,
+    build: Callable[[], Any],
+    sample: int | None,
+    seed: int,
+) -> Any:
     key = ArtifactKey(
         "distance_summary",
         metric,

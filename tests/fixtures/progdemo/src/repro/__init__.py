@@ -1,0 +1,3 @@
+"""progdemo fixture package root."""
+
+__all__: list[str] = []

@@ -1,0 +1,3 @@
+"""progdemo fixture experiments package."""
+
+__all__: list[str] = []

@@ -1,0 +1,16 @@
+"""Planted RL107 (aliased store bypass), RL210 (taint sink), RL310 (shared
+mutable global reached from the worker-side trial entry point)."""
+
+from repro.experiments import helper as h
+from repro.topologies.table3 import build_table3_topology as make
+
+__all__ = ["run_trial"]
+
+_CACHE = {}
+
+
+def run_trial(spec):
+    """Trial entry point: per-file rules see nothing wrong here."""
+    topo = make(7)  # RL107: builder call hidden behind the import alias
+    _CACHE[spec] = h.draw()  # RL310 mutation + RL210 unseeded-RNG taint
+    return topo, h.scan(spec)  # RL210 fs-order taint

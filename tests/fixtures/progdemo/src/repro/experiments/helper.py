@@ -1,0 +1,26 @@
+"""Planted taint sources (RL210) and a dead export (RL110)."""
+
+import numpy as np
+
+__all__ = ["draw", "scan", "scale", "unused_helper"]
+
+
+def draw():
+    """Unseeded RNG — a determinism-taint source."""
+    rng = np.random.default_rng()
+    return rng.random()
+
+
+def scan(p):
+    """Filesystem-ordered iteration — a determinism-taint source."""
+    return [f for f in p.glob("*.json")]
+
+
+def scale(q):
+    """Benign helper (used by the topologies fixture)."""
+    return q * 2
+
+
+def unused_helper():
+    """Planted RL110: exported above, referenced nowhere in the project."""
+    return None

@@ -1,0 +1,3 @@
+"""progdemo fixture runtime package."""
+
+__all__: list[str] = []

@@ -1,0 +1,14 @@
+"""Planted RL311 (fork-unsafe primitives) and RL312 (unpicklable target)."""
+
+import multiprocessing
+
+__all__ = ["launch"]
+
+
+def launch(q):
+    """Start a worker the wrong way in every respect."""
+    ctx = multiprocessing.get_context("fork")  # RL311: not "spawn"
+    proc = multiprocessing.Process(  # RL311: bare Process, no spawn context
+        target=lambda: q.put(1)  # RL312: lambda cannot cross a spawn boundary
+    )
+    return ctx, proc

@@ -1,0 +1,3 @@
+"""progdemo fixture topologies package."""
+
+__all__: list[str] = []

@@ -1,0 +1,12 @@
+"""Planted RL109: a topology module importing from the experiments layer."""
+
+from repro.experiments import helper  # upward import: layer 4 -> layer 7
+
+__all__ = ["build_table3_topology"]
+
+
+def build_table3_topology(q):
+    """Pretend topology constructor (the RL107 bypass target)."""
+    if q < 2:
+        raise ValueError(q)
+    return helper.scale(q)

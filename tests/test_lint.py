@@ -947,6 +947,64 @@ class TestSuppressions:
         hit = Violation("RL202", "broad-except", "f.py", 9, 1, "m")
         assert sup.is_suppressed(hit)
 
+    def test_continuation_line_suppression_covers_statement_start(self, tmp_path):
+        # The finding is reported at the call's opening line (2); the
+        # suppression sits on a continuation line of the same statement.
+        out = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+            rng = np.random.default_rng(
+                # repro-lint: disable=RL205
+            )
+            """,
+            "RL205",
+            relpath="src/repro/sim/mod.py",
+        )
+        assert out == []
+
+    def test_continuation_suppression_is_still_rule_specific(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+            rng = np.random.default_rng(
+                # repro-lint: disable=RL204
+            )
+            """,
+            "RL205",
+            relpath="src/repro/sim/mod.py",
+        )
+        assert codes(out) == ["RL205"]
+
+    def test_body_comment_does_not_silence_def_line(self, tmp_path):
+        # A suppression inside a function body must not cover a finding
+        # reported at the def header (compound statements map headers only).
+        out = lint_source(
+            tmp_path,
+            """
+            def f(x=[]):
+                y = 1  # repro-lint: disable=RL201
+                return x, y
+            """,
+            "RL201",
+        )
+        assert codes(out) == ["RL201"]
+
+    def test_multiline_def_header_suppression(self, tmp_path):
+        # ...but a comment on a wrapped *header* line does count.
+        out = lint_source(
+            tmp_path,
+            """
+            def f(
+                x=[],  # repro-lint: disable=RL201
+            ):
+                return x
+            """,
+            "RL201",
+        )
+        assert out == []
+
 
 # -- framework / config ------------------------------------------------------
 

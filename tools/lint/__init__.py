@@ -17,8 +17,13 @@ Architecture
   registry, and ``# repro-lint: disable=...`` suppression handling;
 * :mod:`tools.lint.config` — ``[tool.repro-lint]`` loading from
   ``pyproject.toml`` (path scoping, severities, per-rule options);
-* :mod:`tools.lint.rules` — the rule catalog (contracts, numerics, API
-  hygiene);
+* :mod:`tools.lint.rules` — the per-file rule catalog (contracts,
+  numerics, API hygiene);
+* :mod:`tools.lint.program` — whole-program passes over a project model
+  (alias-aware contracts, layering, determinism taint, concurrency
+  safety), run with ``--program``;
+* :mod:`tools.lint.output` — text/JSON/SARIF report formatters;
+* :mod:`tools.lint.mypy_ratchet` — the monotone mypy strictness gate;
 * :mod:`tools.lint.cli` — file discovery and the command-line entry point.
 
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalog and how to add rules.

@@ -4,6 +4,12 @@
 files/directories, runs every enabled rule in scope for each file, prints
 violations sorted by location, and exits nonzero iff any *error*-severity
 violation survives suppression filtering.
+
+``--program`` additionally runs the whole-program passes
+(:mod:`tools.lint.program`): alias-aware contract enforcement, layering,
+determinism taint and concurrency safety.  ``--format json|sarif`` emits
+machine-readable output; both formats are byte-deterministic (findings
+sorted by path/line/col/rule) regardless of filesystem or argument order.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from tools.lint.core import (
     all_rules,
     get_rule,
 )
+from tools.lint.output import format_json, format_sarif, sort_violations
 
 __all__ = ["discover_files", "lint_file", "run_paths", "main"]
 
@@ -93,7 +100,7 @@ def lint_file(path: Path, rules: Sequence[Rule], config: LintConfig) -> list[Vio
             )
         ]
     ctx = ModuleContext(str(path), source, tree)
-    suppressions = Suppressions(source)
+    suppressions = Suppressions(source, tree)
     found: list[Violation] = []
     for rule in rules:
         prefixes = rule.options.get("paths")
@@ -111,11 +118,16 @@ def run_paths(
     root: Path | None = None,
     select: set[str] | None = None,
     ignore: set[str] | None = None,
+    program: bool = False,
+    use_cache: bool = True,
 ) -> tuple[list[Violation], int]:
     """Lint *paths*; returns ``(violations, files_checked)``.
 
     This is the programmatic API the test suite uses; ``main`` is a thin
-    argv/printing wrapper around it.
+    argv/printing wrapper around it.  With ``program=True`` the
+    whole-program passes run after the per-file rules; findings both
+    engines report at the same (path, line, col, rule) are de-duplicated
+    in favor of the per-file one.
     """
     root = root or Path.cwd()
     config = load_config(root)
@@ -124,15 +136,46 @@ def run_paths(
     violations: list[Violation] = []
     for f in files:
         violations.extend(lint_file(f, rules, config))
-    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    if program:
+        from tools.lint.program.engine import analyze_program
+
+        seen = {(v.path, v.line, v.col, v.rule) for v in violations}
+        for v in analyze_program(
+            files, root, config, select, ignore, use_cache=use_cache
+        ):
+            if (v.path, v.line, v.col, v.rule) not in seen:
+                violations.append(v)
+    violations = sort_violations(violations)
     return violations, len(files)
 
 
 def _print_rule_catalog() -> None:
+    from tools.lint.program.base import all_program_rules
+
     for cls in all_rules():
         scope = ", ".join(cls.default_paths) if cls.default_paths else "all files"
         print(f"{cls.code}  {cls.name}  [{cls.severity}]  (scope: {scope})")
         print(f"       {cls.description}")
+    print("\nwhole-program passes (--program):")
+    for cls in all_program_rules():
+        scope = ", ".join(cls.default_paths) if cls.default_paths else "all files"
+        print(f"{cls.code}  {cls.name}  [{cls.severity}]  (scope: {scope})")
+        print(f"       {cls.description}")
+
+
+def _known_rule(name: str) -> bool:
+    try:
+        get_rule(name)
+        return True
+    except KeyError:
+        pass
+    from tools.lint.program.base import get_program_rule
+
+    try:
+        get_program_rule(name)
+        return True
+    except KeyError:
+        return False
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -162,6 +205,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=".",
         help="repo root holding pyproject.toml (default: cwd)",
     )
+    parser.add_argument(
+        "--program",
+        action="store_true",
+        help="also run the whole-program passes (call graph, layering, "
+        "determinism taint, concurrency safety)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (json/sarif are byte-deterministic)",
+    )
+    parser.add_argument(
+        "--output",
+        default="",
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the whole-program analysis cache",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -173,9 +238,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     select = {s.strip() for s in args.select.split(",") if s.strip()}
     ignore = {s.strip() for s in args.ignore.split(",") if s.strip()}
     for name in select | ignore:
-        try:
-            get_rule(name)
-        except KeyError:
+        if not _known_rule(name):
             parser.error(f"unknown rule {name!r} (see --list-rules)")
 
     root = Path(args.root)
@@ -184,25 +247,44 @@ def main(argv: Sequence[str] | None = None) -> int:
     paths = [p if Path(p).is_absolute() else str(root / p) for p in args.paths]
     try:
         violations, files_checked = run_paths(
-            paths, root=root, select=select, ignore=ignore
+            paths,
+            root=root,
+            select=select,
+            ignore=ignore,
+            program=args.program,
+            use_cache=not args.no_cache,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
-    for v in violations:
-        print(v.format())
 
     errors = sum(1 for v in violations if v.severity == "error")
     warnings = len(violations) - errors
-    if args.statistics and violations:
-        counts = Counter(f"{v.rule} [{v.name}]" for v in violations)
-        print("\nper-rule counts:")
-        for key, count in counts.most_common():
-            print(f"  {count:4d}  {key}")
-    print(
-        f"repro-lint: {files_checked} files checked, "
-        f"{errors} errors, {warnings} warnings"
-    )
+
+    if args.format == "json":
+        report = format_json(violations, files_checked)
+    elif args.format == "sarif":
+        report = format_sarif(violations, root=root)
+    else:
+        lines = [v.format() for v in violations]
+        if args.statistics and violations:
+            counts = Counter(f"{v.rule} [{v.name}]" for v in violations)
+            lines.append("\nper-rule counts:")
+            for key, count in counts.most_common():
+                lines.append(f"  {count:4d}  {key}")
+        lines.append(
+            f"repro-lint: {files_checked} files checked, "
+            f"{errors} errors, {warnings} warnings"
+        )
+        report = "\n".join(lines) + "\n"
+
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        if args.format == "text":
+            print(f"repro-lint: report written to {args.output}")
+    else:
+        sys.stdout.write(report)
+
     return 1 if errors else 0
 
 

@@ -15,6 +15,9 @@ Every rule table accepts ``enabled`` (bool), ``severity`` (``error`` /
 ``warning``) and ``paths`` (list of path prefixes the rule is restricted
 to); remaining keys are rule-specific options handed to the rule instance.
 Rules may also be addressed by slug (``rules.implicit-dtype``).
+
+Malformed configuration raises :class:`ConfigError` with a message naming
+the offending key — never a bare traceback from deep inside a rule.
 """
 
 from __future__ import annotations
@@ -22,13 +25,25 @@ from __future__ import annotations
 import tomllib
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
+from typing import Any
 
 from tools.lint.core import SEVERITIES, all_rules
 
-__all__ = ["LintConfig", "load_config", "path_in_scope"]
+__all__ = ["ConfigError", "LintConfig", "load_config", "path_in_scope"]
 
 #: Directories never linted regardless of configuration.
-ALWAYS_EXCLUDE = (".git", "__pycache__", ".github")
+ALWAYS_EXCLUDE = (".git", "__pycache__", ".github", ".repro-lint-cache")
+
+#: Keys recognized at the ``[tool.repro-lint]`` top level.
+_TOP_LEVEL_KEYS = ("exclude", "rules")
+
+#: Keys every rule table understands (anything else is a rule-specific
+#: option — allowed, but its value must be a plain scalar or string list).
+_COMMON_RULE_KEYS = ("enabled", "severity", "paths")
+
+
+class ConfigError(ValueError):
+    """A ``[tool.repro-lint]`` table failed validation."""
 
 
 @dataclass
@@ -46,27 +61,111 @@ class LintConfig:
         return merged
 
 
+def _known_rule_ids() -> set[str]:
+    """Codes and slugs of every rule: per-file catalog plus program passes."""
+    known = {cls.code for cls in all_rules()} | {cls.name for cls in all_rules()}
+    from tools.lint.program.base import all_program_rules
+
+    known |= {cls.code for cls in all_program_rules()}
+    known |= {cls.name for cls in all_program_rules()}
+    return known
+
+
+def _type_name(value: Any) -> str:
+    return {
+        str: "str",
+        bool: "bool",
+        int: "int",
+        float: "float",
+        list: "list",
+        dict: "table",
+    }.get(type(value), type(value).__name__)
+
+
+def _require_str_list(value: Any, where: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise ConfigError(
+            f"[tool.repro-lint] key {where!r}: expected a list of strings, "
+            f"got {_type_name(value)}"
+        )
+    return tuple(value)
+
+
+def _validate_rule_table(key: str, table: Any) -> dict:
+    if not isinstance(table, dict):
+        raise ConfigError(
+            f"[tool.repro-lint.rules] key {key!r}: expected a table, "
+            f"got {_type_name(table)}"
+        )
+    out: dict = {}
+    for opt, value in table.items():
+        where = f"rules.{key}.{opt}"
+        if opt == "enabled":
+            if not isinstance(value, bool):
+                raise ConfigError(
+                    f"[tool.repro-lint] key {where!r}: expected bool, "
+                    f"got {_type_name(value)}"
+                )
+        elif opt == "severity":
+            if not isinstance(value, str) or value not in SEVERITIES:
+                raise ConfigError(
+                    f"[tool.repro-lint] key {where!r}: expected one of "
+                    f"{'/'.join(SEVERITIES)}, got {value!r}"
+                )
+        elif opt == "paths":
+            value = list(_require_str_list(value, where))
+        elif isinstance(value, dict):
+            # A nested table under a rule is always a typo (e.g. a
+            # mis-indented [tool.repro-lint.rules.RL203.paths] header).
+            raise ConfigError(
+                f"[tool.repro-lint] key {where!r}: rule options must be "
+                "scalars or string lists, not tables"
+            )
+        elif isinstance(value, list):
+            value = list(_require_str_list(value, where))
+        elif not isinstance(value, (str, bool, int, float)):
+            raise ConfigError(
+                f"[tool.repro-lint] key {where!r}: unsupported value type "
+                f"{_type_name(value)}"
+            )
+        out[opt] = value
+    return out
+
+
 def load_config(root: Path) -> LintConfig:
-    """Read ``[tool.repro-lint]`` from ``<root>/pyproject.toml`` (if any)."""
+    """Read and validate ``[tool.repro-lint]`` from ``<root>/pyproject.toml``."""
     pyproject = root / "pyproject.toml"
     if not pyproject.is_file():
         return LintConfig(root=root)
     with pyproject.open("rb") as fh:
         data = tomllib.load(fh)
     section = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(section, dict):
+        raise ConfigError(
+            f"[tool.repro-lint]: expected a table, got {_type_name(section)}"
+        )
+    for key in section:
+        if key not in _TOP_LEVEL_KEYS:
+            raise ConfigError(
+                f"[tool.repro-lint] unknown key {key!r}; expected one of "
+                f"{', '.join(_TOP_LEVEL_KEYS)}"
+            )
+    exclude = _require_str_list(section.get("exclude", []), "exclude")
     rule_tables = section.get("rules", {})
-    known = {cls.code for cls in all_rules()} | {cls.name for cls in all_rules()}
+    if not isinstance(rule_tables, dict):
+        raise ConfigError(
+            f"[tool.repro-lint] key 'rules': expected a table of rule "
+            f"tables, got {_type_name(rule_tables)}"
+        )
+    known = _known_rule_ids()
+    rule_options: dict[str, dict] = {}
     for key, table in rule_tables.items():
         if key not in known:
-            raise ValueError(f"[tool.repro-lint.rules] refers to unknown rule {key!r}")
-        sev = table.get("severity")
-        if sev is not None and sev not in SEVERITIES:
-            raise ValueError(f"rule {key}: unknown severity {sev!r}")
-    return LintConfig(
-        root=root,
-        exclude=tuple(section.get("exclude", ())),
-        rule_options={k: dict(v) for k, v in rule_tables.items()},
-    )
+            raise ConfigError(
+                f"[tool.repro-lint.rules] refers to unknown rule {key!r}"
+            )
+        rule_options[key] = _validate_rule_table(key, table)
+    return LintConfig(root=root, exclude=exclude, rule_options=rule_options)
 
 
 def path_in_scope(rel_path: str, prefixes: tuple[str, ...] | None) -> bool:

@@ -68,11 +68,36 @@ _SUPPRESS_RE = re.compile(
     r"(?P<rules>[A-Za-z0-9_*,\- ]+)"
 )
 
+#: Statements with a body: only their *header* lines participate in
+#: suppression-span mapping (a comment inside the body must not silence a
+#: finding reported at the header line).
+_COMPOUND_STMTS = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
 
 class Suppressions:
-    """Per-file index of ``# repro-lint: disable`` comments."""
+    """Per-file index of ``# repro-lint: disable`` comments.
 
-    def __init__(self, source: str):
+    When the parsed *tree* is supplied, an inline suppression anywhere in a
+    multi-line statement's span also covers findings reported at the
+    statement's first line — a ``disable=`` comment on the continuation
+    line of a wrapped call suppresses the violation flagged at the call's
+    opening line.  For compound statements (``def``/``if``/``with``/...)
+    only the header lines count, so a comment deep inside a function body
+    never silences a finding on the ``def`` line itself.
+    """
+
+    def __init__(self, source: str, tree: ast.Module | None = None):
         self.line_rules: dict[int, set[str]] = {}
         self.file_rules: set[str] = set()
         for lineno, text in enumerate(source.splitlines(), start=1):
@@ -84,6 +109,27 @@ class Suppressions:
                 self.file_rules |= rules
             else:
                 self.line_rules.setdefault(lineno, set()).update(rules)
+        if tree is not None and self.line_rules:
+            self._extend_to_statement_spans(tree)
+
+    def _extend_to_statement_spans(self, tree: ast.Module) -> None:
+        """Map suppressions on continuation lines back to statement starts."""
+        comment_lines = set(self.line_rules)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            if isinstance(node, _COMPOUND_STMTS):
+                # Header only: first body statement marks where it ends.
+                body = getattr(node, "body", None)
+                end = (body[0].lineno - 1) if body else (node.end_lineno or start)
+            else:
+                end = node.end_lineno or start
+            for line in comment_lines:
+                if start < line <= end:
+                    self.line_rules.setdefault(start, set()).update(
+                        self.line_rules[line]
+                    )
 
     def is_suppressed(self, violation: Violation) -> bool:
         for pool in (self.file_rules, self.line_rules.get(violation.line, ())):

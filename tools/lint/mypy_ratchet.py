@@ -1,0 +1,143 @@
+"""Monotone mypy strictness ratchet.
+
+Runs mypy over the configured files and compares the error count against
+the committed baseline (``tools/lint/mypy_baseline.json``).  CI fails if
+the count *increases* anywhere; decreases print a reminder to tighten the
+baseline so strictness only ever ratchets down to zero.
+
+Usage::
+
+    python -m tools.lint.mypy_ratchet            # compare against baseline
+    python -m tools.lint.mypy_ratchet --update   # rewrite the baseline
+
+When mypy is not installed (the reproduction container ships without it),
+the ratchet reports "skipped" and exits 0 — the gate is enforced wherever
+mypy exists (CI), never silently wrong elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess  # repro-lint: disable=RL108 -- dev tool, not library code
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["parse_mypy_output", "compare_to_baseline", "main"]
+
+BASELINE_PATH = Path(__file__).with_name("mypy_baseline.json")
+
+_ERROR_RE = re.compile(r"^(?P<path>[^:\n]+):(?P<line>\d+):(?:\d+:)?\s*error:")
+
+
+def parse_mypy_output(text: str) -> dict[str, int]:
+    """Per-file error counts from mypy's normal-form output."""
+    counts: dict[str, int] = {}
+    for line in text.splitlines():
+        m = _ERROR_RE.match(line)
+        if m is not None:
+            path = m.group("path").replace("\\", "/")
+            counts[path] = counts.get(path, 0) + 1
+    return counts
+
+
+def compare_to_baseline(
+    counts: dict[str, int], baseline: dict
+) -> tuple[list[str], list[str]]:
+    """(regressions, improvements) vs the committed baseline."""
+    base_files: dict[str, int] = dict(baseline.get("by_file", {}))
+    regressions: list[str] = []
+    improvements: list[str] = []
+    for path in sorted(set(counts) | set(base_files)):
+        now = counts.get(path, 0)
+        then = base_files.get(path, 0)
+        if now > then:
+            regressions.append(f"{path}: {then} -> {now} errors")
+        elif now < then:
+            improvements.append(f"{path}: {then} -> {now} errors")
+    total_now = sum(counts.values())
+    total_then = int(baseline.get("total", 0))
+    if total_now > total_then and not regressions:
+        regressions.append(f"total: {total_then} -> {total_now} errors")
+    return regressions, improvements
+
+
+def _run_mypy(root: Path) -> tuple[int, str] | None:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return None
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", "--no-color-output"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> dict:
+    if not path.is_file():
+        return {"total": 0, "by_file": {}}
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def write_baseline(counts: dict[str, int], path: Path = BASELINE_PATH) -> None:
+    payload = {
+        "total": sum(counts.values()),
+        "by_file": {k: counts[k] for k in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", "utf-8")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint.mypy_ratchet",
+        description="compare mypy error counts against the committed baseline",
+    )
+    parser.add_argument(
+        "--root", default=".", help="repo root holding pyproject.toml"
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from this run"
+    )
+    args = parser.parse_args(argv)
+
+    result = _run_mypy(Path(args.root))
+    if result is None:
+        print("mypy-ratchet: mypy not installed; skipped (gate enforced in CI)")
+        return 0
+    returncode, stdout = result
+    counts = parse_mypy_output(stdout)
+
+    if args.update:
+        write_baseline(counts)
+        print(
+            f"mypy-ratchet: baseline updated "
+            f"({sum(counts.values())} errors across {len(counts)} files)"
+        )
+        return 0
+
+    baseline = load_baseline()
+    regressions, improvements = compare_to_baseline(counts, baseline)
+    if regressions:
+        print("mypy-ratchet: FAIL — error counts may only decrease:")
+        for line in regressions:
+            print(f"  {line}")
+        sys.stdout.write(stdout)
+        return 1
+    if improvements:
+        print("mypy-ratchet: improved — tighten the baseline:")
+        for line in improvements:
+            print(f"  {line}")
+        print("  (run `python -m tools.lint.mypy_ratchet --update` and commit)")
+    total = sum(counts.values())
+    print(f"mypy-ratchet: OK ({total} errors, baseline {baseline.get('total', 0)})")
+    # mypy exiting nonzero is fine as long as the baseline covers it.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

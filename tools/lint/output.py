@@ -1,0 +1,130 @@
+"""Output formatters: text, byte-deterministic JSON, and SARIF 2.1.0.
+
+Findings are always emitted sorted by ``(path, line, col, rule)`` — the
+runner sorts before formatting — so both machine formats are
+byte-identical across filesystem iteration order and argument order.
+SARIF output targets the GitHub code-scanning ingestion endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from tools.lint.core import Violation, all_rules
+
+__all__ = ["format_json", "format_sarif", "sort_violations"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SEVERITY_TO_SARIF = {"error": "error", "warning": "warning"}
+
+
+def sort_violations(violations: Sequence[Violation]) -> list[Violation]:
+    """Canonical finding order: (path, line, col, rule, message)."""
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule, v.message))
+
+
+def format_json(violations: Sequence[Violation], files_checked: int) -> str:
+    """Deterministic JSON document for tooling consumption."""
+    payload = {
+        "files_checked": files_checked,
+        "violations": [
+            {
+                "rule": v.rule,
+                "name": v.name,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "severity": v.severity,
+                "message": v.message,
+            }
+            for v in sort_violations(violations)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _rule_index(violations: Sequence[Violation]) -> list[dict]:
+    """SARIF rule metadata for every rule that fired (plus descriptions)."""
+    descriptions: dict[str, tuple[str, str]] = {}
+    for cls in all_rules():
+        descriptions[cls.code] = (cls.name, cls.description)
+    from tools.lint.program.base import all_program_rules
+
+    for cls in all_program_rules():
+        descriptions.setdefault(cls.code, (cls.name, cls.description))
+    fired = sorted({(v.rule, v.name) for v in violations})
+    out = []
+    for code, name in fired:
+        slug, text = descriptions.get(code, (name, ""))
+        out.append(
+            {
+                "id": code,
+                "name": slug,
+                "shortDescription": {"text": text or slug},
+            }
+        )
+    return out
+
+
+def format_sarif(
+    violations: Sequence[Violation], root: Path | None = None
+) -> str:
+    """SARIF 2.1.0 log for the GitHub code-scanning API."""
+    ordered = sort_violations(violations)
+    rules = _rule_index(ordered)
+    rule_order = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for v in ordered:
+        path = v.path
+        if root is not None:
+            try:
+                path = Path(path).resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                pass
+        results.append(
+            {
+                "ruleId": v.rule,
+                "ruleIndex": rule_order[v.rule],
+                "level": _SEVERITY_TO_SARIF.get(v.severity, "warning"),
+                "message": {"text": f"[{v.name}] {v.message}"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": v.line,
+                                "startColumn": v.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

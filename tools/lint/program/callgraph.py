@@ -1,0 +1,251 @@
+"""Approximate call graph with alias and re-export resolution.
+
+For every function in the project model this records the calls it makes,
+resolving each callee through the caller's local environment, the module's
+top-level bindings, and any re-export chains — so
+``from repro import store as s; s.topology(...)`` resolves to
+``repro.store.provider.topology`` even though neither ``store`` nor
+``provider`` appears in the call syntax.
+
+The graph is deliberately approximate: dynamic dispatch, ``getattr``,
+``importlib`` and callables passed as values are not chased.  Passes built
+on top must treat "unresolved" as "unknown", never as "safe".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from tools.lint.core import dotted_name
+
+from tools.lint.program.model import FunctionInfo, ModuleInfo, ProjectModel
+
+__all__ = ["CallSite", "CallGraph"]
+
+#: Pseudo-function id suffix for a module's top-level statements.
+MODULE_BODY = "<module>"
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function (or module body)."""
+
+    caller: str  # function id, e.g. "repro.store.provider.topology"
+    raw: str  # callee as written, e.g. "s.topology"
+    resolved: str | None  # canonical dotted path, None if unresolvable
+    target: FunctionInfo | None  # project function, when resolved to one
+    node: ast.Call
+    lineno: int
+    col: int
+
+
+def _bound_names(target: ast.expr):
+    """Names actually *bound* by an assignment target.
+
+    ``x[k] = v`` and ``x.attr = v`` mutate ``x`` without binding a new
+    local, so they must not shadow the module-level name.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _local_shadows(fn_node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally in *fn_node* (params, assignments, loops, ...)."""
+    shadows: set[str] = set()
+    args = fn_node.args
+    for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        shadows.add(a.arg)
+    if args.vararg:
+        shadows.add(args.vararg.arg)
+    if args.kwarg:
+        shadows.add(args.kwarg.arg)
+    declared_global: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_global.update(node.names)
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                for name in _bound_names(t):
+                    if name not in declared_global:
+                        shadows.add(name)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            shadows.update(_bound_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    shadows.update(_bound_names(item.optional_vars))
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            shadows.add(node.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn_node:
+            shadows.add(node.name)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                for sub in ast.walk(gen.target):
+                    if isinstance(sub, ast.Name):
+                        shadows.add(sub.id)
+    return shadows
+
+
+def _local_aliases(
+    fn_node: ast.FunctionDef | ast.AsyncFunctionDef,
+    mod: ModuleInfo,
+    model: ProjectModel,
+) -> dict[str, str]:
+    """Local names that alias module-level dotted paths.
+
+    Covers function-level imports (``import x as y`` / ``from a import b``)
+    and simple alias assignments (``s = store``) where the right-hand side
+    resolves through the module environment.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                if alias.name != "*":
+                    aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            chain = dotted_name(node.value)
+            if chain is None:
+                continue
+            head = chain.split(".")[0]
+            if head in mod.bindings or model.is_project_module(head):
+                aliases[target.id] = chain
+    return aliases
+
+
+class CallGraph:
+    """Call sites per function, resolved against the project model."""
+
+    def __init__(self, model: ProjectModel):
+        self.model = model
+        #: caller function id -> call sites.
+        self.calls: dict[str, list[CallSite]] = {}
+        #: function id -> FunctionInfo for every project function.
+        self.functions: dict[str, FunctionInfo] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for mod in self.model.modules.values():
+            for fn in mod.functions.values():
+                self.functions[fn.func_id] = fn
+        for mod in self.model.modules.values():
+            for fn in mod.functions.values():
+                self.calls[fn.func_id] = list(self._sites_for(fn, mod))
+            self.calls[f"{mod.name}.{MODULE_BODY}"] = list(
+                self._module_body_sites(mod)
+            )
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_chain(
+        self,
+        chain: str,
+        mod: ModuleInfo,
+        shadows: set[str] = frozenset(),  # type: ignore[assignment]
+        aliases: dict[str, str] | None = None,
+        current_class: str | None = None,
+    ) -> str | None:
+        """Resolve a dotted reference written in *mod* to a canonical path."""
+        head, _, tail = chain.partition(".")
+        base: str | None = None
+        if aliases and head in aliases:
+            base = aliases[head]
+        elif head in shadows:
+            return None
+        elif head == "self" and current_class is not None:
+            base = f"{mod.name}.{current_class}"
+        elif head in mod.bindings:
+            base = mod.bindings[head]
+        elif head in mod.functions or head in mod.classes:
+            base = f"{mod.name}.{head}"
+        elif self.model.is_project_module(head):
+            base = head
+        else:
+            return None
+        full = f"{base}.{tail}" if tail else base
+        if aliases and head in aliases and full != chain:
+            # An alias may itself point through module bindings.
+            resolved = self.resolve_chain(full, mod, shadows, None, current_class)
+            if resolved is not None:
+                return resolved
+        return self.model.canonicalize(full)
+
+    def _sites_for(self, fn: FunctionInfo, mod: ModuleInfo):
+        shadows = _local_shadows(fn.node)
+        aliases = _local_aliases(fn.node, mod, self.model)
+        shadows -= set(aliases)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            raw = dotted_name(node.func)
+            if raw is None:
+                continue
+            resolved = self.resolve_chain(
+                raw, mod, shadows, aliases, current_class=fn.class_name
+            )
+            target = (
+                self.model.lookup_function(resolved) if resolved is not None else None
+            )
+            yield CallSite(
+                caller=fn.func_id,
+                raw=raw,
+                resolved=resolved,
+                target=target,
+                node=node,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+            )
+
+    def _module_body_sites(self, mod: ModuleInfo):
+        fn_linenos = {fn.lineno for fn in mod.functions.values()}
+        for node in ast.walk(mod.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            # Skip calls inside function bodies (already attributed there).
+            if any(
+                fn.node.lineno <= node.lineno <= (fn.node.end_lineno or fn.node.lineno)
+                for fn in mod.functions.values()
+            ):
+                continue
+            raw = dotted_name(node.func)
+            if raw is None:
+                continue
+            resolved = self.resolve_chain(raw, mod)
+            target = (
+                self.model.lookup_function(resolved) if resolved is not None else None
+            )
+            yield CallSite(
+                caller=f"{mod.name}.{MODULE_BODY}",
+                raw=raw,
+                resolved=resolved,
+                target=target,
+                node=node,
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+            )
+
+    # -- traversal ----------------------------------------------------------
+
+    def callees(self, func_id: str) -> list[CallSite]:
+        return self.calls.get(func_id, [])
+
+    def project_callees(self, func_id: str) -> list[CallSite]:
+        return [s for s in self.calls.get(func_id, []) if s.target is not None]

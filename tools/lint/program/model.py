@@ -1,0 +1,414 @@
+"""Project model: modules, bindings, exports, and the import graph.
+
+The model is purely syntactic — nothing is imported or executed.  Each
+discovered file becomes a :class:`ModuleInfo` carrying its parsed tree, the
+top-level *binding environment* (what each top-level name refers to, as a
+dotted path), its ``__all__`` export list, and its import edges split into
+module-top-level imports (which define the layering/cycle graph) and
+deferred function-level imports (the sanctioned lazy-import cycle breaker).
+
+Module names are derived from repo-relative paths: ``src/`` is stripped,
+separators become dots, ``/__init__.py`` names the package itself.  Files
+outside ``src`` (tests, tools, benchmarks) get dotted names from their
+full relative path, so ``tests/test_store.py`` is module
+``tests.test_store`` — distinct from any ``repro.*`` module.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+__all__ = [
+    "FunctionInfo",
+    "ImportEdge",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_project_model",
+    "module_name_for",
+]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CTORS = ("list", "dict", "set", "bytearray", "deque",
+                  "defaultdict", "Counter", "OrderedDict")
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a repo-relative POSIX path."""
+    parts = list(PurePosixPath(rel_path).parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method defined at module (or class) top level."""
+
+    module: str
+    qualname: str  # "topology" or "ArtifactStore.get"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    lineno: int
+    class_name: str | None = None
+
+    @property
+    def func_id(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement edge, source module -> target dotted path."""
+
+    source: str
+    target: str  # absolute dotted module (or symbol) path
+    lineno: int
+    symbol: str | None = None  # `from target import symbol`
+    deferred: bool = False  # inside a function body (lazy import)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the passes need to know about one parsed module."""
+
+    name: str
+    path: str  # path string exactly as discovered (for reports)
+    rel_path: str  # POSIX, repo-relative (for scoping)
+    source: str
+    tree: ast.Module
+    is_package: bool = False
+    #: top-level name -> absolute dotted path it refers to.
+    bindings: dict[str, str] = field(default_factory=dict)
+    #: modules star-imported at top level.
+    star_imports: list[str] = field(default_factory=list)
+    #: functions/methods by qualname ("f", "Cls.m").
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: set[str] = field(default_factory=set)
+    #: every name bound at module top level.
+    toplevel_names: set[str] = field(default_factory=set)
+    #: __all__ entries as (name, lineno); None when no literal __all__.
+    exports: list[tuple[str, int]] | None = None
+    #: import edges from module top level (layering/cycle graph).
+    top_imports: list[ImportEdge] = field(default_factory=list)
+    #: lazy imports inside function bodies (excluded from the cycle graph).
+    deferred_imports: list[ImportEdge] = field(default_factory=list)
+    #: module-level mutable containers: name -> (lineno, kind).
+    mutable_globals: dict[str, tuple[int, str]] = field(default_factory=dict)
+
+
+def _resolve_relative(mod: ModuleInfo, module: str | None, level: int) -> str:
+    """Absolute target of a (possibly relative) ``from`` import."""
+    if level == 0:
+        return module or ""
+    base_parts = mod.name.split(".")
+    if not mod.is_package:
+        base_parts = base_parts[:-1]
+    # level=1 is the current package; each extra level climbs one parent.
+    if level > 1:
+        base_parts = base_parts[: len(base_parts) - (level - 1)]
+    base = ".".join(base_parts)
+    if module:
+        return f"{base}.{module}" if base else module
+    return base
+
+
+def _mutable_kind(value: ast.expr) -> str | None:
+    if isinstance(value, _MUTABLE_LITERALS):
+        return type(value).__name__.lower().replace("comp", " comprehension")
+    if isinstance(value, ast.Call):
+        callee = value.func
+        name = None
+        if isinstance(callee, ast.Name):
+            name = callee.id
+        elif isinstance(callee, ast.Attribute):
+            name = callee.attr
+        if name in _MUTABLE_CTORS:
+            return f"{name}()"
+    return None
+
+
+def _literal_exports(tree: ast.Module) -> list[tuple[str, int]] | None:
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if not isinstance(value, (ast.List, ast.Tuple)):
+                    return None
+                out = []
+                for elt in value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        out.append((elt.value, elt.lineno))
+                return out
+    return None
+
+
+def _scan_statements(mod: ModuleInfo, body: list[ast.stmt], deferred: bool) -> None:
+    """Collect imports/bindings from *body* (recursing into If/Try arms)."""
+    for node in body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                edge = ImportEdge(mod.name, alias.name, node.lineno, deferred=deferred)
+                (mod.deferred_imports if deferred else mod.top_imports).append(edge)
+                if not deferred:
+                    if alias.asname:
+                        mod.bindings[alias.asname] = alias.name
+                        mod.toplevel_names.add(alias.asname)
+                    else:
+                        root = alias.name.split(".")[0]
+                        mod.bindings[root] = root
+                        mod.toplevel_names.add(root)
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_relative(mod, node.module, node.level)
+            for alias in node.names:
+                if alias.name == "*":
+                    if not deferred:
+                        mod.star_imports.append(target)
+                    (mod.deferred_imports if deferred else mod.top_imports).append(
+                        ImportEdge(mod.name, target, node.lineno,
+                                   symbol="*", deferred=deferred)
+                    )
+                    continue
+                (mod.deferred_imports if deferred else mod.top_imports).append(
+                    ImportEdge(mod.name, target, node.lineno,
+                               symbol=alias.name, deferred=deferred)
+                )
+                if not deferred:
+                    local = alias.asname or alias.name
+                    mod.bindings[local] = f"{target}.{alias.name}" if target else alias.name
+                    mod.toplevel_names.add(local)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING blocks and import fallbacks still bind names.
+            for sub in [node.body, node.orelse, *[h.body for h in getattr(node, "handlers", [])],
+                        getattr(node, "finalbody", [])]:
+                _scan_statements(mod, sub, deferred)
+        elif not deferred:
+            if isinstance(node, ast.Assign):
+                for target_node in node.targets:
+                    for sub in ast.walk(target_node):
+                        if isinstance(sub, ast.Name):
+                            mod.toplevel_names.add(sub.id)
+                    if isinstance(target_node, ast.Name):
+                        kind = _mutable_kind(node.value)
+                        if kind is not None:
+                            mod.mutable_globals[target_node.id] = (node.lineno, kind)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                mod.toplevel_names.add(node.target.id)
+                if node.value is not None:
+                    kind = _mutable_kind(node.value)
+                    if kind is not None:
+                        mod.mutable_globals[node.target.id] = (node.lineno, kind)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                mod.toplevel_names.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                mod.toplevel_names.add(node.name)
+
+
+def _collect_functions(mod: ModuleInfo) -> None:
+    for node in mod.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = FunctionInfo(mod.name, node.name, node, node.lineno)
+            mod.functions[node.name] = info
+        elif isinstance(node, ast.ClassDef):
+            mod.classes.add(node.name)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{node.name}.{item.name}"
+                    mod.functions[qual] = FunctionInfo(
+                        mod.name, qual, item, item.lineno, class_name=node.name
+                    )
+
+
+def _collect_deferred_imports(mod: ModuleInfo) -> None:
+    for fn in mod.functions.values():
+        _scan_statements(mod, fn.node.body, deferred=True)
+    # Nested functions inside functions: walk for any import nodes missed.
+    seen = {(e.lineno, e.target) for e in mod.top_imports + mod.deferred_imports}
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if (node.lineno, alias.name) not in seen:
+                    mod.deferred_imports.append(
+                        ImportEdge(mod.name, alias.name, node.lineno, deferred=True)
+                    )
+                    seen.add((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_relative(mod, node.module, node.level)
+            if all((node.lineno, target) != s for s in seen):
+                for alias in node.names:
+                    mod.deferred_imports.append(
+                        ImportEdge(mod.name, target, node.lineno,
+                                   symbol=alias.name, deferred=True)
+                    )
+                seen.add((node.lineno, target))
+
+
+class ProjectModel:
+    """The parsed project: modules by name, plus resolution helpers."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._by_rel_path: dict[str, ModuleInfo] = {}
+
+    def add(self, mod: ModuleInfo) -> None:
+        self.modules[mod.name] = mod
+        self._by_rel_path[mod.rel_path] = mod
+
+    def module_for_path(self, rel_path: str) -> ModuleInfo | None:
+        return self._by_rel_path.get(rel_path)
+
+    def is_project_module(self, name: str) -> bool:
+        return name in self.modules
+
+    def split_module_prefix(self, dotted: str) -> tuple[str | None, str]:
+        """Longest project-module prefix of *dotted*, plus the remainder."""
+        parts = dotted.split(".")
+        for i in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:i])
+            if candidate in self.modules:
+                return candidate, ".".join(parts[i:])
+        return None, dotted
+
+    def canonicalize(self, dotted: str, _depth: int = 0) -> str:
+        """Follow alias/re-export chains to the defining symbol.
+
+        ``repro.store.topology`` (a re-export from ``repro.store.__init__``)
+        canonicalizes to ``repro.store.provider.topology``.  External names
+        and already-canonical names return unchanged.
+        """
+        if _depth > 16:
+            return dotted
+        mod_name, rest = self.split_module_prefix(dotted)
+        if mod_name is None or not rest:
+            return dotted
+        mod = self.modules[mod_name]
+        if rest in mod.functions or rest in mod.classes:
+            return dotted
+        head, _, tail = rest.partition(".")
+        if head in mod.classes:
+            return dotted  # class attribute chain, defined here
+        if head in mod.bindings:
+            target = mod.bindings[head] + (f".{tail}" if tail else "")
+            if target == dotted:
+                return dotted
+            return self.canonicalize(target, _depth + 1)
+        return dotted
+
+    def lookup_function(self, canonical: str) -> FunctionInfo | None:
+        """FunctionInfo for a canonical dotted path, or None."""
+        mod_name, rest = self.split_module_prefix(canonical)
+        if mod_name is None or not rest:
+            return None
+        return self.modules[mod_name].functions.get(rest)
+
+    def import_cycles(self) -> list[list[str]]:
+        """Strongly-connected components of the top-level import graph.
+
+        Only module-top-level imports participate: function-level lazy
+        imports are the sanctioned way to break a cycle, so they are
+        excluded by construction.  Returns each non-trivial SCC sorted.
+        """
+        graph: dict[str, set[str]] = {name: set() for name in self.modules}
+        for mod in self.modules.values():
+            for edge in mod.top_imports:
+                target, _ = self.split_module_prefix(
+                    edge.target if edge.symbol in (None, "*")
+                    else f"{edge.target}.{edge.symbol}"
+                )
+                if target is not None and target != mod.name:
+                    graph[mod.name].add(target)
+        # Tarjan's algorithm, iterative.
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        sccs: list[list[str]] = []
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(sorted(graph[root])))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(graph[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.append(w)
+                        if w == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(sorted(component))
+
+        for name in sorted(graph):
+            if name not in index:
+                strongconnect(name)
+        return sorted(sccs)
+
+
+def build_project_model(root: Path, files: list[Path]) -> ProjectModel:
+    """Parse *files* (under *root*) into a :class:`ProjectModel`.
+
+    Files that fail to parse are skipped here — the per-file engine
+    already reports RL000 parse errors for them.
+    """
+    model = ProjectModel()
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, SyntaxError, ValueError):
+            continue
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        mod = ModuleInfo(
+            name=module_name_for(rel),
+            path=str(path),
+            rel_path=rel,
+            source=source,
+            tree=tree,
+            is_package=path.name == "__init__.py",
+        )
+        mod.exports = _literal_exports(tree)
+        _collect_functions(mod)
+        _scan_statements(mod, tree.body, deferred=False)
+        _collect_deferred_imports(mod)
+        model.add(mod)
+    return model
