@@ -8,6 +8,9 @@ Usage (after ``pip install -e .``)::
     python -m repro experiment fig01                # regenerate an artifact
     python -m repro experiment tab03 --metrics-out m.json
     python -m repro route --radix 15 --src 0 --dst 900
+    python -m repro route --topology PS-IQ --pair 0 7 --pairs-file pairs.txt
+    python -m repro serve start --topology PS-IQ --port 7070
+    python -m repro serve bench --topology PS-IQ --out BENCH_serve.json
     python -m repro sim --radix 7 --load 0.3 --adaptive --metrics-out m.json
     python -m repro sim --radix 7 --load 0.3 --fail-links 0.1
     python -m repro faults inject --fail-links 0.1 --fail-nodes 2
@@ -49,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 
 __all__ = [
@@ -500,21 +504,130 @@ def _cmd_obs(args) -> int:
     return 0
 
 
-def _cmd_route(args) -> int:
-    from repro.core.polarstar import best_config, build_polarstar
-    from repro.routing import PolarStarRouter, route_path
+def _collect_route_pairs(args) -> list[list[int]]:
+    """Merge ``--src/--dst``, repeated ``--pair`` and ``--pairs-file``."""
+    pairs: list[list[int]] = []
+    if args.src is not None or args.dst is not None:
+        if args.src is None or args.dst is None:
+            raise SystemExit("--src and --dst must be given together")
+        pairs.append([args.src, args.dst])
+    for s, d in args.pair or []:
+        pairs.append([int(s), int(d)])
+    if args.pairs_file:
+        from pathlib import Path
 
-    cfg = best_config(args.radix)
-    if cfg is None:
-        raise SystemExit(f"no PolarStar at radix {args.radix}")
-    star = build_polarstar(cfg)
-    router = PolarStarRouter(star)
-    path = route_path(router, args.src, args.dst)
-    print(f"{cfg.name}: {args.src} -> {args.dst} in {len(path) - 1} hops")
-    for v in path:
-        x, xp = star.split(v)
-        print(f"  router {v} = (supernode {x}, local {xp})")
+        for lineno, line in enumerate(
+            Path(args.pairs_file).read_text().splitlines(), 1
+        ):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.replace(",", " ").split()
+            if len(fields) != 2:
+                raise SystemExit(
+                    f"{args.pairs_file}:{lineno}: expected 'src dst', "
+                    f"got {line!r}"
+                )
+            pairs.append([int(fields[0]), int(fields[1])])
+    if not pairs:
+        raise SystemExit(
+            "no pairs given; use --src/--dst, --pair, or --pairs-file"
+        )
+    return pairs
+
+
+def _cmd_route(args) -> int:
+    """Batched route queries through the serve engine (any topology)."""
+    from repro.runtime import atomic_write_text
+    from repro.serve import BadBatchError, QueryEngine, ShardRegistry
+
+    spec = args.topology
+    if spec is None:
+        # Legacy invocation: the largest PolarStar at --radix.
+        spec = f"polarstar:radix={args.radix}"
+    registry = ShardRegistry()
+    try:
+        shard = registry.load(spec, scale=args.scale)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"cannot resolve topology {spec!r}: {exc}")
+    engine = QueryEngine(registry)
+    pairs = _collect_route_pairs(args)
+    try:
+        dists = engine.distances(spec, pairs)
+        paths = engine.paths(spec, pairs) if args.op == "path" else None
+    except BadBatchError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        doc = {
+            "schema": "repro.route/v1",
+            "topology": spec,
+            "scale": args.scale,
+            "op": args.op,
+            "pairs": [[int(s), int(d)] for s, d in pairs],
+            "distances": [int(x) for x in dists],
+        }
+        if paths is not None:
+            doc["paths"] = paths
+        atomic_write_text(
+            args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"route artifact written to {args.out}")
+        return 0
+    star = shard.topology.meta.get("star") if shard.topology else None
+    for i, ((s, d), dist) in enumerate(zip(pairs, dists)):
+        if dist < 0:
+            print(f"{shard.name}: {s} -> {d} unreachable")
+            continue
+        print(f"{shard.name}: {s} -> {d} in {dist} hops")
+        if paths is not None:
+            for v in paths[i] or []:
+                if star is not None:
+                    x, xp = star.split(v)
+                    print(f"  router {v} = (supernode {x}, local {xp})")
+                else:
+                    print(f"  router {v}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Serve subcommands: start the query server / run the bench."""
+    if args.action == "start":
+        from repro.serve import ServerConfig, run_server
+
+        return run_server(
+            ServerConfig(
+                topologies=tuple(args.topology),
+                scale=args.scale,
+                host=args.host,
+                port=args.port,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay,
+                max_inflight=args.max_inflight,
+                metrics_out=args.metrics_out,
+            )
+        )
+    if args.action == "bench":
+        from repro.runtime import atomic_write_text
+        from repro.serve import format_bench, run_bench
+
+        doc = run_bench(
+            args.topology[0],
+            scale=args.scale,
+            pairs=args.pairs,
+            batch_sizes=tuple(args.batch_sizes),
+            concurrency=args.concurrency,
+            seed=args.seed,
+            host=args.host,
+            port=args.port,
+        )
+        print(format_bench(doc))
+        if args.out:
+            atomic_write_text(
+                args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"bench report written to {args.out}")
+        return 0
+    raise SystemExit(f"unknown serve action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -545,11 +658,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     e.set_defaults(fn=_cmd_experiment)
 
-    r = sub.add_parser("route", help="route analytically on a PolarStar")
-    r.add_argument("--radix", type=int, default=15)
-    r.add_argument("--src", type=int, required=True)
-    r.add_argument("--dst", type=int, required=True)
+    r = sub.add_parser(
+        "route", help="batched route queries on any store-resolvable topology"
+    )
+    r.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help="topology spec: a Table 3 label (PS-IQ, DF, ...) or "
+        "builder:key=value,... (default: polarstar:radix=RADIX)",
+    )
+    r.add_argument(
+        "--scale", choices=["full", "reduced"], default="full",
+        help="Table 3 instance scale",
+    )
+    r.add_argument("--radix", type=int, default=15,
+                   help="legacy shorthand for --topology polarstar:radix=N")
+    r.add_argument("--src", type=int, default=None)
+    r.add_argument("--dst", type=int, default=None)
+    r.add_argument(
+        "--pair", nargs=2, type=int, action="append", metavar=("SRC", "DST"),
+        help="query pair (repeatable)",
+    )
+    r.add_argument(
+        "--pairs-file", default=None, metavar="PATH",
+        help="file of 'src dst' lines (comments with #)",
+    )
+    r.add_argument("--op", choices=["distance", "path"], default="path")
+    r.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write a byte-deterministic JSON artifact instead of text",
+    )
     r.set_defaults(fn=_cmd_route)
+
+    sv = sub.add_parser(
+        "serve", help="batched route-query service over shared tables"
+    )
+    svsub = sv.add_subparsers(dest="action", required=True)
+
+    svs = svsub.add_parser("start", help="start the NDJSON query server")
+    svs.add_argument(
+        "--topology", action="append", required=True, metavar="SPEC",
+        help="topology spec to serve (repeatable)",
+    )
+    svs.add_argument("--scale", choices=["full", "reduced"], default="full")
+    svs.add_argument("--host", default="127.0.0.1")
+    svs.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 = ephemeral, printed in the ready banner)")
+    svs.add_argument("--max-batch", type=int, default=4096,
+                     help="coalescing window flushes at this many pairs")
+    svs.add_argument("--max-delay", type=float, default=0.002,
+                     help="coalescing window flushes after this many seconds")
+    svs.add_argument("--max-inflight", type=int, default=65536,
+                     help="admitted-pair cap before 429 rejection")
+    svs.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable repro.obs for the server lifetime, export JSON here",
+    )
+    svs.set_defaults(fn=_cmd_serve)
+
+    svb = svsub.add_parser("bench", help="throughput bench / load generator")
+    svb.add_argument(
+        "--topology", action="append", required=True, metavar="SPEC",
+        help="topology spec to bench",
+    )
+    svb.add_argument("--scale", choices=["full", "reduced"], default="full")
+    svb.add_argument("--pairs", type=int, default=65536,
+                     help="random pairs per measured run")
+    svb.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[1, 64, 4096],
+        metavar="N",
+    )
+    svb.add_argument("--concurrency", type=int, default=4,
+                     help="client threads in server mode")
+    svb.add_argument("--seed", type=int, default=0)
+    svb.add_argument("--host", default="127.0.0.1")
+    svb.add_argument("--port", type=int, default=None,
+                     help="also drive a live server at this port")
+    svb.add_argument("--out", default=None, metavar="PATH",
+                     help="write the BENCH_serve.json report here")
+    svb.set_defaults(fn=_cmd_serve)
 
     s = sub.add_parser(
         "sim", help="run the packet simulator on a small PolarStar instance"

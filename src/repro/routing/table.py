@@ -26,6 +26,7 @@ from repro.routing.base import HopView, Router
 __all__ = [
     "TableRouter",
     "build_distance_table",
+    "first_minimal_hops",
 ]
 
 
@@ -51,6 +52,52 @@ def build_distance_table(graph: Graph, chunk: int = 512) -> np.ndarray:
         dist[idx] = block.astype(np.int16)
     dist.setflags(write=False)
     return dist
+
+
+def first_minimal_hops(
+    graph: Graph, dist: np.ndarray, cur: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Vectorized single-next-hop kernel over a shared distance table.
+
+    For every pair ``(cur[i], dst[i])`` returns the smallest-id neighbor of
+    ``cur[i]`` that is one step closer to ``dst[i]`` — the same hop
+    :meth:`TableRouter.next_hop` picks, computed for thousands of pairs in
+    a handful of NumPy passes instead of one Python call each.  Entries
+    where ``cur == dst`` or ``dst`` is unreachable come back as ``-1``.
+
+    This is the walking step of the batched path-reconstruction service
+    (:mod:`repro.serve.engine`); a diameter-3 table needs at most three
+    applications to materialize every path in a batch.
+    """
+    cur = np.asarray(cur, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if cur.shape != dst.shape or cur.ndim != 1:
+        raise ValueError("cur and dst must be matching 1-D index arrays")
+    out = np.full(cur.shape, -1, dtype=np.int64)
+    if cur.size == 0:
+        return out
+    d = dist[cur, dst].astype(np.int32)
+    active = (cur != dst) & (d < np.iinfo(np.int16).max)
+    if not active.any():
+        return out
+    acur = cur[active]
+    adst = dst[active]
+    starts = graph.indptr[acur]
+    lens = (graph.indptr[acur + 1] - starts).astype(np.int64)
+    total = int(lens.sum())
+    # Flat gather of every active pair's neighbor list (CSR segments).
+    seg_start = np.cumsum(lens) - lens
+    flat = np.repeat(starts - seg_start, lens) + np.arange(total, dtype=np.int64)
+    nbrs = graph.indices[flat]
+    closer = dist[nbrs, np.repeat(adst, lens)] == np.repeat(d[active] - 1, lens)
+    hit = np.flatnonzero(closer)
+    # First hit per segment = smallest-id closer neighbor (CSR is sorted).
+    seg_of_hit = np.searchsorted(seg_start, hit, side="right") - 1
+    first_seg, first_idx = np.unique(seg_of_hit, return_index=True)
+    picked = np.full(acur.shape, -1, dtype=np.int64)
+    picked[first_seg] = nbrs[hit[first_idx]]
+    out[active] = picked
+    return out
 
 
 class TableRouter(Router):

@@ -12,6 +12,11 @@ Failure policy, per trial:
   **timeout** (wall-clock budget exceeded) or **hang** (heartbeat stopped)
   consumes one attempt; the trial is re-queued after an exponential
   backoff with seeded jitter, and the dead/poisoned worker is replaced;
+* a dispatch that never reports start (a live worker stuck because a
+  crashed sibling poisoned the shared result queue's write lock) does
+  *not* consume an attempt: the whole pool — workers and queue — is
+  rebuilt (at most :data:`MAX_POOL_RESETS` times per run) and every
+  in-flight trial is re-queued;
 * after ``degrade_after`` timeout-class failures a trial whose fidelity
   has a lower rung (``packet`` → ``flow``) is *degraded* rather than
   retried at full cost — the downgrade is journaled and stamped into the
@@ -70,6 +75,10 @@ __all__ = [
 ]
 
 logger = logging.getLogger(__name__)
+
+#: How many times one run may rebuild the whole pool (workers + result
+#: queue) before a startup stall is treated as an ordinary trial failure.
+MAX_POOL_RESETS = 3
 
 
 class RunInterrupted(RuntimeError):
@@ -137,6 +146,7 @@ class RunReport:
     outcomes: list[TrialOutcome]
     retries: int = 0
     worker_restarts: int = 0
+    pool_resets: int = 0
     interrupted: bool = False
 
     def counts(self) -> dict[str, int]:
@@ -171,6 +181,7 @@ class RunReport:
             "counts": self.counts(),
             "retries": self.retries,
             "worker_restarts": self.worker_restarts,
+            "pool_resets": self.pool_resets,
             "interrupted": self.interrupted,
             "trials": {
                 o.digest[:16]: {
@@ -220,6 +231,7 @@ class Supervisor:
         self._prev_handlers: dict[int, Any] = {}
         self.retries = 0
         self.worker_restarts = 0
+        self.pool_resets = 0
 
     # -- observability -------------------------------------------------------
 
@@ -303,6 +315,57 @@ class Supervisor:
         for w in list(self._workers.values()):
             w.shutdown()
         self._workers.clear()
+
+    def _reset_pool(
+        self,
+        states: dict[str, _TrialState],
+        in_flight: dict[str, WorkerHandle],
+        pending_heap: list[tuple[float, str]],
+    ) -> None:
+        """Rebuild every worker *and* the shared result queue.
+
+        A worker SIGKILLed mid-``put`` can die while its queue feeder
+        thread holds the result queue's shared write lock; from then on
+        every message from every worker blocks forever, so replacing
+        individual workers cannot recover.  The observable symptom is a
+        startup stall: a live, beating worker whose assigned trial never
+        reports MSG_START.  Requeue all in-flight trials without
+        consuming an attempt — none of them produced a trustworthy
+        result — and respawn the pool on a fresh queue.
+        """
+        lost = sorted(in_flight)
+        for digest in lost:
+            states[digest].attempts -= 1  # dispatch rolled back, not failed
+            heapq.heappush(pending_heap, (time.monotonic(), digest))
+        in_flight.clear()
+        respawn = max(1, len(self._workers))
+        for w in list(self._workers.values()):
+            w.kill()
+            self._count_restart()
+        self._workers.clear()
+        try:
+            self._result_q.close()
+        except (OSError, ValueError):
+            pass
+        self._result_q = self._ctx.Queue()
+        self.pool_resets += 1
+        obs.get_registry().counter(
+            "runtime.pool.resets",
+            help="full pool rebuilds after a suspected poisoned result queue",
+        ).inc()
+        self.journal.append(
+            {
+                "type": "pool_reset",
+                "reset": self.pool_resets,
+                "requeued": [d[:16] for d in lost],
+            }
+        )
+        logger.warning(
+            "runtime: pool reset #%d — result queue suspected poisoned; "
+            "requeued %d in-flight trial(s)", self.pool_resets, len(lost),
+        )
+        for _ in range(respawn):
+            self._spawn()
 
     # -- retry / quarantine policy ------------------------------------------
 
@@ -423,6 +486,8 @@ class Supervisor:
                     _, digest = heapq.heappop(pending_heap)
                     if digest in done or digest in quarantined:
                         continue  # a late result landed while this retry waited
+                    if digest in in_flight:
+                        continue  # already assigned; a duplicate retry entry
                     state = states[digest]
                     state.attempts += 1
                     worker = idle.pop()
@@ -523,12 +588,27 @@ class Supervisor:
             self._gauge_heartbeat(age)
             digest = worker.busy_digest
             cause: str | None = None
+            startup_stall = False
             if digest is not None:
+                startup_stall = (
+                    worker.started_at == 0.0
+                    and now - worker.assigned_at > self.config.watchdog_grace
+                )
                 if not worker.alive():
                     cause = "crash"
                 elif now > worker.deadline:
                     cause = "timeout"
                 elif age > self.config.watchdog_grace:
+                    cause = "hung"
+                elif startup_stall:
+                    # A live worker whose assigned trial never reported
+                    # MSG_START has no armed deadline and (its heartbeat
+                    # thread still beating) never goes stale — without
+                    # this clause a message lost to a poisoned result
+                    # queue would leave the pool waiting forever.
+                    if self.pool_resets < MAX_POOL_RESETS:
+                        self._reset_pool(states, in_flight, pending_heap)
+                        return  # pool rebuilt; this iteration is stale
                     cause = "hung"
             elif not worker.alive():
                 # Idle worker died (shouldn't happen) — just replace it.
@@ -542,7 +622,13 @@ class Supervisor:
             detail = {
                 "crash": "worker process died mid-trial",
                 "timeout": f"exceeded {self.config.timeout:.1f}s wall budget",
-                "hung": f"worker heartbeat stale for {age:.1f}s",
+                "hung": (
+                    f"assigned trial never started within "
+                    f"{self.config.watchdog_grace:.1f}s "
+                    f"(after {MAX_POOL_RESETS} pool resets)"
+                    if startup_stall and age <= self.config.watchdog_grace
+                    else f"worker heartbeat stale for {age:.1f}s"
+                ),
             }[cause]
             self._handle_failure(state, cause, detail, pending_heap, quarantined)
 
@@ -709,6 +795,7 @@ def run_plan(
         outcomes=outcomes,
         retries=supervisor.retries,
         worker_restarts=supervisor.worker_restarts,
+        pool_resets=supervisor.pool_resets,
         interrupted=interrupted,
     )
     if interrupted:

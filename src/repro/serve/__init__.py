@@ -1,0 +1,45 @@
+"""``repro.serve`` — batched route-query service over shared distance tables.
+
+The serving layer turns the store's cached int16 distance tables (the
+``TableRouter(dist=)`` sharing contract) into an online query surface:
+
+* :mod:`repro.serve.engine` — pure-sync core: batch planning, vectorized
+  distance lookup, path reconstruction by next-hop walking, and the
+  per-topology :class:`ShardRegistry`;
+* :mod:`repro.serve.server` — asyncio NDJSON TCP front end with request
+  coalescing, bounded in-flight backpressure and graceful drain;
+* :mod:`repro.serve.client` — blocking batch client (tests, CLI, bench);
+* :mod:`repro.serve.bench` — load generator emitting ``BENCH_serve.json``.
+
+See ``docs/SERVING.md`` for the protocol, operational semantics and the
+RL112 serve-discipline rules this package is written under.
+"""
+
+from repro.serve.bench import format_bench, run_bench
+from repro.serve.client import ServeClient, ServeError, wait_until_ready
+from repro.serve.engine import (
+    BadBatchError,
+    QueryEngine,
+    ShardRegistry,
+    TableShard,
+    UnknownTopologyError,
+    plan_batch,
+)
+from repro.serve.server import ServeServer, ServerConfig, run_server
+
+__all__ = [
+    "BadBatchError",
+    "QueryEngine",
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "ServerConfig",
+    "ShardRegistry",
+    "TableShard",
+    "UnknownTopologyError",
+    "format_bench",
+    "plan_batch",
+    "run_bench",
+    "run_server",
+    "wait_until_ready",
+]

@@ -1,0 +1,200 @@
+"""Load generator and throughput benchmark for the serve subsystem.
+
+Two measurement modes share one report schema (``repro.serve.bench/v1``):
+
+* **engine** (default) — drive :class:`~repro.serve.engine.QueryEngine`
+  in-process for each configured batch size, plus a deliberately scalar
+  Python loop over single table lookups as the baseline.  The headline
+  number — vectorized pairs/s over scalar pairs/s — is the speedup the
+  batched service exists to deliver (the acceptance bar is 50x).
+* **server** — the same batches sent over the NDJSON protocol to a live
+  :class:`~repro.serve.server.ServeServer` by ``concurrency`` client
+  threads, measuring end-to-end queries/s and client-observed latency.
+
+``repro serve bench`` runs the engine mode always and adds the server
+mode when ``--port`` is given; ``benchmarks/results/BENCH_serve.json`` is
+a checked-in engine-mode report for the Table 3 PolarStar instance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro import store
+from repro.serve.client import ServeClient
+from repro.serve.engine import QueryEngine, ShardRegistry
+
+__all__ = ["BENCH_SCHEMA", "format_bench", "run_bench"]
+
+BENCH_SCHEMA = "repro.serve.bench/v1"
+
+#: Cap on the scalar-baseline loop: enough for a stable rate, cheap enough
+#: to never dominate the bench run.
+_SCALAR_CAP = 20000
+
+
+def _random_pairs(n: int, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, size=(count, 2), dtype=np.int64)
+
+
+def _time_scalar(dist: np.ndarray, pairs: np.ndarray) -> dict:
+    """Baseline: one Python-level table lookup per pair (no batching)."""
+    sample = pairs[:_SCALAR_CAP]
+    sink = 0
+    t0 = time.perf_counter()
+    for s, d in sample:
+        sink += int(dist[s, d])
+    dt = time.perf_counter() - t0
+    return {
+        "pairs": int(sample.shape[0]),
+        "seconds": dt,
+        "pairs_per_s": sample.shape[0] / dt if dt > 0 else float("inf"),
+        "checksum": int(sink),
+    }
+
+
+def _time_engine(
+    engine: QueryEngine, topology: str, pairs: np.ndarray, batch: int
+) -> dict:
+    """Vectorized engine mode: sequential batches of size *batch*."""
+    total = int(pairs.shape[0])
+    t0 = time.perf_counter()
+    nbatches = 0
+    for off in range(0, total, batch):
+        engine.distances(topology, pairs[off : off + batch])
+        nbatches += 1
+    dt = time.perf_counter() - t0
+    return {
+        "mode": "engine",
+        "batch": batch,
+        "pairs": total,
+        "batches": nbatches,
+        "seconds": dt,
+        "pairs_per_s": total / dt if dt > 0 else float("inf"),
+        "qps": nbatches / dt if dt > 0 else float("inf"),
+    }
+
+
+def _time_server(
+    host: str,
+    port: int,
+    topology: str,
+    pairs: np.ndarray,
+    batch: int,
+    concurrency: int,
+) -> dict:
+    """Server mode: *concurrency* threads each stream their share of the
+    batches over their own connection; latencies are client-observed."""
+    chunks = [pairs[off : off + batch] for off in range(0, pairs.shape[0], batch)]
+    shares: list[list[np.ndarray]] = [[] for _ in range(concurrency)]
+    for i, chunk in enumerate(chunks):
+        shares[i % concurrency].append(chunk)
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    errors: list[BaseException | None] = [None] * concurrency
+
+    def worker(wid: int) -> None:
+        try:
+            with ServeClient(host, port) as client:
+                for chunk in shares[wid]:
+                    t0 = time.perf_counter()
+                    client.distance(topology, chunk)
+                    latencies[wid].append(time.perf_counter() - t0)
+        except BaseException as exc:  # surfaced after join
+            errors[wid] = exc
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), daemon=True)
+        for w in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    dt = time.perf_counter() - t0
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    lat = np.sort(np.asarray([x for ws in latencies for x in ws]))
+    total = int(pairs.shape[0])
+    return {
+        "mode": "server",
+        "batch": batch,
+        "pairs": total,
+        "batches": len(chunks),
+        "concurrency": concurrency,
+        "seconds": dt,
+        "pairs_per_s": total / dt if dt > 0 else float("inf"),
+        "qps": len(chunks) / dt if dt > 0 else float("inf"),
+        "latency_p50_s": float(lat[int(0.50 * (len(lat) - 1))]),
+        "latency_p99_s": float(lat[int(0.99 * (len(lat) - 1))]),
+    }
+
+
+def run_bench(
+    topology: str,
+    scale: str = "full",
+    pairs: int = 65536,
+    batch_sizes: tuple[int, ...] = (1, 64, 4096),
+    concurrency: int = 4,
+    seed: int = 0,
+    host: str | None = None,
+    port: int | None = None,
+) -> dict:
+    """Run the bench; returns the ``repro.serve.bench/v1`` report dict."""
+    registry = ShardRegistry()
+    shard = registry.load(topology, scale=scale)
+    engine = QueryEngine(registry)
+    batch = _random_pairs(shard.n, pairs, seed)
+    scalar = _time_scalar(shard.dist, batch)
+    runs = [
+        _time_engine(engine, topology, batch, b) for b in batch_sizes
+    ]
+    if port is not None:
+        runs += [
+            _time_server(
+                host or "127.0.0.1", port, topology, batch, b, concurrency
+            )
+            for b in batch_sizes
+        ]
+    best = max(r["pairs_per_s"] for r in runs if r["mode"] == "engine")
+    return {
+        "schema": BENCH_SCHEMA,
+        "topology": topology,
+        "scale": scale,
+        "n": shard.n,
+        "table_bytes": shard.table_bytes,
+        "pairs": int(batch.shape[0]),
+        "seed": seed,
+        "scalar": scalar,
+        "runs": runs,
+        "speedup_vs_scalar": best / scalar["pairs_per_s"],
+    }
+
+
+def format_bench(doc: dict) -> str:
+    """Console rendering of a bench report."""
+    lines = [
+        f"serve bench — {doc['topology']} (scale={doc['scale']}, "
+        f"n={doc['n']}, {doc['pairs']} pairs, seed={doc['seed']})",
+        f"  scalar loop: {doc['scalar']['pairs_per_s']:,.0f} pairs/s "
+        f"({doc['scalar']['pairs']} pairs)",
+    ]
+    for r in doc["runs"]:
+        extra = ""
+        if r["mode"] == "server":
+            extra = (
+                f"  conc={r['concurrency']}"
+                f"  p99={r['latency_p99_s'] * 1e3:.2f}ms"
+            )
+        lines.append(
+            f"  {r['mode']:>6} batch={r['batch']:<5d}"
+            f" {r['pairs_per_s']:>14,.0f} pairs/s"
+            f" {r['qps']:>12,.1f} qps{extra}"
+        )
+    lines.append(f"  vectorized speedup vs scalar: {doc['speedup_vs_scalar']:,.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Synchronous batch client for the NDJSON route-query protocol.
+
+The client is deliberately plain-socket (no event loop — RL112 keeps
+loop creation inside :mod:`repro.serve.server`): tests, the CLI and the
+load generator all speak through :class:`ServeClient`, one JSON line per
+request, blocking for the matching response line.
+
+:func:`wait_until_ready` pairs with the server's ready banner — start the
+server as a subprocess, hand its stdout here, get the bound port back.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import IO
+
+__all__ = ["ServeClient", "ServeError", "wait_until_ready"]
+
+from repro.serve.server import READY_PREFIX
+
+
+class ServeError(RuntimeError):
+    """A protocol-level error response (carries the HTTP-flavored code)."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def wait_until_ready(stdout: IO[str], timeout: float = 60.0) -> dict:
+    """Read a server subprocess's stdout until the ready banner appears.
+
+    Returns the banner payload (``{"port": ..., "host": ...,
+    "topologies": [...]}``).  ``timeout`` bounds the wait via the stream's
+    underlying socket/pipe semantics — we simply stop at EOF, so pass the
+    stdout of a process you know is starting.
+    """
+    del timeout  # line-buffered pipe reads block until the process writes
+    for line in stdout:
+        if line.startswith(READY_PREFIX):
+            payload = json.loads(line[len(READY_PREFIX):])
+            if not isinstance(payload, dict):
+                raise ServeError(500, "malformed ready banner")
+            return payload
+    raise ServeError(500, "server exited before becoming ready")
+
+
+class ServeClient:
+    """One blocking NDJSON connection to a :class:`~repro.serve.server.ServeServer`.
+
+    Usable as a context manager; every query method raises
+    :class:`ServeError` on an ``ok: false`` response (``exc.code`` holds
+    400/404/429/503) so callers can branch on backpressure explicitly.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- protocol ----------------------------------------------------------
+
+    def request(self, req: dict) -> dict:
+        """Send one request object, block for its response object."""
+        self._next_id += 1
+        req = dict(req, id=self._next_id)
+        self._sock.sendall(json.dumps(req).encode() + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        resp = json.loads(line)
+        if not isinstance(resp, dict):
+            raise ServeError(500, "malformed response line")
+        if not resp.get("ok", False):
+            raise ServeError(
+                int(resp.get("code", 500)), str(resp.get("error", "unknown"))
+            )
+        return resp
+
+    # -- queries -----------------------------------------------------------
+
+    def ping(self) -> list[str]:
+        """Liveness probe; returns the served topology names."""
+        return list(self.request({"op": "ping"})["topologies"])
+
+    def stats(self) -> dict:
+        """Server-side counters and latency quantiles."""
+        stats = self.request({"op": "stats"})["stats"]
+        if not isinstance(stats, dict):
+            raise ServeError(500, "malformed stats response")
+        return stats
+
+    def distance(self, topology: str, pairs: object) -> list[int]:
+        """Batched distance lookup; ``-1`` marks unreachable pairs."""
+        resp = self.request(
+            {"op": "distance", "topology": topology,
+             "pairs": _pairs_payload(pairs)}
+        )
+        return [int(v) for v in resp["result"]]
+
+    def path(self, topology: str, pairs: object) -> list[list[int] | None]:
+        """Batched minimal-path lookup; ``None`` marks unreachable pairs."""
+        resp = self.request(
+            {"op": "path", "topology": topology, "pairs": _pairs_payload(pairs)}
+        )
+        return [None if p is None else [int(v) for v in p]
+                for p in resp["result"]]
+
+
+def _pairs_payload(pairs: object) -> list[list[int]]:
+    """Normalize array-likes (lists, ndarrays) to the JSON wire shape."""
+    return [[int(s), int(d)] for s, d in pairs]  # type: ignore[union-attr]

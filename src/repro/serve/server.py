@@ -1,0 +1,435 @@
+"""Asyncio NDJSON front end for the batched route-query engine.
+
+Protocol — one JSON object per line, in both directions::
+
+    -> {"op": "distance", "topology": "PS-IQ", "pairs": [[0, 7], ...], "id": 3}
+    <- {"ok": true, "id": 3, "op": "distance", "result": [2, ...]}
+
+    -> {"op": "path", "topology": "PS-IQ", "pairs": [[0, 7]]}
+    <- {"ok": true, "op": "path", "result": [[0, 12, 7]]}
+
+    -> {"op": "ping"}          <- {"ok": true, "op": "ping", "topologies": [...]}
+    -> {"op": "stats"}         <- {"ok": true, "op": "stats", "stats": {...}}
+
+Errors answer ``{"ok": false, "code": <int>, "error": "..."}`` with
+HTTP-flavored codes: 400 malformed request, 404 unknown topology, 429
+backpressure (in-flight pair budget exhausted), 503 draining.
+
+Design constraints (docs/SERVING.md, lint rule RL112):
+
+* **All store traffic happens before the event loop runs.**  Tables are
+  resolved in :meth:`ServeServer.warm` — the synchronous startup path fed
+  by ``repro store warm`` — so async handlers never block on a BFS build
+  or disk I/O; they only do dict lookups and NumPy kernels.
+* **Batching window.**  Requests for the same ``(topology, op)`` coalesce
+  for up to ``max_delay`` seconds or ``max_batch`` pairs, whichever comes
+  first, then execute as one vectorized engine call; each requester gets
+  its slice of the batch result.
+* **Bounded in-flight queue.**  Admitted-but-unanswered pairs are capped
+  at ``max_inflight``; excess requests are rejected immediately with 429
+  (and counted in ``serve.rejected``) instead of queueing unboundedly.
+* **Graceful drain.**  SIGTERM finishes admitted work then exits 0;
+  SIGINT does the same but exits 130 (the repo-wide interrupt code); a
+  second signal aborts immediately.
+
+This module is the only place in ``src/repro`` allowed to create an event
+loop (RL112); everything reusable lives in the sync engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs, store
+from repro.serve.engine import (
+    OPS,
+    BadBatchError,
+    QueryEngine,
+    ShardRegistry,
+    UnknownTopologyError,
+    plan_batch,
+)
+
+__all__ = ["ServerConfig", "ServeServer", "run_server"]
+
+#: Request-latency histogram buckets (seconds): 50us .. ~1.6s.
+_LATENCY_BOUNDS = obs.exponential_buckets(5e-5, 2.0, 15)
+
+#: Ready banner prefix; tests and the CI smoke job parse the JSON after it.
+READY_PREFIX = "REPRO_SERVE_READY "
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Static configuration for one :class:`ServeServer` process."""
+
+    topologies: tuple[str, ...]
+    scale: str = "full"
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch: int = 4096
+    max_delay: float = 0.002
+    max_inflight: int = 65536
+    metrics_out: str | None = None
+
+
+@dataclass
+class _Waiter:
+    """One admitted request waiting for its slice of a coalesced batch."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    future: asyncio.Future
+
+
+@dataclass
+class _Bucket:
+    """Pending requests for one ``(topology, op)`` coalescing key."""
+
+    waiters: list[_Waiter] = field(default_factory=list)
+    pairs: int = 0
+    timer: asyncio.TimerHandle | None = None
+
+
+class ServeServer:
+    """Batched NDJSON TCP server over a :class:`QueryEngine`."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.registry = ShardRegistry()
+        self.engine = QueryEngine(self.registry)
+        # Local (non-ambient) latency histogram: `stats` answers work even
+        # when the process runs without an obs session.
+        self.latency = obs.Histogram(_LATENCY_BOUNDS)
+        self.requests = 0
+        self.rejected = 0
+        self.batches = 0
+        self.started_at = time.monotonic()
+        self._inflight = 0
+        self._buckets: dict[tuple[str, str], _Bucket] = {}
+        self._draining = False
+        self._exit_code = 0
+        self._signals = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        #: Set once the listening socket is bound; ``port`` is valid then.
+        self.ready = threading.Event()
+        self.port: int | None = None
+
+    # -- startup (sync; the only store-facing path) ------------------------
+
+    def warm(self) -> None:
+        """Resolve every configured topology through the store.
+
+        Runs before the event loop starts: on a cold store this is where
+        the single BFS table build happens; on a warm store (after
+        ``repro store warm``) it is pure cache reads.
+        """
+        for spec in self.config.topologies:
+            shard = self.registry.load(spec, scale=self.config.scale)
+            print(
+                f"repro-serve: loaded {spec!r} "
+                f"(n={shard.n}, table={shard.table_bytes >> 20} MiB)",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    # -- protocol ----------------------------------------------------------
+
+    def _error(self, code: int, message: str, req_id: object = None) -> dict:
+        if code == 429:
+            self.rejected += 1
+            obs.get_registry().counter(
+                "serve.rejected",
+                help="requests rejected by in-flight backpressure",
+            ).inc()
+        out: dict = {"ok": False, "code": code, "error": message}
+        if req_id is not None:
+            out["id"] = req_id
+        return out
+
+    def _stats(self) -> dict:
+        return {
+            "uptime_s": time.monotonic() - self.started_at,
+            "topologies": self.registry.names(),
+            "topology_sizes": {
+                s.name: s.n for s in self.registry.shards()
+            },
+            "shards": len(self.registry),
+            "table_bytes": self.registry.total_table_bytes(),
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "inflight_pairs": self._inflight,
+            "latency": {
+                "count": self.latency.count,
+                "mean_s": self.latency.mean(),
+                "p50_s": self.latency.quantile(0.50),
+                "p99_s": self.latency.quantile(0.99),
+                "max_s": self.latency.max if self.latency.count else None,
+            },
+        }
+
+    async def _answer(self, req: dict) -> dict:
+        """Answer one decoded request object (never raises)."""
+        req_id = req.get("id")
+        op = req.get("op")
+        if op == "ping":
+            return {"ok": True, "id": req_id, "op": "ping",
+                    "topologies": self.registry.names()}
+        if op == "stats":
+            return {"ok": True, "id": req_id, "op": "stats",
+                    "stats": self._stats()}
+        if op not in OPS:
+            return self._error(400, f"unknown op {op!r}", req_id)
+        if self._draining:
+            return self._error(503, "server is draining", req_id)
+        topology = req.get("topology")
+        if not isinstance(topology, str):
+            return self._error(400, "missing 'topology'", req_id)
+        try:
+            shard = self.registry.get(topology)
+        except UnknownTopologyError as exc:
+            return self._error(404, str(exc), req_id)
+        try:
+            src, dst = plan_batch(req.get("pairs", []), shard.n)
+        except BadBatchError as exc:
+            return self._error(400, str(exc), req_id)
+        npairs = int(src.shape[0])
+        if npairs == 0:
+            return {"ok": True, "id": req_id, "op": op, "result": []}
+        if self._inflight + npairs > self.config.max_inflight:
+            return self._error(
+                429,
+                f"in-flight pair budget exhausted "
+                f"({self._inflight}+{npairs} > {self.config.max_inflight})",
+                req_id,
+            )
+        t0 = time.monotonic()
+        self.requests += 1
+        self._inflight += npairs
+        obs.get_registry().counter(
+            "serve.requests", help="admitted query requests", labels=("op",)
+        ).labels(op=op).inc()
+        try:
+            result = await self._enqueue(topology, op, src, dst)
+        finally:
+            self._inflight -= npairs
+        dt = time.monotonic() - t0
+        self.latency.observe(dt)
+        obs.get_registry().histogram(
+            "serve.request.seconds",
+            help="request latency (admission to answer)",
+            bounds=_LATENCY_BOUNDS,
+        ).observe(dt)
+        return {"ok": True, "id": req_id, "op": op, "result": result}
+
+    # -- coalescing --------------------------------------------------------
+
+    async def _enqueue(
+        self, topology: str, op: str, src: np.ndarray, dst: np.ndarray
+    ) -> list:
+        """Admit one planned batch into the coalescing window."""
+        loop = asyncio.get_running_loop()
+        key = (topology, op)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket()
+        waiter = _Waiter(src, dst, loop.create_future())
+        bucket.waiters.append(waiter)
+        bucket.pairs += int(src.shape[0])
+        if bucket.pairs >= self.config.max_batch:
+            self._flush(key)
+        elif bucket.timer is None:
+            bucket.timer = loop.call_later(
+                self.config.max_delay, self._flush, key
+            )
+        return await waiter.future
+
+    def _flush(self, key: tuple[str, str]) -> None:
+        """Execute one coalesced batch and distribute the slices."""
+        bucket = self._buckets.pop(key, None)
+        if bucket is None or not bucket.waiters:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        topology, op = key
+        src = np.concatenate([w.src for w in bucket.waiters])
+        dst = np.concatenate([w.dst for w in bucket.waiters])
+        self.batches += 1
+        try:
+            result = self.engine.lookup(topology, op, src, dst)
+        except Exception as exc:  # pragma: no cover - engine invariant
+            for w in bucket.waiters:
+                if not w.future.done():
+                    w.future.set_exception(exc)
+            return
+        offset = 0
+        for w in bucket.waiters:
+            k = int(w.src.shape[0])
+            chunk = result[offset : offset + k]
+            offset += k
+            if not w.future.done():
+                if op == "distance":
+                    w.future.set_result([int(v) for v in chunk])
+                else:
+                    w.future.set_result(list(chunk))
+
+    def _flush_all(self) -> None:
+        for key in list(self._buckets):
+            self._flush(key)
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    req = json.loads(line)
+                    if not isinstance(req, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    resp = self._error(400, f"bad request line: {exc}")
+                else:
+                    resp = await self._answer(req)
+                writer.write(json.dumps(resp).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _begin_drain(self, code: int) -> None:
+        self._draining = True
+        self._exit_code = code
+        if self._stopped is None:
+            raise RuntimeError("drain requested before the server started")
+        self._stopped.set()
+
+    def request_stop(self, code: int = 0) -> None:
+        """Thread-safe programmatic drain (embedding, tests)."""
+        if self._loop is None:
+            raise RuntimeError("server is not running")
+        self._loop.call_soon_threadsafe(self._begin_drain, code)
+
+    def _on_signal(self, signame: str, code: int) -> None:
+        self._signals += 1
+        if self._signals > 1:
+            print(f"repro-serve: second signal ({signame}), aborting",
+                  file=sys.stderr, flush=True)
+            raise SystemExit(code)
+        print(f"repro-serve: {signame} received, draining",
+              file=sys.stderr, flush=True)
+        self._begin_drain(code)
+
+    async def _main(self) -> int:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stopped = asyncio.Event()
+        try:
+            loop.add_signal_handler(
+                signal.SIGINT, self._on_signal, "SIGINT", 130
+            )
+            loop.add_signal_handler(
+                signal.SIGTERM, self._on_signal, "SIGTERM", 0
+            )
+        except (NotImplementedError, RuntimeError):
+            # Non-main thread (embedded/tests) or platform without signal
+            # support: request_stop() is the drain path instead.
+            pass
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        port = self._server.sockets[0].getsockname()[1]
+        self.port = int(port)
+        self.ready.set()
+        print(
+            READY_PREFIX
+            + json.dumps(
+                {
+                    "port": int(port),
+                    "host": self.config.host,
+                    "topologies": self.registry.names(),
+                },
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        await self._stopped.wait()
+        # Drain: stop accepting, answer everything already admitted.  A
+        # handler that decremented the in-flight count has already buffered
+        # its response bytes (write() is synchronous into the transport),
+        # so once the count hits zero it is safe to wind the tasks down —
+        # closing transports flushes, never truncates.
+        self._server.close()
+        await self._server.wait_closed()
+        deadline = time.monotonic() + 5.0
+        while self._inflight and time.monotonic() < deadline:
+            self._flush_all()
+            await asyncio.sleep(0.005)
+        self._flush_all()
+        await asyncio.sleep(0)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        return self._exit_code
+
+    def serve_forever(self) -> int:
+        """Run the server until a signal drains it; returns the exit code."""
+        return asyncio.run(self._main())
+
+
+def run_server(config: ServerConfig) -> int:
+    """Warm the registry, serve until drained, export metrics; exit code.
+
+    When ``config.metrics_out`` is set an enabled observability session
+    covers the whole lifetime — including the warm path, so the exported
+    ``routing.table.builds`` counter distinguishes cold starts (one build
+    per distinct graph) from warm restarts (zero).
+    """
+    if config.metrics_out is None:
+        server = ServeServer(config)
+        server.warm()
+        return server.serve_forever()
+    with obs.session() as (registry, tracer):
+        server = ServeServer(config)
+        server.warm()
+        try:
+            code = server.serve_forever()
+        finally:
+            manifest = obs.RunManifest.capture(
+                artifacts=store.get_store().resolved(),
+                topologies=",".join(config.topologies),
+                scale=config.scale,
+            )
+            obs.export_json(config.metrics_out, registry, tracer, manifest)
+    return code

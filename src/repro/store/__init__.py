@@ -35,6 +35,7 @@ from repro.store.provider import (
     distance_table,
     min_bisection,
     paper_router,
+    resolve_topology,
     table3_router,
     table3_topology,
     table_router,
@@ -65,6 +66,7 @@ __all__ = [
     "register_topology",
     "registered_builders",
     "resolve_builder",
+    "resolve_topology",
     "table3_router",
     "table3_topology",
     "table_router",

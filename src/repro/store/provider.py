@@ -24,6 +24,7 @@ ephemeral mid-run state, not a reproducible artifact.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Callable
 
 import numpy as np
@@ -47,6 +48,7 @@ from repro.topologies.base import Topology
 __all__ = [
     "topology",
     "table3_topology",
+    "resolve_topology",
     "distance_table",
     "table_router",
     "paper_router",
@@ -86,6 +88,45 @@ def table3_topology(name: str, scale: str = "full") -> Topology:
         raise ValueError(f"scale must be 'full' or 'reduced', not {scale!r}")
     builder = "table3" if scale == "full" else "table3-reduced"
     return topology(builder, name=name)
+
+
+def resolve_topology(spec: str, scale: str = "full") -> Topology:
+    """Resolve a user-facing topology *spec* string through the store.
+
+    Accepted forms (used by ``repro serve`` / ``repro route``):
+
+    * a Table 3 paper label (``"PS-IQ"``, ``"DF"``, ...) — resolved via
+      :func:`table3_topology` at the requested *scale*;
+    * a registered builder name with optional parameters,
+      ``"polarstar:radix=15,p=5"`` — each value parsed as JSON when
+      possible (ints, floats, lists), kept as a string otherwise.
+    """
+    if not spec or not spec.strip():
+        raise ValueError("empty topology spec")
+    name, sep, argstr = spec.partition(":")
+    name = name.strip()
+    if not sep:
+        from repro.topologies.table3 import TABLE3_BUILDERS
+
+        if name in TABLE3_BUILDERS:
+            return table3_topology(name, scale=scale)
+        return topology(name)
+    params: dict[str, Any] = {}
+    for item in argstr.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, eq, raw = item.partition("=")
+        if not eq or not key:
+            raise ValueError(
+                f"bad topology spec {spec!r}: parameters must be key=value, "
+                f"got {item!r}"
+            )
+        try:
+            params[key.strip()] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key.strip()] = raw
+    return topology(name, **params)
 
 
 # -- routing tables ----------------------------------------------------------

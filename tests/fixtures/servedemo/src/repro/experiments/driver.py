@@ -1,0 +1,21 @@
+"""Planted RL112: event-loop creation outside repro.serve.server."""
+
+import asyncio
+from asyncio import run as arun
+
+
+async def _work():
+    return 1
+
+
+def drive_with_run():
+    return asyncio.run(_work())  # RL112: asyncio.run outside the server
+
+
+def drive_with_loop():
+    loop = asyncio.new_event_loop()  # RL112: new_event_loop
+    return loop.run_until_complete(_work())  # RL112: run_until_complete
+
+
+def drive_with_alias():
+    return arun(_work())  # RL112: aliased asyncio.run

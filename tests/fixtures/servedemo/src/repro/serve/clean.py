@@ -1,0 +1,13 @@
+"""Negative control: disciplined serve module (no RL112 findings)."""
+
+from repro import store
+
+
+def load_shard(registry, name):
+    """Sync startup path: store traffic is fine outside async code."""
+    return store.table3_topology(name)
+
+
+async def handle_query(shards, req):
+    """Hot path: dict lookup only, nothing blocking."""
+    return shards[req["name"]]

@@ -1,0 +1,12 @@
+"""Planted RL112: blocking store/sleep calls inside async handlers."""
+
+import time
+
+from repro import store
+
+
+async def handle_query(registry, req):
+    topo = store.table3_topology(req["name"])  # RL112: store call in handler
+    shard = registry.load(req["name"])  # RL112: shard load in handler
+    time.sleep(0.01)  # RL112: sync sleep blocks the loop
+    return topo, shard

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -48,3 +50,72 @@ class TestCommands:
         assert main(["route", "--radix", "9", "--src", "0", "--dst", "200"]) == 0
         out = capsys.readouterr().out
         assert "hops" in out and "supernode" in out
+
+    def test_route_topology_spec_with_pairs(self, capsys):
+        assert main([
+            "route", "--topology", "PS-IQ", "--scale", "reduced",
+            "--pair", "0", "7", "--pair", "3", "3", "--op", "distance",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 -> 7 in" in out and "3 -> 3 in 0 hops" in out
+
+    def test_route_pairs_file(self, capsys, tmp_path):
+        pf = tmp_path / "pairs.txt"
+        pf.write_text("# comment\n0 7\n1, 2\n")
+        assert main([
+            "route", "--topology", "PS-IQ", "--scale", "reduced",
+            "--pairs-file", str(pf), "--op", "distance",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 -> 7 in" in out and "1 -> 2 in" in out
+
+    def test_route_out_is_byte_deterministic(self, tmp_path, capsys):
+        out_path = tmp_path / "route.json"
+        args = [
+            "route", "--topology", "PS-IQ", "--scale", "reduced",
+            "--pair", "0", "7", "--pair", "5", "9", "--out", str(out_path),
+        ]
+        assert main(args) == 0
+        first = out_path.read_bytes()
+        assert main(args) == 0
+        assert out_path.read_bytes() == first
+        doc = json.loads(first)
+        assert doc["schema"] == "repro.route/v1"
+        assert doc["pairs"] == [[0, 7], [5, 9]]
+        assert len(doc["distances"]) == 2 == len(doc["paths"])
+        capsys.readouterr()
+
+    def test_route_paths_match_engine(self, capsys):
+        from repro.serve import QueryEngine, ShardRegistry
+
+        registry = ShardRegistry()
+        registry.load("PS-IQ", scale="reduced")
+        path = QueryEngine(registry).paths("PS-IQ", [[0, 7]])[0]
+        assert main([
+            "route", "--topology", "PS-IQ", "--scale", "reduced",
+            "--pair", "0", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        for v in path:
+            assert f"router {v}" in out
+
+    def test_route_without_pairs_errors(self):
+        with pytest.raises(SystemExit):
+            main(["route", "--topology", "PS-IQ", "--scale", "reduced"])
+
+    def test_route_unknown_topology_errors(self):
+        with pytest.raises(SystemExit):
+            main(["route", "--topology", "no-such-net", "--pair", "0", "1"])
+
+    def test_serve_bench_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        assert main([
+            "serve", "bench", "--topology", "PS-IQ", "--scale", "reduced",
+            "--pairs", "2048", "--batch-sizes", "1", "64", "2048",
+            "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized speedup vs scalar" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.serve.bench/v1"
+        assert doc["speedup_vs_scalar"] > 1.0

@@ -358,6 +358,171 @@ class TestStoreDiscipline:
         assert codes(out) == ["RL107"]
 
 
+# -- RL112 serve-discipline ---------------------------------------------------
+
+
+class TestServeDiscipline:
+    SERVE_RELPATH = "src/repro/serve/handlers.py"
+
+    def test_asyncio_run_outside_server_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import asyncio
+
+            def drive(coro):
+                return asyncio.run(coro)
+            """,
+            "RL112",
+            relpath="src/repro/experiments/mod.py",
+        )
+        assert codes(out) == ["RL112"]
+
+    def test_loop_creation_and_run_until_complete_trigger(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import asyncio
+
+            def drive(coro):
+                loop = asyncio.new_event_loop()
+                return loop.run_until_complete(coro)
+            """,
+            "RL112",
+            relpath="src/repro/analysis/mod.py",
+        )
+        assert codes(out) == ["RL112", "RL112"]
+
+    def test_aliased_from_import_run_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from asyncio import run as arun
+
+            def drive(coro):
+                return arun(coro)
+            """,
+            "RL112",
+            relpath="src/repro/experiments/mod.py",
+        )
+        assert codes(out) == ["RL112"]
+
+    def test_loop_owner_module_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import asyncio
+
+            def serve_forever(coro):
+                return asyncio.run(coro)
+            """,
+            "RL112",
+            relpath="src/repro/serve/server.py",
+        )
+        assert out == []
+
+    def test_store_call_in_async_handler_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro import store
+
+            async def handle(req):
+                return store.table3_topology(req["name"])
+            """,
+            "RL112",
+            relpath=self.SERVE_RELPATH,
+        )
+        assert codes(out) == ["RL112"]
+
+    def test_registry_load_and_sleep_in_async_trigger(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import time
+
+            async def handle(registry, req):
+                shard = registry.load(req["name"])
+                time.sleep(0.01)
+                return shard
+            """,
+            "RL112",
+            relpath=self.SERVE_RELPATH,
+        )
+        assert codes(out) == ["RL112", "RL112"]
+
+    def test_sync_store_call_in_serve_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro import store
+
+            def load_shard(name):
+                return store.table3_topology(name)
+            """,
+            "RL112",
+            relpath=self.SERVE_RELPATH,
+        )
+        assert out == []
+
+    def test_async_store_call_outside_serve_passes(self, tmp_path):
+        # Clause 2 is scoped to the serve package; other layers answer to
+        # RL107 for store discipline, not to the async-handler rule.
+        out = lint_source(
+            tmp_path,
+            """
+            from repro import store
+
+            async def gather(name):
+                return store.table3_topology(name)
+            """,
+            "RL112",
+            relpath="src/repro/experiments/mod.py",
+        )
+        assert out == []
+
+    def test_asyncio_sleep_in_serve_async_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import asyncio
+
+            async def backoff():
+                await asyncio.sleep(0.01)
+            """,
+            "RL112",
+            relpath=self.SERVE_RELPATH,
+        )
+        assert out == []
+
+    def test_suppression_comment_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import asyncio
+
+            def drive(coro):
+                return asyncio.run(coro)  # repro-lint: disable=RL112
+            """,
+            "RL112",
+            relpath="src/repro/experiments/mod.py",
+        )
+        assert out == []
+
+    def test_servedemo_fixture_plants_all_fire(self):
+        fixture = REPO_ROOT / "tests" / "fixtures" / "servedemo"
+        violations, _ = run_paths(
+            [str(fixture / "src")], root=fixture, select={"RL112"},
+            use_cache=False,
+        )
+        hits = {(Path(v.path).name, v.rule) for v in violations}
+        assert ("driver.py", "RL112") in hits
+        assert ("handlers.py", "RL112") in hits
+        assert all(Path(v.path).name != "clean.py" for v in violations)
+        # one finding per planted violation: 4 loop calls + 3 blocking calls
+        assert len(violations) == 7
+
+
 # -- RL108 process-discipline -------------------------------------------------
 
 

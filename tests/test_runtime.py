@@ -166,6 +166,58 @@ class TestSupervision:
         assert crashed.attempts == 2
         assert {h["status"] for h in crashed.history} == {"crash", "done"}
 
+    def test_lost_dispatch_resets_pool_without_burning_an_attempt(
+        self, tmp_path, monkeypatch
+    ):
+        """A dispatch whose task never reaches the worker (the observable
+        shape of a crash-poisoned result queue) must not deadlock the run
+        or charge the trial an attempt: the supervisor rebuilds the pool
+        and re-queues the trial, which then completes normally."""
+        from repro.runtime.pool import WorkerHandle
+
+        plan = build_plan("chaos", {"trials": 2})
+        dropped: list[str] = []
+        orig_assign = WorkerHandle.assign
+
+        def lossy_assign(self, task, timeout):
+            if not dropped:
+                # Mark the worker busy but never deliver the task; its
+                # heartbeat keeps beating and MSG_START never arrives.
+                dropped.append(task["digest"])
+                self.busy_digest = task["digest"]
+                self.assigned_at = time.monotonic()
+                self.started_at = 0.0
+                self.trial_timeout = timeout
+                self.deadline = float("inf")
+                return
+            orig_assign(self, task, timeout)
+
+        monkeypatch.setattr(WorkerHandle, "assign", lossy_assign)
+        # Startup-stall detection keys off assigned_at/started_at, not the
+        # heartbeat; pin the age to 0 so a slow worker boot on a loaded
+        # machine can't read as a stale heartbeat and burn the attempt.
+        monkeypatch.setattr(WorkerHandle, "heartbeat_age", lambda self: 0.0)
+        report = run_plan(
+            plan,
+            tmp_path / "j.jsonl",
+            # grace must outlast spawn + import time or booting workers
+            # stall-trip too; 5s keeps the detection wait short with
+            # headroom for slow boots.
+            PoolConfig(jobs=2, retries=0, watchdog_grace=5.0, **FAST),
+        )
+        assert report.counts()["done"] == 2
+        assert report.pool_resets >= 1
+        lost = next(o for o in report.outcomes if o.digest == dropped[0])
+        # retries=0: had the lost dispatch been charged, this trial would
+        # have been quarantined instead of re-run.
+        assert lost.status == "done" and lost.attempts == 1
+        resets = [
+            r for r in load_records(tmp_path / "j.jsonl")
+            if r["type"] == "pool_reset"
+        ]
+        assert len(resets) >= 1
+        assert dropped[0][:16] in resets[0]["requeued"]
+
     def test_hanging_trial_is_quarantined_while_sweep_completes(self, tmp_path):
         plan = build_plan("chaos", {"trials": 3, "modes": {"1": "hang"}})
         report = run_plan(

@@ -162,6 +162,7 @@ DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
     ("repro.sim", "repro.store", "repro.experiments.common"),
     ("repro.experiments",),
     ("repro.runtime",),
+    ("repro.serve",),
     ("repro", "repro.cli", "repro.__main__"),
 )
 

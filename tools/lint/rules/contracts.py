@@ -36,6 +36,7 @@ __all__ = [
     "ContractValidation",
     "FaultDiscipline",
     "ProcessDiscipline",
+    "ServeDiscipline",
     "StoreDiscipline",
 ]
 
@@ -413,3 +414,119 @@ class StoreDiscipline(Rule):
                     "artifact store; resolve it through repro.store so warm "
                     "runs reuse the cached artifact",
                 )
+
+
+#: Event-loop entry points: only the serve server module may call these.
+_LOOP_CALL_PATTERNS = (
+    "asyncio.run",
+    "asyncio.new_event_loop",
+    "asyncio.get_event_loop",
+    "asyncio.set_event_loop",
+    "*.run_until_complete",
+    "*.run_forever",
+)
+
+#: ``from asyncio import X`` names that create/fetch event loops.
+_LOOP_IMPORT_NAMES = ("run", "new_event_loop", "get_event_loop", "set_event_loop")
+
+#: Calls that block the event loop: store resolution (BFS builds, disk
+#: I/O), raw table construction, shard loading, synchronous sleeps.
+_BLOCKING_IN_ASYNC_PATTERNS = (
+    "store.*",
+    "repro.store.*",
+    "build_distance_table",
+    "bfs_distances",
+    "*registry.load",
+    "*.warm",
+    "time.sleep",
+)
+
+
+@register
+class ServeDiscipline(Rule):
+    """The serving layer's two structural invariants (``docs/SERVING.md``).
+
+    1. **Event-loop confinement** — only ``repro.serve.server`` may create
+       or fetch an asyncio event loop (``asyncio.run``,
+       ``new_event_loop``, ``run_until_complete``, ...).  Everything else
+       in the library stays synchronous so it is callable from any
+       context: the engine, client, bench, experiments, the CLI.
+    2. **No blocking calls in async handlers** — inside an ``async def``
+       in the serve package, store resolution (``store.*``), raw table
+       builds (``build_distance_table`` / ``bfs_distances``), shard
+       loading (``*registry.load``, ``*.warm``) and ``time.sleep`` are
+       forbidden: tables are resolved on the synchronous startup/warm
+       path, never while the loop should be answering queries.
+    """
+
+    code = "RL112"
+    name = "serve-discipline"
+    severity = "error"
+    default_paths = ("src/repro",)
+    description = (
+        "event-loop creation is confined to repro.serve.server, and async "
+        "handlers in the serve package must not block on store/BFS/sleep "
+        "calls (tables load on the sync startup path)"
+    )
+
+    #: The one module allowed to own an event loop.
+    DEFAULT_LOOP_OWNER = "src/repro/serve/server.py"
+
+    #: Path components that mark serve-package modules (part 2 scope).
+    DEFAULT_SERVE_DIRS = ("serve",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        path = ctx.path.replace("\\", "/")
+        owner = self.option("loop-owner", self.DEFAULT_LOOP_OWNER)
+        if not (path == owner or path.endswith("/" + owner)):
+            yield from self._check_loop_confinement(ctx)
+        serve_dirs = tuple(self.option("serve-dirs", self.DEFAULT_SERVE_DIRS))
+        if any(d in path.split("/") for d in serve_dirs):
+            yield from self._check_async_handlers(ctx)
+
+    def _check_loop_confinement(self, ctx: ModuleContext) -> Iterator[Violation]:
+        # Names bound by `from asyncio import run [as arun]`.
+        bare: dict[str, str] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module == "asyncio":
+                for alias in node.names:
+                    if alias.name in _LOOP_IMPORT_NAMES:
+                        bare[alias.asname or alias.name] = alias.name
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            offender = None
+            if matches_any(callee, _LOOP_CALL_PATTERNS):
+                offender = callee
+            elif callee in bare:
+                offender = f"asyncio.{bare[callee]}"
+            if offender is not None:
+                yield self.flag(
+                    ctx,
+                    node,
+                    f"event-loop call {offender}() outside repro.serve.server; "
+                    "the serving front end owns the loop — keep this module "
+                    "synchronous",
+                )
+
+    def _check_async_handlers(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = dotted_name(node.func)
+                if callee is None:
+                    continue
+                if matches_any(callee, _BLOCKING_IN_ASYNC_PATTERNS):
+                    yield self.flag(
+                        ctx,
+                        node,
+                        f"blocking call {callee!r} inside async handler "
+                        f"{fn.name!r}; resolve tables on the synchronous "
+                        "startup/warm path, not in the event loop",
+                    )
