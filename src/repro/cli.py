@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro route --topology PS-IQ --pair 0 7 --pairs-file pairs.txt
     python -m repro serve start --topology PS-IQ --port 7070
     python -m repro serve bench --topology PS-IQ --out BENCH_serve.json
+    python -m repro serve chaos --topology PS-IQ --scale reduced --out chaos.json
     python -m repro sim --radix 7 --load 0.3 --adaptive --metrics-out m.json
     python -m repro sim --radix 7 --load 0.3 --fail-links 0.1
     python -m repro faults inject --fail-links 0.1 --fail-nodes 2
@@ -254,6 +255,41 @@ def _cmd_faults_inject(args) -> int:
     )
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_faults_schedule(args) -> int:
+    """Generate a deterministic fault-schedule JSON for ``serve start``."""
+    from repro import store
+    from repro.faults import FaultSchedule, node_failures, permanent_link_failures
+    from repro.runtime import atomic_write_text
+
+    topo = store.resolve_topology(args.topology, scale=args.scale)
+    sched = FaultSchedule()
+    if args.fail_links > 0:
+        sched = sched + permanent_link_failures(
+            topo.graph, args.fail_links, seed=args.seed
+        )
+    if args.fail_nodes > 0:
+        sched = sched + node_failures(
+            topo.graph, args.fail_nodes, seed=args.seed + 1
+        )
+    doc = {
+        "schema": "repro.faults.schedule/v1",
+        "topology": args.topology,
+        "scale": args.scale,
+        "label": args.label,
+        "events": sched.to_jsonable(),
+    }
+    text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        atomic_write_text(args.out, text)
+        print(
+            f"schedule with {len(sched)} events written to {args.out} "
+            f"(epoch label {args.label})"
+        )
+    else:
+        print(text, end="")
     return 0
 
 
@@ -604,8 +640,34 @@ def _cmd_serve(args) -> int:
                 max_delay=args.max_delay,
                 max_inflight=args.max_inflight,
                 metrics_out=args.metrics_out,
+                fault_schedule=args.fault_schedule,
             )
         )
+    if args.action == "chaos":
+        from repro.runtime import atomic_write_text
+        from repro.serve import ChaosConfig, format_chaos, run_chaos
+
+        doc = run_chaos(
+            ChaosConfig(
+                topology=args.topology[0],
+                scale=args.scale,
+                batches=args.batches,
+                batch_size=args.batch_size,
+                epochs=args.epochs,
+                kills=args.kills,
+                fail_fraction=args.fail_fraction,
+                fail_nodes=args.fail_nodes,
+                seed=args.seed,
+                deadline_ms=args.deadline_ms,
+            )
+        )
+        print(format_chaos(doc))
+        if args.out:
+            atomic_write_text(
+                args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"chaos report written to {args.out}")
+        return 0 if doc["ok"] else 1
     if args.action == "bench":
         from repro.runtime import atomic_write_text
         from repro.serve import format_bench, run_bench
@@ -715,7 +777,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="enable repro.obs for the server lifetime, export JSON here",
     )
+    svs.add_argument(
+        "--fault-schedule", default=None, metavar="PATH",
+        help="apply this fault-schedule JSON (repro faults schedule) as the "
+        "initial epoch before accepting queries",
+    )
     svs.set_defaults(fn=_cmd_serve)
+
+    svc = svsub.add_parser(
+        "chaos",
+        help="chaos harness: query burst vs fault epochs + SIGKILL/restart",
+    )
+    svc.add_argument(
+        "--topology", action="append", required=True, metavar="SPEC",
+        help="topology spec to serve and verify against the offline oracle",
+    )
+    svc.add_argument("--scale", choices=["full", "reduced"], default="full")
+    svc.add_argument("--batches", type=int, default=40,
+                     help="query batches in the burst")
+    svc.add_argument("--batch-size", type=int, default=64,
+                     help="pairs per batch")
+    svc.add_argument("--epochs", type=int, default=2,
+                     help="fault epochs applied mid-burst")
+    svc.add_argument("--kills", type=int, default=1,
+                     help="SIGKILL/restart cycles injected mid-burst")
+    svc.add_argument("--fail-fraction", type=float, default=0.02,
+                     help="links failed per epoch (seeded)")
+    svc.add_argument("--fail-nodes", type=int, default=1,
+                     help="routers downed in the first epoch")
+    svc.add_argument("--seed", type=int, default=0)
+    svc.add_argument("--deadline-ms", type=float, default=5000.0,
+                     help="per-request deadline propagated to the server")
+    svc.add_argument("--out", default=None, metavar="PATH",
+                     help="write the chaos report JSON here")
+    svc.set_defaults(fn=_cmd_serve)
 
     svb = svsub.add_parser("bench", help="throughput bench / load generator")
     svb.add_argument(
@@ -802,6 +897,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fi.add_argument("--metrics-out", default=None, metavar="PATH")
     fi.set_defaults(fn=_cmd_faults_inject)
+
+    fg = fsub.add_parser(
+        "schedule",
+        help="generate a deterministic fault-schedule JSON for serve start",
+    )
+    fg.add_argument(
+        "--topology", default="PS-IQ", metavar="SPEC",
+        help="topology spec the schedule is validated against",
+    )
+    fg.add_argument("--scale", choices=["full", "reduced"], default="full")
+    fg.add_argument(
+        "--fail-links", type=float, default=0.05, metavar="FRAC",
+        help="fraction of links failed (seeded)",
+    )
+    fg.add_argument(
+        "--fail-nodes", type=int, default=0, metavar="N",
+        help="routers failed (seeded with --seed + 1)",
+    )
+    fg.add_argument("--seed", type=int, default=0)
+    fg.add_argument(
+        "--label", type=int, default=1,
+        help="epoch label the server installs the schedule under",
+    )
+    fg.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the schedule JSON here (default: stdout)",
+    )
+    fg.set_defaults(fn=_cmd_faults_schedule)
 
     fs = fsub.add_parser(
         "sweep",

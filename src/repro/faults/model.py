@@ -83,6 +83,47 @@ class FaultEvent:
             raise ValueError(f"{self.kind!r} event has no edge")
         return (self.u, self.v) if self.u < self.v else (self.v, self.u)
 
+    def to_jsonable(self) -> dict:
+        """Wire/file form of this event (inverse of :meth:`from_jsonable`).
+
+        Node events omit ``v``; ``factor`` appears only for
+        ``link_degrade`` — so the JSON stays minimal and round-trips to an
+        equal :class:`FaultEvent`.
+        """
+        out: dict = {"time": self.time, "kind": self.kind, "u": self.u}
+        if not self.is_node_event:
+            out["v"] = self.v
+            if self.kind == "link_degrade":
+                out["factor"] = self.factor
+        return out
+
+    @classmethod
+    def from_jsonable(cls, obj: object) -> "FaultEvent":
+        """Parse one event from its JSON object form.
+
+        Raises :class:`ValueError` (never ``KeyError``/``TypeError``) on
+        malformed input, so protocol handlers can map it to a 400.
+        """
+        if not isinstance(obj, dict):
+            raise ValueError(
+                f"fault event must be a JSON object, got {type(obj).__name__}"
+            )
+        unknown = set(obj) - {"time", "kind", "u", "v", "factor"}
+        if unknown:
+            raise ValueError(f"unknown fault event fields: {sorted(unknown)}")
+        if "kind" not in obj or "u" not in obj:
+            raise ValueError(f"fault event needs 'kind' and 'u': {obj!r}")
+        try:
+            return cls(
+                time=int(obj.get("time", 0)),
+                kind=str(obj["kind"]),
+                u=int(obj["u"]),
+                v=int(obj.get("v", -1)),
+                factor=float(obj.get("factor", 1.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad fault event {obj!r}: {exc}") from exc
+
 
 class FaultSchedule:
     """A validated, time-sorted sequence of :class:`FaultEvent`.
@@ -120,6 +161,24 @@ class FaultSchedule:
     def __repr__(self) -> str:
         kinds = self.summary()["by_kind"]
         return f"FaultSchedule({len(self.events)} events, {kinds})"
+
+    def to_jsonable(self) -> list[dict]:
+        """Wire/file form: a JSON array of event objects, time-sorted."""
+        return [ev.to_jsonable() for ev in self.events]
+
+    @classmethod
+    def from_jsonable(
+        cls, objs: object, graph: Graph | None = None
+    ) -> "FaultSchedule":
+        """Parse a schedule from its JSON array form (optionally validated
+        against *graph* like the regular constructor); raises
+        :class:`ValueError` on malformed input."""
+        if not isinstance(objs, (list, tuple)):
+            raise ValueError(
+                f"fault schedule must be a JSON array of events, "
+                f"got {type(objs).__name__}"
+            )
+        return cls([FaultEvent.from_jsonable(o) for o in objs], graph=graph)
 
     def summary(self) -> dict:
         """JSON-safe digest stamped into run manifests."""

@@ -33,6 +33,7 @@ from repro.runtime.plan import (
     execute_trial,
     experiment_module,
 )
+from repro.runtime.procmgr import ManagedProcess
 from repro.runtime.supervisor import (
     PoolConfig,
     RunInterrupted,
@@ -48,6 +49,7 @@ __all__ = [
     "DEGRADE_LADDER",
     "Journal",
     "JournalError",
+    "ManagedProcess",
     "PLANNED_EXPERIMENTS",
     "Plan",
     "PoolConfig",

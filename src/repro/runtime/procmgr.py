@@ -1,0 +1,103 @@
+"""Managed subprocess lifecycle for harnesses that kill and restart.
+
+The chaos harness (:mod:`repro.serve.chaos`) needs to SIGKILL a serving
+process mid-burst and bring a replacement up — process-spawning
+primitives live in :mod:`repro.runtime` (lint rule RL108), so the
+lifecycle wrapper lives here.  :class:`ManagedProcess` is deliberately
+protocol-agnostic: it pipes stdout and hands the raw stream back; what
+the child prints (ready banners, NDJSON, nothing) is the caller's
+business, keeping the runtime layer below the serving layer (RL109).
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+from typing import IO, Mapping, Sequence
+
+__all__ = ["ManagedProcess"]
+
+
+class ManagedProcess:
+    """One supervised child process with piped stdout and kill/restart ops.
+
+    stdout is piped (text mode, line-buffered as far as the OS allows) so
+    callers can watch for readiness output; stderr is inherited so crash
+    tracebacks land in the supervising terminal/log.  Use as a context
+    manager for guaranteed cleanup, or call :meth:`kill`/:meth:`close`
+    explicitly when exercising crash paths.
+    """
+
+    def __init__(
+        self,
+        argv: Sequence[str],
+        *,
+        env: Mapping[str, str] | None = None,
+    ) -> None:
+        self.argv = list(argv)
+        self._proc = subprocess.Popen(  # noqa: S603 - harness-controlled argv
+            self.argv,
+            stdout=subprocess.PIPE,
+            text=True,
+            env=dict(env) if env is not None else None,
+        )
+
+    @property
+    def pid(self) -> int:
+        return self._proc.pid
+
+    @property
+    def stdout(self) -> IO[str]:
+        """The child's piped stdout stream."""
+        out = self._proc.stdout
+        if out is None:
+            raise RuntimeError("child stdout is not piped")
+        return out
+
+    def poll(self) -> int | None:
+        """Exit code if the child has exited, else ``None``."""
+        return self._proc.poll()
+
+    def running(self) -> bool:
+        return self._proc.poll() is None
+
+    def send_signal(self, sig: int) -> None:
+        """Deliver *sig* to the child (no-op once it has exited)."""
+        if self.running():
+            self._proc.send_signal(sig)
+
+    def terminate(self) -> None:
+        """Ask the child to drain and exit (SIGTERM)."""
+        self.send_signal(signal.SIGTERM)
+
+    def kill(self) -> int:
+        """SIGKILL the child and reap it; returns the exit code.
+
+        This is the crash injection primitive: no drain, no flushing —
+        the child dies mid-whatever-it-was-doing.
+        """
+        if self.running():
+            self._proc.kill()
+        return self._proc.wait()
+
+    def wait(self, timeout: float | None = None) -> int:
+        """Block until the child exits; returns the exit code.
+
+        Raises :class:`subprocess.TimeoutExpired` when *timeout* lapses.
+        """
+        return self._proc.wait(timeout=timeout)
+
+    def close(self) -> None:
+        """Kill the child if still running and release the stdout pipe."""
+        if self.running():
+            self._proc.kill()
+            self._proc.wait()
+        out = self._proc.stdout
+        if out is not None:
+            out.close()
+
+    def __enter__(self) -> "ManagedProcess":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -5,17 +5,26 @@ The serving layer turns the store's cached int16 distance tables (the
 
 * :mod:`repro.serve.engine` — pure-sync core: batch planning, vectorized
   distance lookup, path reconstruction by next-hop walking, and the
-  per-topology :class:`ShardRegistry`;
+  per-topology :class:`ShardRegistry` (with atomic fault-epoch overlays);
+* :mod:`repro.serve.epochs` — fault-epoch tables: apply a fault mask,
+  rebuild the distance table on the healthy subgraph, swap atomically;
 * :mod:`repro.serve.server` — asyncio NDJSON TCP front end with request
-  coalescing, bounded in-flight backpressure and graceful drain;
+  coalescing, bounded in-flight backpressure, deadline-aware admission,
+  live ``faults`` admin ops and graceful drain;
 * :mod:`repro.serve.client` — blocking batch client (tests, CLI, bench);
+* :mod:`repro.serve.reliability` — client reliability kit: seeded backoff,
+  circuit breaker, idempotent retrying client;
+* :mod:`repro.serve.chaos` — chaos harness: query burst vs fault epochs
+  and SIGKILL/restart cycles, checked against the offline oracle;
 * :mod:`repro.serve.bench` — load generator emitting ``BENCH_serve.json``.
 
-See ``docs/SERVING.md`` for the protocol, operational semantics and the
-RL112 serve-discipline rules this package is written under.
+See ``docs/SERVING.md`` for the protocol, operational semantics, the
+resilience model and the RL112/RL113 serve-discipline rules this package
+is written under.
 """
 
 from repro.serve.bench import format_bench, run_bench
+from repro.serve.chaos import ChaosConfig, format_chaos, run_chaos
 from repro.serve.client import ServeClient, ServeError, wait_until_ready
 from repro.serve.engine import (
     BadBatchError,
@@ -25,11 +34,33 @@ from repro.serve.engine import (
     UnknownTopologyError,
     plan_batch,
 )
-from repro.serve.server import ServeServer, ServerConfig, run_server
+from repro.serve.epochs import EpochShard, FaultEpochManager
+from repro.serve.reliability import (
+    BackoffPolicy,
+    BreakerOpenError,
+    CircuitBreaker,
+    RetryingClient,
+)
+from repro.serve.server import (
+    DeadlineExceededError,
+    EngineFailureError,
+    ServeServer,
+    ServerConfig,
+    run_server,
+)
 
 __all__ = [
+    "BackoffPolicy",
     "BadBatchError",
+    "BreakerOpenError",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "DeadlineExceededError",
+    "EngineFailureError",
+    "EpochShard",
+    "FaultEpochManager",
     "QueryEngine",
+    "RetryingClient",
     "ServeClient",
     "ServeError",
     "ServeServer",
@@ -38,8 +69,10 @@ __all__ = [
     "TableShard",
     "UnknownTopologyError",
     "format_bench",
+    "format_chaos",
     "plan_batch",
     "run_bench",
+    "run_chaos",
     "run_server",
     "wait_until_ready",
 ]

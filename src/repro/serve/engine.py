@@ -94,6 +94,11 @@ class TableShard:
 
     __slots__ = ("name", "graph", "dist", "topology")
 
+    #: Fault-epoch label of the answers this shard produces.  The pristine
+    #: store-resolved table is epoch 0; overlays built by
+    #: :mod:`repro.serve.epochs` carry the label they were installed under.
+    epoch = 0
+
     def __init__(
         self,
         name: str,
@@ -173,10 +178,18 @@ class ShardRegistry:
     build cold, zero warm) and registers the shard under its spec string.
     ``get`` is the hot path: a dict lookup, no store traffic, safe to call
     from request handlers.
+
+    A registry may additionally carry one **fault-epoch overlay** per
+    topology (:mod:`repro.serve.epochs`): ``get`` prefers the overlay when
+    one is installed, ``base`` always answers the pristine shard, and
+    ``set_overlay``/``clear_overlay`` swap atomically (a single dict
+    assignment — readers see either the old epoch or the new one, never a
+    mixture).
     """
 
     def __init__(self) -> None:
         self._shards: dict[str, TableShard] = {}
+        self._overlays: dict[str, TableShard] = {}
 
     def load(self, spec: str, scale: str = "full") -> TableShard:
         """Resolve (or recall) the shard for topology *spec*.
@@ -196,13 +209,46 @@ class ShardRegistry:
         return shard
 
     def get(self, name: str) -> TableShard:
-        """The loaded shard for *name*; raises :class:`UnknownTopologyError`."""
+        """The serving shard for *name* — the installed fault-epoch overlay
+        when one is active, else the pristine base shard; raises
+        :class:`UnknownTopologyError`."""
+        shard = self._overlays.get(name)
+        if shard is not None:
+            return shard
+        return self.base(name)
+
+    def base(self, name: str) -> TableShard:
+        """The pristine (epoch-0) shard for *name*, overlay or not."""
         shard = self._shards.get(name)
         if shard is None:
             raise UnknownTopologyError(
                 f"topology {name!r} is not loaded; serving: {self.names()}"
             )
         return shard
+
+    def overlay(self, name: str) -> TableShard | None:
+        """The installed fault-epoch overlay for *name* (``None`` = pristine)."""
+        return self._overlays.get(name)
+
+    def set_overlay(self, name: str, shard: TableShard) -> None:
+        """Atomically install *shard* as the serving overlay for *name*.
+
+        The base shard must already be loaded; the swap is one dict
+        assignment, so concurrent readers (the synchronous batch-flush
+        path) see exactly one epoch per batch.
+        """
+        base = self.base(name)
+        if shard.n != base.n:
+            raise ValueError(
+                f"overlay for {name!r} has {shard.n} vertices, base has {base.n}"
+            )
+        self._overlays[name] = shard
+        self._update_gauges()
+
+    def clear_overlay(self, name: str) -> None:
+        """Drop the overlay for *name*; ``get`` answers the pristine shard."""
+        self._overlays.pop(name, None)
+        self._update_gauges()
 
     def names(self) -> list[str]:
         return sorted(self._shards)
@@ -214,8 +260,11 @@ class ShardRegistry:
         return len(self._shards)
 
     def total_table_bytes(self) -> int:
-        """Combined footprint of every loaded table (shared, not copied)."""
-        return sum(s.table_bytes for s in self._shards.values())
+        """Combined footprint of every loaded table (shared, not copied),
+        fault-epoch overlays included."""
+        return sum(s.table_bytes for s in self._shards.values()) + sum(
+            s.table_bytes for s in self._overlays.values()
+        )
 
     def _update_gauges(self) -> None:
         reg = obs.get_registry()
@@ -226,6 +275,10 @@ class ShardRegistry:
             "serve.table.bytes",
             help="combined bytes of the shared distance tables",
         ).set(self.total_table_bytes())
+        reg.gauge(
+            "serve.epoch.active",
+            help="topologies currently serving a fault-epoch overlay",
+        ).set(len(self._overlays))
 
 
 class QueryEngine:

@@ -11,9 +11,16 @@ Protocol — one JSON object per line, in both directions::
     -> {"op": "ping"}          <- {"ok": true, "op": "ping", "topologies": [...]}
     -> {"op": "stats"}         <- {"ok": true, "op": "stats", "stats": {...}}
 
+    -> {"op": "faults", "action": "apply", "topology": "PS-IQ",
+        "events": [{"kind": "link_down", "u": 3, "v": 17}], "label": 1}
+    <- {"ok": true, "op": "faults", "topology": "PS-IQ", "epoch": 1, ...}
+
 Errors answer ``{"ok": false, "code": <int>, "error": "..."}`` with
-HTTP-flavored codes: 400 malformed request, 404 unknown topology, 429
-backpressure (in-flight pair budget exhausted), 503 draining.
+HTTP-flavored codes: 400 malformed request, 404 unknown topology (or,
+with ``"kind": "route_unavailable"``, a strict query whose pairs are cut
+apart by the current fault epoch), 429 backpressure, 500 batch execution
+failure (``"kind": "engine"``), 503 draining, 504 deadline shed
+(``"kind": "deadline"``).
 
 Design constraints (docs/SERVING.md, lint rule RL112):
 
@@ -24,7 +31,17 @@ Design constraints (docs/SERVING.md, lint rule RL112):
 * **Batching window.**  Requests for the same ``(topology, op)`` coalesce
   for up to ``max_delay`` seconds or ``max_batch`` pairs, whichever comes
   first, then execute as one vectorized engine call; each requester gets
-  its slice of the batch result.
+  its slice of the batch result.  A request ``deadline_ms`` tightens its
+  bucket's window (flush fires with half the tightest budget left), and
+  work whose deadline has already expired is shed with 504, never
+  computed late.
+* **Fault epochs.**  The ``faults`` admin op applies
+  :class:`~repro.faults.model.FaultEvent` records to a per-topology
+  :class:`~repro.serve.epochs.FaultEpochManager`; the expensive overlay
+  build runs in an executor (queries keep answering the old epoch), then
+  pending buckets are flushed and the new table swaps in atomically.
+  Every query response carries the ``epoch`` label its batch executed
+  against (0 = pristine).
 * **Bounded in-flight queue.**  Admitted-but-unanswered pairs are capped
   at ``max_inflight``; excess requests are rejected immediately with 429
   (and counted in ``serve.rejected``) instead of queueing unboundedly.
@@ -49,6 +66,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs, store
+from repro.faults.model import FaultEvent
 from repro.serve.engine import (
     OPS,
     BadBatchError,
@@ -57,8 +75,15 @@ from repro.serve.engine import (
     UnknownTopologyError,
     plan_batch,
 )
+from repro.serve.epochs import FaultEpochManager
 
-__all__ = ["ServerConfig", "ServeServer", "run_server"]
+__all__ = [
+    "DeadlineExceededError",
+    "EngineFailureError",
+    "ServerConfig",
+    "ServeServer",
+    "run_server",
+]
 
 #: Request-latency histogram buckets (seconds): 50us .. ~1.6s.
 _LATENCY_BOUNDS = obs.exponential_buckets(5e-5, 2.0, 15)
@@ -79,6 +104,21 @@ class ServerConfig:
     max_delay: float = 0.002
     max_inflight: int = 65536
     metrics_out: str | None = None
+    #: Optional path to a JSON fault schedule applied during warm() — the
+    #: server comes up already degraded (see docs/SERVING.md).
+    fault_schedule: str | None = None
+
+
+class DeadlineExceededError(Exception):
+    """An admitted request's ``deadline_ms`` expired before execution."""
+
+
+class EngineFailureError(Exception):
+    """A coalesced batch raised inside the engine; waiters get a 500."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(f"{type(cause).__name__}: {cause}")
+        self.cause = cause
 
 
 @dataclass
@@ -88,6 +128,8 @@ class _Waiter:
     src: np.ndarray
     dst: np.ndarray
     future: asyncio.Future
+    #: Absolute loop-clock deadline (None = no deadline).
+    deadline: float | None = None
 
 
 @dataclass
@@ -97,6 +139,8 @@ class _Bucket:
     waiters: list[_Waiter] = field(default_factory=list)
     pairs: int = 0
     timer: asyncio.TimerHandle | None = None
+    #: Loop-clock instant the pending timer fires at (deadline-tightened).
+    flush_at: float = 0.0
 
 
 class ServeServer:
@@ -106,15 +150,20 @@ class ServeServer:
         self.config = config
         self.registry = ShardRegistry()
         self.engine = QueryEngine(self.registry)
+        self.epochs = FaultEpochManager(self.registry)
         # Local (non-ambient) latency histogram: `stats` answers work even
         # when the process runs without an obs session.
         self.latency = obs.Histogram(_LATENCY_BOUNDS)
         self.requests = 0
         self.rejected = 0
         self.batches = 0
+        #: Error-response tally by kind (mirrors the serve.errors counter).
+        self.errors: dict[str, int] = {}
         self.started_at = time.monotonic()
         self._inflight = 0
         self._buckets: dict[tuple[str, str], _Bucket] = {}
+        #: Per-topology serialization of stage/install admin operations.
+        self._fault_locks: dict[str, asyncio.Lock] = {}
         self._draining = False
         self._exit_code = 0
         self._signals = 0
@@ -143,17 +192,73 @@ class ServeServer:
                 file=sys.stderr,
                 flush=True,
             )
+        if self.config.fault_schedule:
+            self._apply_schedule_file(self.config.fault_schedule)
+
+    def _apply_schedule_file(self, path: str) -> None:
+        """Apply a JSON fault schedule during startup (still sync).
+
+        The file is an object with an ``events`` array (the
+        ``FaultEvent.to_jsonable`` form, as written by ``repro faults
+        schedule``), an optional ``topology`` spec (required when the
+        server hosts several) and an optional epoch ``label`` (default 1).
+        """
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict) or not isinstance(doc.get("events"), list):
+            raise ValueError(
+                f"fault schedule {path!r} must be a JSON object with an "
+                "'events' array"
+            )
+        events = [FaultEvent.from_jsonable(o) for o in doc["events"]]
+        label = int(doc.get("label", 1))
+        target = doc.get("topology")
+        names = self.registry.names()
+        if target is None:
+            if len(names) != 1:
+                raise ValueError(
+                    f"fault schedule {path!r} needs an explicit 'topology' "
+                    f"when serving several ({names})"
+                )
+            target = names[0]
+        elif target not in names:
+            raise ValueError(
+                f"fault schedule topology {target!r} is not served ({names})"
+            )
+        shard = self.epochs.stage(target, events, label=label)
+        self.epochs.install(target, shard)
+        print(
+            f"repro-serve: fault epoch {shard.epoch} applied to {target!r} "
+            f"(links_down={shard.links_down}, nodes_down={shard.nodes_down})",
+            file=sys.stderr,
+            flush=True,
+        )
 
     # -- protocol ----------------------------------------------------------
 
-    def _error(self, code: int, message: str, req_id: object = None) -> dict:
+    def _error(
+        self,
+        code: int,
+        message: str,
+        req_id: object = None,
+        kind: str | None = None,
+    ) -> dict:
         if code == 429:
             self.rejected += 1
             obs.get_registry().counter(
                 "serve.rejected",
                 help="requests rejected by in-flight backpressure",
             ).inc()
+        if kind is not None:
+            self.errors[kind] = self.errors.get(kind, 0) + 1
+            obs.get_registry().counter(
+                "serve.errors",
+                help="error responses by kind",
+                labels=("kind",),
+            ).labels(kind=kind).inc()
         out: dict = {"ok": False, "code": code, "error": message}
+        if kind is not None:
+            out["kind"] = kind
         if req_id is not None:
             out["id"] = req_id
         return out
@@ -170,6 +275,8 @@ class ServeServer:
             "requests": self.requests,
             "rejected": self.rejected,
             "batches": self.batches,
+            "errors": dict(sorted(self.errors.items())),
+            "faults": self.epochs.status(),
             "inflight_pairs": self._inflight,
             "latency": {
                 "count": self.latency.count,
@@ -190,6 +297,8 @@ class ServeServer:
         if op == "stats":
             return {"ok": True, "id": req_id, "op": "stats",
                     "stats": self._stats()}
+        if op == "faults":
+            return await self._faults_admin(req, req_id)
         if op not in OPS:
             return self._error(400, f"unknown op {op!r}", req_id)
         if self._draining:
@@ -205,15 +314,34 @@ class ServeServer:
             src, dst = plan_batch(req.get("pairs", []), shard.n)
         except BadBatchError as exc:
             return self._error(400, str(exc), req_id)
+        deadline_ms = req.get("deadline_ms")
+        deadline: float | None = None
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms < 0
+            ):
+                return self._error(
+                    400, "deadline_ms must be a non-negative number", req_id
+                )
+            deadline = asyncio.get_running_loop().time() + float(deadline_ms) / 1e3
+        strict = bool(req.get("strict", False))
         npairs = int(src.shape[0])
         if npairs == 0:
-            return {"ok": True, "id": req_id, "op": op, "result": []}
+            return {"ok": True, "id": req_id, "op": op, "result": [],
+                    "epoch": int(shard.epoch)}
         if self._inflight + npairs > self.config.max_inflight:
             return self._error(
                 429,
                 f"in-flight pair budget exhausted "
                 f"({self._inflight}+{npairs} > {self.config.max_inflight})",
                 req_id,
+            )
+        if deadline is not None and deadline <= asyncio.get_running_loop().time():
+            return self._error(
+                504, "deadline already expired at admission", req_id,
+                kind="deadline",
             )
         t0 = time.monotonic()
         self.requests += 1
@@ -222,9 +350,34 @@ class ServeServer:
             "serve.requests", help="admitted query requests", labels=("op",)
         ).labels(op=op).inc()
         try:
-            result = await self._enqueue(topology, op, src, dst)
+            result, epoch = await self._enqueue(topology, op, src, dst, deadline)
+        except DeadlineExceededError:
+            return self._error(
+                504,
+                f"deadline_ms={deadline_ms} expired before the batch executed",
+                req_id,
+                kind="deadline",
+            )
+        except EngineFailureError as exc:
+            return self._error(
+                500, f"batch execution failed: {exc}", req_id, kind="engine"
+            )
         finally:
             self._inflight -= npairs
+        if strict:
+            unreachable = (
+                sum(1 for v in result if v == -1)
+                if op == "distance"
+                else sum(1 for p in result if p is None)
+            )
+            if unreachable:
+                return self._error(
+                    404,
+                    f"{unreachable}/{npairs} pairs unreachable under fault "
+                    f"epoch {epoch}",
+                    req_id,
+                    kind="route_unavailable",
+                )
         dt = time.monotonic() - t0
         self.latency.observe(dt)
         obs.get_registry().histogram(
@@ -232,58 +385,183 @@ class ServeServer:
             help="request latency (admission to answer)",
             bounds=_LATENCY_BOUNDS,
         ).observe(dt)
-        return {"ok": True, "id": req_id, "op": op, "result": result}
+        return {"ok": True, "id": req_id, "op": op, "result": result,
+                "epoch": epoch}
+
+    # -- fault-epoch administration ---------------------------------------
+
+    async def _faults_admin(self, req: dict, req_id: object) -> dict:
+        """Handle the ``faults`` admin op: ``status``/``apply``/``clear``.
+
+        ``apply`` stages the overlay build in an executor thread — queries
+        keep answering the old epoch meanwhile — then flushes the
+        topology's pending buckets and installs the new table, all within
+        one event-loop step, so no batch ever straddles two epochs.
+        """
+        action = req.get("action", "status")
+        if action == "status":
+            return {"ok": True, "id": req_id, "op": "faults",
+                    "status": self.epochs.status()}
+        if self._draining:
+            return self._error(503, "server is draining", req_id)
+        topology = req.get("topology")
+        if not isinstance(topology, str):
+            return self._error(400, "missing 'topology'", req_id)
+        try:
+            self.registry.base(topology)
+        except UnknownTopologyError as exc:
+            return self._error(404, str(exc), req_id)
+        lock = self._fault_locks.setdefault(topology, asyncio.Lock())
+        async with lock:
+            if action == "clear":
+                for op_name in OPS:
+                    self._flush((topology, op_name))
+                self.epochs.clear(topology)
+                return {"ok": True, "id": req_id, "op": "faults",
+                        "topology": topology,
+                        **self.epochs.status()[topology]}
+            if action != "apply":
+                return self._error(
+                    400, f"unknown faults action {action!r}", req_id
+                )
+            raw = req.get("events")
+            if not isinstance(raw, list):
+                return self._error(
+                    400, "faults apply needs an 'events' array", req_id
+                )
+            label = req.get("label")
+            if label is not None and (
+                isinstance(label, bool) or not isinstance(label, int) or label < 1
+            ):
+                return self._error(
+                    400, "label must be a positive integer", req_id
+                )
+            try:
+                events = [FaultEvent.from_jsonable(o) for o in raw]
+            except ValueError as exc:
+                return self._error(400, str(exc), req_id)
+            loop = asyncio.get_running_loop()
+            try:
+                shard = await loop.run_in_executor(
+                    None, self.epochs.stage, topology, events, label
+                )
+            except ValueError as exc:
+                return self._error(400, f"bad fault event: {exc}", req_id)
+            # Flush so every already-admitted pair answers the old epoch,
+            # then swap — no awaits in between, so the install is atomic
+            # with respect to every other handler.
+            for op_name in OPS:
+                self._flush((topology, op_name))
+            self.epochs.install(topology, shard)
+            print(
+                f"repro-serve: fault epoch {shard.epoch} installed for "
+                f"{topology!r} (links_down={shard.links_down}, "
+                f"nodes_down={shard.nodes_down})",
+                file=sys.stderr,
+                flush=True,
+            )
+            return {"ok": True, "id": req_id, "op": "faults",
+                    "topology": topology, **self.epochs.status()[topology]}
 
     # -- coalescing --------------------------------------------------------
 
     async def _enqueue(
-        self, topology: str, op: str, src: np.ndarray, dst: np.ndarray
-    ) -> list:
-        """Admit one planned batch into the coalescing window."""
+        self,
+        topology: str,
+        op: str,
+        src: np.ndarray,
+        dst: np.ndarray,
+        deadline: float | None = None,
+    ) -> tuple[list, int]:
+        """Admit one planned batch into the coalescing window.
+
+        Resolves to ``(result_slice, epoch_label)``.  A request deadline
+        tightens the bucket's flush timer: the batch fires when half the
+        tightest remaining budget is burnt (never later than
+        ``max_delay``), so deadline-carrying requests are answered with
+        margin instead of being shed at the window's edge.
+        """
         loop = asyncio.get_running_loop()
         key = (topology, op)
         bucket = self._buckets.get(key)
         if bucket is None:
             bucket = self._buckets[key] = _Bucket()
-        waiter = _Waiter(src, dst, loop.create_future())
+        waiter = _Waiter(src, dst, loop.create_future(), deadline=deadline)
         bucket.waiters.append(waiter)
         bucket.pairs += int(src.shape[0])
         if bucket.pairs >= self.config.max_batch:
             self._flush(key)
-        elif bucket.timer is None:
-            bucket.timer = loop.call_later(
-                self.config.max_delay, self._flush, key
-            )
+        else:
+            now = loop.time()
+            flush_at = now + self.config.max_delay
+            if deadline is not None:
+                flush_at = min(flush_at, now + max(0.0, (deadline - now) * 0.5))
+            if bucket.timer is not None and flush_at < bucket.flush_at - 1e-9:
+                bucket.timer.cancel()
+                bucket.timer = None
+            if bucket.timer is None:
+                bucket.flush_at = flush_at
+                bucket.timer = loop.call_later(
+                    max(0.0, flush_at - now), self._flush, key
+                )
         return await waiter.future
 
     def _flush(self, key: tuple[str, str]) -> None:
-        """Execute one coalesced batch and distribute the slices."""
+        """Execute one coalesced batch and distribute the slices.
+
+        Runs synchronously in the event loop: the serving shard (and its
+        epoch label) is read exactly once per batch, so every pair in the
+        batch answers against one fault epoch even when an admin swap
+        lands between flushes.  Waiters whose deadline already expired are
+        shed with :class:`DeadlineExceededError` (the 504 path) before the
+        engine runs; an engine failure resolves every live waiter to
+        :class:`EngineFailureError` (the structured 500 path) without
+        killing the connection.
+        """
         bucket = self._buckets.pop(key, None)
         if bucket is None or not bucket.waiters:
             return
         if bucket.timer is not None:
             bucket.timer.cancel()
         topology, op = key
-        src = np.concatenate([w.src for w in bucket.waiters])
-        dst = np.concatenate([w.dst for w in bucket.waiters])
+        now = time.monotonic()
+        live: list[_Waiter] = []
+        for w in bucket.waiters:
+            if w.deadline is not None and now > w.deadline:
+                if not w.future.done():
+                    w.future.set_exception(DeadlineExceededError())
+            else:
+                live.append(w)
+        if not live:
+            return
+        src = np.concatenate([w.src for w in live])
+        dst = np.concatenate([w.dst for w in live])
         self.batches += 1
         try:
+            epoch = int(self.registry.get(topology).epoch)
             result = self.engine.lookup(topology, op, src, dst)
-        except Exception as exc:  # pragma: no cover - engine invariant
-            for w in bucket.waiters:
+        except Exception as exc:
+            print(
+                f"repro-serve: batch {key} of {int(src.shape[0])} pairs "
+                f"failed: {exc!r}",
+                file=sys.stderr,
+                flush=True,
+            )
+            failure = EngineFailureError(exc)
+            for w in live:
                 if not w.future.done():
-                    w.future.set_exception(exc)
+                    w.future.set_exception(failure)
             return
         offset = 0
-        for w in bucket.waiters:
+        for w in live:
             k = int(w.src.shape[0])
             chunk = result[offset : offset + k]
             offset += k
             if not w.future.done():
                 if op == "distance":
-                    w.future.set_result([int(v) for v in chunk])
+                    w.future.set_result(([int(v) for v in chunk], epoch))
                 else:
-                    w.future.set_result(list(chunk))
+                    w.future.set_result((list(chunk), epoch))
 
     def _flush_all(self) -> None:
         for key in list(self._buckets):

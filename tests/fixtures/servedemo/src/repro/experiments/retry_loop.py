@@ -1,0 +1,33 @@
+"""Planted RL113 true positives: an ad-hoc retry loop outside the kit.
+
+Every anti-pattern the retry-discipline rule exists to catch, in one
+driver: ``time.sleep`` backoff inside a loop that catches exceptions,
+stdlib ``random`` jitter, and an unseeded ``default_rng()`` — all things
+:mod:`repro.serve.reliability` packages properly (seeded, budgeted,
+breaker-gated, accounted).
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def fetch_with_homemade_retries(client, req):
+    """RL113: sleep-and-retry with unseeded jitter, improvised inline."""
+    for attempt in range(10):
+        try:
+            return client.request(req)
+        except ConnectionError:
+            time.sleep(0.1 * attempt + random.random())  # two violations
+    return None
+
+
+def poll_until_up(client):
+    """RL113: unseeded generator drawn fresh inside the retry loop."""
+    while True:
+        try:
+            return client.ping()
+        except OSError:
+            rng = np.random.default_rng()
+            time.sleep(float(rng.random()))

@@ -1,0 +1,22 @@
+"""Negative control for RL113: the sanctioned retry home is exempt.
+
+A miniature stand-in for the real :mod:`repro.serve.reliability` — a
+retry loop with a sleep inside an except-bearing loop, exactly what
+RL113 flags elsewhere.  Because this path is on the rule's exempt list,
+linting the fixture tree must produce **no RL113 findings for this
+file** (the planted positives live in ``experiments/retry_loop.py``).
+"""
+
+import time
+
+import numpy as np
+
+
+def sanctioned_retry(client, req, seed=0):
+    rng = np.random.default_rng(seed)
+    for attempt in range(10):
+        try:
+            return client.request(req)
+        except ConnectionError:
+            time.sleep(0.05 * 2 ** attempt * (1 - 0.5 * float(rng.random())))
+    return None

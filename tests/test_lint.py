@@ -523,6 +523,194 @@ class TestServeDiscipline:
         assert len(violations) == 7
 
 
+# -- RL113 retry-discipline ---------------------------------------------------
+
+
+class TestRetryDiscipline:
+    RELPATH = "src/repro/experiments/mod.py"
+
+    def test_sleep_in_retry_loop_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def fetch(client, req):
+                while True:
+                    try:
+                        return client.request(req)
+                    except ConnectionError:
+                        time.sleep(0.1)
+            """,
+            "RL113",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL113"]
+
+    def test_stdlib_random_jitter_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import random
+            import time
+
+            def fetch(client, req):
+                for _ in range(5):
+                    try:
+                        return client.request(req)
+                    except OSError:
+                        time.sleep(random.random())
+            """,
+            "RL113",
+            relpath=self.RELPATH,
+        )
+        assert sorted(codes(out)) == ["RL113", "RL113"]
+
+    def test_unseeded_default_rng_in_retry_loop_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def fetch(client, req):
+                while True:
+                    try:
+                        return client.request(req)
+                    except OSError:
+                        _jitter = np.random.default_rng().random()
+            """,
+            "RL113",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL113"]
+
+    def test_sleep_loop_without_except_passes(self, tmp_path):
+        # A plain poll loop is not a retry loop: nothing is caught.
+        out = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def wait_for(predicate):
+                while not predicate():
+                    time.sleep(0.01)
+            """,
+            "RL113",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_except_outside_loop_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def once(client, req):
+                try:
+                    return client.request(req)
+                except ConnectionError:
+                    return None
+
+            def pace():
+                for _ in range(3):
+                    time.sleep(0.01)
+            """,
+            "RL113",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_seeded_rng_jitter_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def fetch(client, req, seed=0):
+                rng = np.random.default_rng(seed)
+                while True:
+                    try:
+                        return client.request(req)
+                    except OSError:
+                        _jitter = rng.random()
+            """,
+            "RL113",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_reliability_kit_is_exempt(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def request_with_retries(client, req):
+                while True:
+                    try:
+                        return client.request(req)
+                    except ConnectionError:
+                        time.sleep(0.05)
+            """,
+            "RL113",
+            relpath="src/repro/serve/reliability.py",
+        )
+        assert out == []
+
+    def test_runtime_is_exempt(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def run_with_retries(trial):
+                while True:
+                    try:
+                        return trial()
+                    except RuntimeError:
+                        time.sleep(0.05)
+            """,
+            "RL113",
+            relpath="src/repro/runtime/pool.py",
+        )
+        assert out == []
+
+    def test_suppression_comment_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import time
+
+            def fetch(client, req):
+                while True:
+                    try:
+                        return client.request(req)
+                    except ConnectionError:
+                        time.sleep(0.1)  # repro-lint: disable=RL113
+            """,
+            "RL113",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_servedemo_fixture_plants_fire(self):
+        fixture = REPO_ROOT / "tests" / "fixtures" / "servedemo"
+        violations, _ = run_paths(
+            [str(fixture / "src")], root=fixture, select={"RL113"},
+            use_cache=False,
+        )
+        hits = {(Path(v.path).name, v.rule) for v in violations}
+        assert ("retry_loop.py", "RL113") in hits
+        # the exempt-path negative control must stay silent
+        assert all(
+            Path(v.path).name != "reliability.py" for v in violations
+        )
+        # sleep + stdlib jitter in the for-loop, unseeded rng + sleep in
+        # the while-loop: one finding per planted violation
+        assert len(violations) == 4
+
+
 # -- RL108 process-discipline -------------------------------------------------
 
 

@@ -520,3 +520,81 @@ class TestBench:
         # batching must actually pay: 4096-pair batches beat singletons
         by_batch = {r["batch"]: r["pairs_per_s"] for r in doc["runs"]}
         assert by_batch[4096] > by_batch[1]
+
+
+# -- client hardening (ISSUE 8 satellites) ------------------------------------
+
+
+class TestWaitUntilReady:
+    def test_wedged_server_times_out_with_partial_output(self):
+        """A server that never prints the banner must not hang the caller:
+        the deadline fires and the error carries the partial output."""
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "import sys, time; sys.stdout.write('partial'); "
+                "sys.stdout.flush(); time.sleep(60)",
+            ],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(TimeoutError) as exc:
+                wait_until_ready(proc.stdout, timeout=1.0)
+            assert time.monotonic() - t0 < 10.0
+            assert "partial" in str(exc.value)
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    def test_early_exit_is_an_error_not_a_hang(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-c", "print('no banner here')"],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            with pytest.raises(ServeError) as exc:
+                wait_until_ready(proc.stdout, timeout=30.0)
+            assert exc.value.code == 500
+        finally:
+            proc.wait(timeout=30)
+
+    def test_fallback_for_streams_without_fileno(self):
+        import io
+
+        banner = 'REPRO_SERVE_READY {"port": 7}\n'
+        assert wait_until_ready(io.StringIO(banner))["port"] == 7
+        with pytest.raises(ServeError):
+            wait_until_ready(io.StringIO("nope\n"))
+
+
+class TestStructuredEngineErrors:
+    def test_engine_failure_is_structured_500_not_a_dropped_line(
+        self, live_server, shard
+    ):
+        """A lookup blowing up mid-batch answers every waiter with a 500
+        (kind=engine) and leaves the connection usable — the old blanket
+        ``except Exception`` silently killed the whole batch."""
+        server = live_server()
+        original = server.engine.lookup
+
+        def exploding(topology, op, src, dst):
+            raise RuntimeError("synthetic table corruption")
+
+        pairs = random_pairs(shard.n, 16, seed=20).tolist()
+        with ServeClient("127.0.0.1", server.port) as client:
+            server.engine.lookup = exploding
+            try:
+                with pytest.raises(ServeError) as exc:
+                    client.distance(TOPO, pairs)
+            finally:
+                server.engine.lookup = original
+            assert exc.value.code == 500
+            assert exc.value.kind == "engine"
+            assert "synthetic table corruption" in str(exc.value)
+            # same connection still answers
+            assert client.distance(TOPO, pairs) == [
+                int(v) for v in server.engine.distances(TOPO, pairs)
+            ]
+            stats = client.stats()
+            assert stats["errors"]["engine"] == 1

@@ -36,6 +36,7 @@ __all__ = [
     "ContractValidation",
     "FaultDiscipline",
     "ProcessDiscipline",
+    "RetryDiscipline",
     "ServeDiscipline",
     "StoreDiscipline",
 ]
@@ -529,4 +530,94 @@ class ServeDiscipline(Rule):
                         f"blocking call {callee!r} inside async handler "
                         f"{fn.name!r}; resolve tables on the synchronous "
                         "startup/warm path, not in the event loop",
+                    )
+
+
+@register
+class RetryDiscipline(Rule):
+    """Retry loops belong to the reliability kit — nowhere else.
+
+    An improvised ``while``/``for`` that catches an exception and sleeps
+    before trying again has all the failure modes the kit exists to
+    prevent: unseeded jitter (unreproducible load patterns, the same sin
+    RL105 bans in fault scenarios), no deadline budget (unbounded hangs),
+    no circuit breaker (thundering herds against a recovering server) and
+    no retry accounting.  ``repro.serve.reliability`` packages all four;
+    the supervised runtime pool carries its own seeded backoff.  Anywhere
+    else, a loop that contains an ``except`` handler must not call
+    ``time.sleep``, the stdlib ``random`` module, or an unseeded
+    ``default_rng()`` — route the retry through
+    :class:`~repro.serve.reliability.RetryingClient` (or the runtime's
+    retry policy) instead.
+    """
+
+    code = "RL113"
+    name = "retry-discipline"
+    severity = "error"
+    default_paths = ("src/repro",)
+    description = (
+        "ad-hoc retry loops (sleep or unseeded jitter inside a loop that "
+        "catches exceptions) are confined to repro.serve.reliability and "
+        "the supervised runtime"
+    )
+
+    #: Paths exempt from the ban: the sanctioned retry implementations.
+    DEFAULT_EXEMPT_PATHS = ("src/repro/serve/reliability.py", "src/repro/runtime")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        path = ctx.path.replace("\\", "/")
+        exempt = tuple(self.option("exempt-paths", self.DEFAULT_EXEMPT_PATHS))
+        for p in exempt:
+            if (
+                path == p
+                or path.endswith("/" + p)
+                or path.startswith(p + "/")
+                or "/" + p + "/" in path
+            ):
+                return
+        flagged: set[int] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.While, ast.For)):
+                continue
+            if not any(
+                isinstance(sub, ast.ExceptHandler) for sub in ast.walk(loop)
+            ):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call) or id(node) in flagged:
+                    continue
+                callee = dotted_name(node.func)
+                if callee is None:
+                    continue
+                parts = callee.split(".")
+                if callee == "time.sleep" or parts[-1] == "sleep" and parts[0] == "time":
+                    flagged.add(id(node))
+                    yield self.flag(
+                        ctx,
+                        node,
+                        "ad-hoc retry loop: time.sleep inside a loop that "
+                        "catches exceptions; use the reliability kit's "
+                        "seeded BackoffPolicy/RetryingClient",
+                    )
+                elif parts[0] == "random" and len(parts) == 2:
+                    flagged.add(id(node))
+                    yield self.flag(
+                        ctx,
+                        node,
+                        f"stdlib {callee}() as retry jitter is unseeded and "
+                        "unreproducible; the reliability kit draws jitter "
+                        "from a seeded np.random Generator",
+                    )
+                elif (
+                    parts[-1] == "default_rng"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    flagged.add(id(node))
+                    yield self.flag(
+                        ctx,
+                        node,
+                        "default_rng() without a seed in a retry loop makes "
+                        "the retry timeline unreproducible; thread an "
+                        "explicit seed through",
                     )
