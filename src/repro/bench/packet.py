@@ -1,0 +1,183 @@
+"""Engine-vs-reference benchmark of the packet simulator.
+
+This is the perf-trajectory guard for the struct-of-arrays packet engine:
+it drives the **fig09 packet sweep** (the same topology set, pattern and
+load grid as :func:`repro.experiments.fig09.packet_sim_curves`) through
+both engines — the SoA kernel and the pinned scalar reference — timing
+every (topology, load) point and byte-comparing the two
+:class:`~repro.sim.packet.PacketSimResult` streams.
+
+The report (schema ``repro.bench.packet/v1``) carries:
+
+* per-point wall-clock for each engine plus the point speedup;
+* sweep totals and the headline ``speedup`` (total reference seconds over
+  total SoA seconds);
+* ``parity`` — True only if every point's result dataclass compared equal
+  field-for-field across engines;
+* a :class:`~repro.obs.RunManifest` pinning machine, interpreter, git
+  revision, seed and simulator config, so the checked-in
+  ``benchmarks/results/BENCH_packet.json`` is self-describing.
+
+Timing protocol: the two engines run back-to-back per point (adjacent in
+time, so slow drift hits both), and ``repeats`` > 1 takes the minimum
+wall-clock per engine per point — the standard low-noise estimator.  A
+fresh simulator is constructed per run so repeated timings are identical
+seeded executions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+
+from repro.obs import RunManifest
+from repro.sim.packet import PacketSimConfig, PacketSimulator
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "FIG09_NAMES",
+    "FIG09_LOADS",
+    "quick_preset",
+    "run_bench",
+    "format_bench",
+]
+
+BENCH_SCHEMA = "repro.bench.packet/v1"
+
+#: The fig09 packet sweep: reduced-scale Table 3 analogues x uniform
+#: traffic x the experiment's load grid (early-stopped at instability,
+#: exactly like ``latency_load_sweep``).
+FIG09_NAMES = ("PS-IQ", "PS-Pal", "BF", "DF", "HX")
+FIG09_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def quick_preset() -> dict:
+    """CI ``perf-smoke`` point: one topology, one load, shortened cycles.
+
+    Small enough for a pull-request gate (~tens of seconds for the
+    reference engine) while still exercising injection, contention, the
+    drain tail, and the full parity comparison.
+    """
+    return {
+        "names": ("PS-IQ",),
+        "loads": (0.6,),
+        "config": PacketSimConfig(
+            warmup_cycles=500, measure_cycles=2000, drain_cycles=2000, seed=1
+        ),
+    }
+
+
+def _timed_run(topo, router, pattern_obj, cfg, engine, load, repeats):
+    """Best-of-``repeats`` wall clock; the seeded result is run-invariant
+    because each repeat constructs a fresh simulator."""
+    best = float("inf")
+    res = None
+    for _ in range(repeats):
+        sim = PacketSimulator(topo, router, pattern_obj, cfg, engine=engine)
+        t0 = time.perf_counter()
+        res = sim.run(load)
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return best, res
+
+
+def run_bench(
+    names=FIG09_NAMES,
+    loads=FIG09_LOADS,
+    scale: str = "reduced",
+    pattern: str = "uniform",
+    config: PacketSimConfig | None = None,
+    repeats: int = 1,
+) -> dict:
+    """Run the sweep through both engines; returns the report dict."""
+    from repro.experiments.fig09 import PATTERNS
+    from repro.store import table3_router, table3_topology
+
+    cfg = config if config is not None else PacketSimConfig(seed=1)
+    rows = []
+    total = {"soa": 0.0, "reference": 0.0}
+    parity = True
+    for name in names:
+        topo = table3_topology(name, scale=scale)
+        router, _ = table3_router(name, scale=scale)
+        pattern_obj = PATTERNS[pattern](topo)
+        for load in loads:
+            point = {"topology": name, "load": float(load)}
+            results = {}
+            for engine in ("soa", "reference"):
+                secs, res = _timed_run(
+                    topo, router, pattern_obj, cfg, engine, float(load), repeats
+                )
+                total[engine] += secs
+                results[engine] = res
+                point[f"{engine}_seconds"] = secs
+            point_parity = asdict(results["soa"]) == asdict(results["reference"])
+            parity = parity and point_parity
+            point["parity"] = point_parity
+            point["stable"] = bool(results["soa"].stable)
+            point["speedup"] = (
+                point["reference_seconds"] / point["soa_seconds"]
+                if point["soa_seconds"] > 0
+                else float("inf")
+            )
+            rows.append(point)
+            if not results["soa"].stable:
+                # Mirror latency_load_sweep: past saturation the curve is
+                # meaningless, so the fig09 sweep stops here too.
+                break
+    manifest = RunManifest.capture(
+        seed=cfg.seed,
+        config=cfg,
+        sweep="fig09-packet",
+        names=list(names),
+        scale=scale,
+        pattern=pattern,
+        repeats=repeats,
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "sweep": "fig09-packet",
+        "names": list(names),
+        "scale": scale,
+        "pattern": pattern,
+        "loads": [float(x) for x in loads],
+        "repeats": int(repeats),
+        "config": asdict(cfg),
+        "seed": cfg.seed,
+        "rows": rows,
+        "totals": {
+            "soa_seconds": total["soa"],
+            "reference_seconds": total["reference"],
+            "speedup": (
+                total["reference"] / total["soa"] if total["soa"] > 0 else float("inf")
+            ),
+        },
+        "parity": parity,
+        "manifest": manifest.to_dict(),
+    }
+
+
+def format_bench(doc: dict) -> str:
+    """Console rendering of a packet bench report."""
+    t = doc["totals"]
+    lines = [
+        f"packet bench — {doc['sweep']} (scale={doc['scale']}, "
+        f"pattern={doc['pattern']}, seed={doc['seed']}, "
+        f"repeats={doc['repeats']})",
+        f"  {'topology':>8} {'load':>5} {'soa':>8} {'reference':>10} "
+        f"{'speedup':>8}  parity",
+    ]
+    for r in doc["rows"]:
+        lines.append(
+            f"  {r['topology']:>8} {r['load']:>5.2f} "
+            f"{r['soa_seconds']:>7.2f}s {r['reference_seconds']:>9.2f}s "
+            f"{r['speedup']:>7.2f}x  {'ok' if r['parity'] else 'MISMATCH'}"
+        )
+    lines.append(
+        f"  totals: soa={t['soa_seconds']:.2f}s "
+        f"reference={t['reference_seconds']:.2f}s "
+        f"speedup={t['speedup']:.2f}x "
+        f"parity={'ok' if doc['parity'] else 'MISMATCH'}"
+    )
+    return "\n".join(lines)

@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro serve start --topology PS-IQ --port 7070
     python -m repro serve bench --topology PS-IQ --out BENCH_serve.json
     python -m repro serve chaos --topology PS-IQ --scale reduced --out chaos.json
+    python -m repro bench packet --out BENCH_packet.json   # fig09 sweep, both engines
+    python -m repro bench packet --quick --min-speedup 3   # CI perf-smoke gate
+    python -m repro bench serve --topology PS-IQ --out BENCH_serve.json
     python -m repro sim --radix 7 --load 0.3 --adaptive --metrics-out m.json
     python -m repro sim --radix 7 --load 0.3 --fail-links 0.1
     python -m repro faults inject --fail-links 0.1 --fail-nodes 2
@@ -161,7 +164,8 @@ def _cmd_sim(args) -> int:
         faults=faults.summary() if faults is not None else None,
     ):
         sim = PacketSimulator(
-            topo, router, pattern, cfg, adaptive=args.adaptive, faults=faults
+            topo, router, pattern, cfg, adaptive=args.adaptive, faults=faults,
+            engine=args.engine,
         )
         res = sim.run(args.load)
     print(
@@ -240,7 +244,7 @@ def _cmd_faults_inject(args) -> int:
     ):
         sim = PacketSimulator(
             topo, store.table_router(topo), UniformRandomPattern(topo), cfg,
-            faults=sched,
+            faults=sched, engine=args.engine,
         )
         res = sim.run(args.load)
     print(f"{topo.name}: {sched!r}")
@@ -669,18 +673,65 @@ def _cmd_serve(args) -> int:
             print(f"chaos report written to {args.out}")
         return 0 if doc["ok"] else 1
     if args.action == "bench":
-        from repro.runtime import atomic_write_text
-        from repro.serve import format_bench, run_bench
+        return _run_serve_bench(args)
+    raise SystemExit(f"unknown serve action {args.action!r}")
 
+
+def _run_serve_bench(args) -> int:
+    """Shared body of ``repro serve bench`` and ``repro bench serve``."""
+    from repro.runtime import atomic_write_text
+    from repro.serve import format_bench, run_bench
+
+    doc = run_bench(
+        args.topology[0],
+        scale=args.scale,
+        pairs=args.pairs,
+        batch_sizes=tuple(args.batch_sizes),
+        concurrency=args.concurrency,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+    )
+    print(format_bench(doc))
+    if args.out:
+        atomic_write_text(
+            args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"bench report written to {args.out}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Bench subcommands: schema-versioned perf reports (``repro bench``)."""
+    if args.action == "serve":
+        return _run_serve_bench(args)
+    if args.action == "packet":
+        from repro.bench import format_bench, quick_preset, run_bench
+        from repro.runtime import atomic_write_text
+        from repro.sim.packet import PacketSimConfig
+
+        if args.quick:
+            preset = quick_preset()
+            names = tuple(args.names) if args.names else preset["names"]
+            loads = tuple(args.loads) if args.loads else preset["loads"]
+            config = preset["config"]
+            if args.seed is not None:
+                config.seed = args.seed
+        else:
+            from repro.bench import FIG09_LOADS, FIG09_NAMES
+
+            names = tuple(args.names) if args.names else FIG09_NAMES
+            loads = tuple(args.loads) if args.loads else FIG09_LOADS
+            config = PacketSimConfig(
+                seed=args.seed if args.seed is not None else 1
+            )
         doc = run_bench(
-            args.topology[0],
+            names=names,
+            loads=loads,
             scale=args.scale,
-            pairs=args.pairs,
-            batch_sizes=tuple(args.batch_sizes),
-            concurrency=args.concurrency,
-            seed=args.seed,
-            host=args.host,
-            port=args.port,
+            pattern=args.pattern,
+            config=config,
+            repeats=args.repeats,
         )
         print(format_bench(doc))
         if args.out:
@@ -688,8 +739,21 @@ def _cmd_serve(args) -> int:
                 args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n"
             )
             print(f"bench report written to {args.out}")
+        if not doc["parity"]:
+            print(
+                "ENGINE PARITY FAILURE: SoA and reference results diverged",
+                file=sys.stderr,
+            )
+            return 1
+        if doc["totals"]["speedup"] < args.min_speedup:
+            print(
+                f"speedup {doc['totals']['speedup']:.2f}x is below the "
+                f"--min-speedup floor {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
         return 0
-    raise SystemExit(f"unknown serve action {args.action!r}")
+    raise SystemExit(f"unknown bench action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -834,6 +898,66 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the BENCH_serve.json report here")
     svb.set_defaults(fn=_cmd_serve)
 
+    b = sub.add_parser(
+        "bench", help="performance benchmarks with checked-in JSON reports"
+    )
+    bsub = b.add_subparsers(dest="action", required=True)
+
+    bp = bsub.add_parser(
+        "packet",
+        help="SoA packet engine vs the scalar reference on the fig09 sweep",
+    )
+    bp.add_argument(
+        "--names", nargs="+", default=None, metavar="NAME",
+        help="Table 3 topology labels (default: the fig09 packet set)",
+    )
+    bp.add_argument(
+        "--loads", nargs="+", type=float, default=None, metavar="LOAD",
+        help="offered-load grid (default: the fig09 grid 0.1..0.9)",
+    )
+    bp.add_argument("--scale", choices=["full", "reduced"], default="reduced")
+    bp.add_argument("--pattern", default="uniform",
+                    help="fig09 traffic pattern name")
+    bp.add_argument("--seed", type=int, default=None,
+                    help="simulator seed (default 1)")
+    bp.add_argument("--repeats", type=int, default=1,
+                    help="timed runs per engine per point; best is kept")
+    bp.add_argument(
+        "--quick", action="store_true",
+        help="CI perf-smoke preset: one PS-IQ point with shortened cycles",
+    )
+    bp.add_argument(
+        "--min-speedup", type=float, default=0.0, metavar="X",
+        help="exit non-zero unless total speedup >= X (CI floor)",
+    )
+    bp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the BENCH_packet.json report here")
+    bp.set_defaults(fn=_cmd_bench)
+
+    bs = bsub.add_parser(
+        "serve", help="alias of `repro serve bench` under the bench umbrella"
+    )
+    bs.add_argument(
+        "--topology", action="append", required=True, metavar="SPEC",
+        help="topology spec to bench",
+    )
+    bs.add_argument("--scale", choices=["full", "reduced"], default="full")
+    bs.add_argument("--pairs", type=int, default=65536,
+                    help="random pairs per measured run")
+    bs.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[1, 64, 4096],
+        metavar="N",
+    )
+    bs.add_argument("--concurrency", type=int, default=4,
+                    help="client threads in server mode")
+    bs.add_argument("--seed", type=int, default=0)
+    bs.add_argument("--host", default="127.0.0.1")
+    bs.add_argument("--port", type=int, default=None,
+                    help="also drive a live server at this port")
+    bs.add_argument("--out", default=None, metavar="PATH",
+                    help="write the BENCH_serve.json report here")
+    bs.set_defaults(fn=_cmd_bench)
+
     s = sub.add_parser(
         "sim", help="run the packet simulator on a small PolarStar instance"
     )
@@ -858,6 +982,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="enable repro.obs for the run and export the JSON artifact here",
+    )
+    s.add_argument(
+        "--engine",
+        choices=["soa", "reference"],
+        default="soa",
+        help="packet-sim execution strategy: the struct-of-arrays kernel "
+        "(default) or the pinned scalar reference loop (byte-identical "
+        "results; the reference exists for parity checks and benchmarks)",
     )
     s.set_defaults(fn=_cmd_sim)
 
@@ -896,6 +1028,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="injection cycle for permanent failures and degrades",
     )
     fi.add_argument("--metrics-out", default=None, metavar="PATH")
+    fi.add_argument(
+        "--engine",
+        choices=["soa", "reference"],
+        default="soa",
+        help="packet-sim execution strategy (results are byte-identical)",
+    )
     fi.set_defaults(fn=_cmd_faults_inject)
 
     fg = fsub.add_parser(

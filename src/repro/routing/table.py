@@ -16,17 +16,20 @@ content so warm runs never rebuild (see ``docs/ARCHITECTURE.md``).
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro import obs
-from repro.analysis.distances import bfs_distances
 from repro.graphs.base import Graph
 from repro.routing.base import HopView, Router
 
 __all__ = [
     "TableRouter",
+    "batched_next_hops",
     "build_distance_table",
     "first_minimal_hops",
+    "next_hop_table",
 ]
 
 
@@ -39,6 +42,11 @@ def build_distance_table(graph: Graph, chunk: int = 512) -> np.ndarray:
     :func:`repro.store.distance_table`, which shares one table per graph
     digest across routers, processes and runs.
     """
+    # Imported here, not at module level: repro.analysis pulls in the
+    # topologies/store stack, which circularly imports repro.routing — a
+    # module-level import makes `import repro.routing` order-dependent.
+    from repro.analysis.distances import bfs_distances
+
     obs.get_registry().counter(
         "routing.table.builds",
         help="BFS distance-table constructions performed by this process",
@@ -98,6 +106,74 @@ def first_minimal_hops(
     picked[first_seg] = nbrs[hit[first_idx]]
     out[active] = picked
     return out
+
+
+#: Per-router-object next-hop table memo.  ``next_hop`` answers are
+#: deterministic and history-free for every policy in this package, so one
+#: table per router object is safe to share across simulator instances and
+#: load points (the SoA packet engine builds one per sweep, not per run).
+_NEXT_HOP_TABLES: "weakref.WeakKeyDictionary[Router, np.ndarray]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def next_hop_table(router: Router) -> np.ndarray:
+    """Dense single-next-hop matrix ``T`` with ``T[u, t] == router.next_hop(u, t)``.
+
+    Read-only ``(n, n)`` int32; the diagonal and unreachable pairs hold
+    ``-1``.  For a :class:`TableRouter` the whole matrix is produced by the
+    vectorized :func:`first_minimal_hops` kernel over its shared distance
+    table; any other policy is sampled pair-by-pair (a one-time ``O(n²)``
+    cost, memoized per router object).  This is the batched table path the
+    struct-of-arrays packet engine fancy-indexes instead of calling
+    ``next_hop`` once per event.
+    """
+    try:
+        cached = _NEXT_HOP_TABLES.get(router)
+    except TypeError:
+        cached = None
+    if cached is not None:
+        return cached
+    n = router.graph.n
+    obs.get_registry().counter(
+        "routing.nexthop_table.builds",
+        help="dense next-hop-table constructions performed by this process",
+    ).inc()
+    with obs.span("routing.nexthop_table"):
+        if isinstance(router, TableRouter):
+            cur = np.repeat(np.arange(n, dtype=np.int64), n)
+            dst = np.tile(np.arange(n, dtype=np.int64), n)
+            tab = first_minimal_hops(router.graph, router.dist, cur, dst)
+            tab = tab.reshape(n, n).astype(np.int32)
+        else:
+            tab = np.full((n, n), -1, dtype=np.int32)
+            for u in range(n):
+                row = tab[u]
+                hop = router.next_hop
+                for t in range(n):
+                    if t == u:
+                        continue
+                    try:
+                        row[t] = hop(u, t)
+                    except ValueError:
+                        pass  # unreachable pair stays -1
+    tab.setflags(write=False)
+    try:
+        _NEXT_HOP_TABLES[router] = tab
+    except TypeError:
+        pass  # non-weakref-able router: still correct, just unmemoized
+    return tab
+
+
+def batched_next_hops(
+    table: np.ndarray, srcs: np.ndarray, dests: np.ndarray
+) -> np.ndarray:
+    """Next hops for every pair ``(srcs[i], dests[i])`` from a dense table
+    built by :func:`next_hop_table` — one fancy-indexed gather replacing a
+    Python ``next_hop`` call per pair.  (VC assignment is by hop count in
+    the packet simulator and never influences the route, so no VC input.)
+    """
+    return table[srcs, dests]
 
 
 class TableRouter(Router):

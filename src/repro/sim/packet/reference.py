@@ -1,4 +1,11 @@
-"""Event-driven packet-level network simulator (the Booksim substitute).
+"""Reference packet engine: the pinned scalar event-heap implementation.
+
+This module is the **semantic specification** of the packet simulator: an
+event-driven, object-per-packet heap loop kept deliberately simple.  The
+struct-of-arrays engine (:mod:`repro.sim.packet.engine`, the default) must
+reproduce its :class:`PacketSimResult` byte-for-byte on seeded runs — the
+parity tests and ``repro bench packet`` both run this engine as the
+baseline (select it with ``engine="reference"`` / ``--engine=reference``).
 
 Models the mechanisms that shape the Fig. 9/10 latency-load curves:
 
@@ -53,8 +60,7 @@ from repro.traffic.patterns import TrafficPattern
 __all__ = [
     "PacketSimConfig",
     "PacketSimResult",
-    "PacketSimulator",
-    "latency_load_sweep",
+    "ReferencePacketSimulator",
 ]
 
 
@@ -121,8 +127,9 @@ class _Packet:
         self.enq = birth  # cycle the packet joined its current output queue
 
 
-class PacketSimulator:
-    """One run of (topology, router policy, traffic pattern) at fixed load."""
+class ReferencePacketSimulator:
+    """One run of (topology, router policy, traffic pattern) at fixed load,
+    executed by the scalar event-heap reference loop."""
 
     def __init__(
         self,
@@ -668,24 +675,3 @@ class PacketSimulator:
             reroutes=reroutes,
             drop_causes=dict(sorted(drop_causes.items())),
         )
-
-
-def latency_load_sweep(
-    topology: Topology,
-    router: Router,
-    pattern: TrafficPattern,
-    loads,
-    config: PacketSimConfig | None = None,
-    adaptive: bool = False,
-    faults: FaultSchedule | None = None,
-) -> list[PacketSimResult]:
-    """Simulate increasing offered loads, stopping after the first unstable
-    point (beyond it the network is saturated and latency diverges, §9.5)."""
-    out = []
-    for load in loads:
-        sim = PacketSimulator(topology, router, pattern, config, adaptive, faults=faults)
-        res = sim.run(float(load))
-        out.append(res)
-        if not res.stable:
-            break
-    return out

@@ -1,0 +1,114 @@
+"""Struct-of-arrays state for the batched packet engine.
+
+The reference engine (:mod:`repro.sim.packet.reference`) keeps one Python
+``_Packet`` object per packet and a global ``heapq`` of events.  The SoA
+engine replaces both:
+
+* :class:`PacketArrays` — every per-packet field lives in one ``int64``
+  NumPy column keyed by packet slot (``src/dest/router/vc/in_link/
+  intermediate/birth/hops/retries/enq``), so the per-cycle kernels in
+  :mod:`repro.sim.packet.kernel` gather and scatter whole arrival batches
+  with fancy indexing instead of touching attributes one packet at a time.
+* :class:`LinkState` — per-link mirrors (credits, serialization state,
+  FIFO queues, wake dedup flags) kept as plain Python lists.  The
+  dispatch/credit interleave is order-sensitive and runs element-at-a-time
+  inside one cycle, where CPython list indexing is several times cheaper
+  than NumPy scalar indexing; :meth:`LinkState.busy_array` converts back
+  to an array for the bulk metrics flush.
+* :func:`make_buckets` — the cycle-bucketed event queue.  All event times
+  are integers and the reference heap orders by ``(time, kind, seq)`` with
+  ``FAULT < ARRIVE < WAKE``; per-cycle append-order lists per kind
+  reproduce that order exactly (appends happen in ``seq`` order, and the
+  only same-cycle pushes made while a cycle is being processed are wakes,
+  which the reference heap also serves after that cycle's arrivals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "LinkState",
+    "PacketArrays",
+    "build_link_id_table",
+    "make_buckets",
+]
+
+
+class PacketArrays:
+    """Columnar packet state: one ``int64`` array per ``_Packet`` field."""
+
+    __slots__ = (
+        "n", "src", "dest", "router", "vc", "in_link", "intermediate",
+        "birth", "hops", "retries", "enq",
+    )
+
+    def __init__(self, src, dest, birth) -> None:
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dest = np.asarray(dest, dtype=np.int64)
+        self.birth = np.asarray(birth, dtype=np.int64)
+        n = int(self.src.shape[0])
+        self.n = n
+        self.router = self.src.copy()
+        self.vc = np.zeros(n, dtype=np.int64)
+        self.in_link = np.full(n, -1, dtype=np.int64)
+        self.intermediate = np.full(n, -1, dtype=np.int64)
+        self.hops = np.zeros(n, dtype=np.int64)
+        self.retries = np.zeros(n, dtype=np.int64)
+        self.enq = self.birth.copy()
+
+
+class LinkState:
+    """Per-link hot state as plain-list mirrors (see module docstring)."""
+
+    __slots__ = (
+        "num_links", "ends_v", "link_free", "link_busy", "link_ok",
+        "link_ser", "credits", "waiting", "wake_scheduled", "escape_at",
+    )
+
+    def __init__(self, ends, packet_size: int, num_vcs: int, buffer_packets: int):
+        m = len(ends)
+        self.num_links = m
+        self.ends_v = [int(v) for (_, v) in ends]
+        self.link_free = [0] * m
+        self.link_busy = [0] * m
+        self.link_ok = [True] * m
+        self.link_ser = [packet_size] * m
+        #: Flat ``(link, vc)`` credit counters: index ``lid * num_vcs + vc``.
+        self.credits = [buffer_packets] * (m * num_vcs)
+        #: FIFO output queues of ``(pid, vc, in_link, enq)`` tuples — the
+        #: three packet fields the dispatch loop reads are captured as
+        #: plain ints at enqueue time so sends never touch the arrays.
+        self.waiting: list[list[tuple[int, int, int, int]]] = [[] for _ in range(m)]
+        self.wake_scheduled = [False] * m
+        self.escape_at = [-1] * m
+
+    def refresh_health(self, ends, packet_size: int, health) -> None:
+        """Re-derive ``link_ok`` / ``link_ser`` from the shared health mask
+        (run start with a pre-degraded mask, and after every fault event)."""
+        link_ok = self.link_ok
+        link_ser = self.link_ser
+        for lid, (u, v) in enumerate(ends):
+            link_ok[lid] = health.is_up(u, v)
+            link_ser[lid] = int(np.ceil(packet_size * health.degrade_factor(u, v)))
+
+    def busy_array(self) -> np.ndarray:
+        return np.asarray(self.link_busy, dtype=np.int64)
+
+
+def build_link_id_table(n: int, link_id: dict[tuple[int, int], int]) -> np.ndarray:
+    """Dense ``(n, n)`` int32 link-id matrix (``-1`` for non-edges) so the
+    kernel resolves ``(router, next_hop) -> lid`` by fancy indexing."""
+    tab = np.full((n, n), -1, dtype=np.int32)
+    for (u, v), lid in link_id.items():
+        tab[u, v] = lid
+    tab.setflags(write=False)
+    return tab
+
+
+def make_buckets(end_time: int) -> list:
+    """One lazily-populated event list per cycle ``0..end_time``.  Events
+    past ``end_time`` are never enqueued — the reference loop stops at the
+    first popped event beyond it, which (heap order) discards exactly the
+    same set."""
+    return [None] * (end_time + 1)

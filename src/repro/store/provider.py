@@ -25,21 +25,21 @@ ephemeral mid-run state, not a reproducible artifact.
 from __future__ import annotations
 
 import json
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.routing import TableRouter
 
 import numpy as np
 
 from repro.analysis import bisection as _bisection
 from repro.analysis import distances as _distances
 from repro.graphs.base import Graph
-from repro.routing import (
-    DragonflyRouter,
-    HyperXRouter,
-    PolarStarRouter,
-    TableRouter,
-)
+# NOTE: repro.routing is imported lazily inside the factory functions below.
+# The routing package's policy modules import repro.topologies, which imports
+# this store package at module level — a module-level routing import here
+# closes that cycle and makes `import repro.routing` order-dependent.
 from repro.routing.base import Router
-from repro.routing.table import build_distance_table
 from repro.store import codecs, registry
 from repro.store.core import get_store
 from repro.store.keys import ArtifactKey, graph_digest
@@ -137,6 +137,8 @@ def distance_table(subject: Graph | Topology) -> np.ndarray:
     graph content — the §9.3 routing-state artifact warm runs never rebuild."""
     graph = _graph_of(subject)
     key = ArtifactKey("dist_table", "bfs-int16", {"graph": graph_digest(graph)})
+    from repro.routing.table import build_distance_table
+
     return get_store().get_or_build(
         key, lambda: build_distance_table(graph), codecs.ARRAY
     )
@@ -144,6 +146,8 @@ def distance_table(subject: Graph | Topology) -> np.ndarray:
 
 def table_router(subject: Graph | Topology) -> TableRouter:
     """All-minpath :class:`TableRouter` over the cached distance table."""
+    from repro.routing import TableRouter
+
     graph = _graph_of(subject)
     return TableRouter(graph, dist=distance_table(graph))
 
@@ -172,6 +176,8 @@ def paper_router(topo: Topology) -> tuple[Router, str]:
 
 
 def _build_paper_router(topo: Topology) -> tuple[Router, str]:
+    from repro.routing import DragonflyRouter, HyperXRouter, PolarStarRouter
+
     if "star" in topo.meta and topo.name.startswith("PS"):
         return PolarStarRouter(topo.meta["star"]), "single"
     if "a" in topo.meta and topo.name == "DF":

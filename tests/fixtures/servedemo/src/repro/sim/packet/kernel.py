@@ -1,0 +1,58 @@
+"""RL114 fixture: planted hot-loop violations in a fake packet kernel.
+
+Analysis input only (never imported).  Four planted true positives —
+three per-element loops over packet columns and one ``_Packet`` object
+reference — plus vectorized negative controls that must stay silent.
+"""
+
+import numpy as np
+
+from repro.sim.packet.reference import _Packet
+
+
+def slow_latency_tally(arrays, now, warmup):
+    # planted RL114: per-element for loop over a packet column
+    total = 0
+    for b in arrays.birth:
+        if b >= warmup:
+            total += now - b
+    return total
+
+
+def slow_hop_scan(arrays):
+    # planted RL114: index loop reaching a packet column via range(len())
+    peak = 0
+    for i in range(len(arrays.src)):
+        if arrays.hops[i] > peak:
+            peak = arrays.hops[i]
+    return peak
+
+
+def slow_latency_list(arrays, now):
+    # planted RL114: comprehension over a packet column
+    return [now - b for b in arrays.birth.tolist()]
+
+
+def object_packet_rebuild(arrays, i):
+    # planted RL114: object-per-packet state inside a batched kernel
+    return _Packet(int(arrays.src[i]), int(arrays.dest[i]), int(arrays.birth[i]))
+
+
+def batched_latency_tally(arrays, now, warmup):
+    """Negative control: the whole-batch form of the tally above."""
+    measured = arrays.birth >= warmup
+    return int((now - arrays.birth[measured]).sum())
+
+
+def drain_queues(waiting):
+    """Negative control: a loop over link queues touches no packet column."""
+    drained = 0
+    for q in waiting:
+        drained += len(q)
+        q.clear()
+    return drained
+
+
+def batched_hop_peak(arrays):
+    """Negative control: vectorized reduction over a packet column."""
+    return int(np.max(arrays.hops)) if arrays.hops.size else 0

@@ -711,6 +711,144 @@ class TestRetryDiscipline:
         assert len(violations) == 4
 
 
+# -- RL114 hot-loop-discipline ------------------------------------------------
+
+
+class TestHotLoopDiscipline:
+    RELPATH = "src/repro/sim/packet/kernel.py"
+
+    def test_for_loop_over_packet_column_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def tally(arrays, now):
+                total = 0
+                for b in arrays.birth:
+                    total += now - b
+                return total
+            """,
+            "RL114",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL114"]
+
+    def test_range_len_over_packet_column_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def scan(arrays):
+                peak = 0
+                for i in range(len(arrays.src)):
+                    peak = max(peak, arrays.hops[i])
+                return peak
+            """,
+            "RL114",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL114"]
+
+    def test_comprehension_over_packet_column_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def latencies(arrays, now):
+                return [now - b for b in arrays.birth.tolist()]
+            """,
+            "RL114",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL114"]
+
+    def test_zip_of_packet_columns_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def pairs(arrays):
+                out = []
+                for s, d in zip(arrays.src, arrays.dest):
+                    out.append((s, d))
+                return out
+            """,
+            "RL114",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL114"]
+
+    def test_packet_class_reference_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from repro.sim.packet.reference import _Packet
+
+            def rebuild(arrays, i):
+                return _Packet(arrays.n, arrays.n, 0)
+            """,
+            "RL114",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL114"]
+
+    def test_vectorized_pass_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def tally(arrays, now, warmup):
+                measured = arrays.birth >= warmup
+                return int((now - arrays.birth[measured]).sum())
+            """,
+            "RL114",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_loop_over_non_column_state_passes(self, tmp_path):
+        # Link queues are per-link (order-sensitive dispatch), not packet
+        # columns — looping over them is the engine's job, not a violation.
+        out = lint_source(
+            tmp_path,
+            """
+            def drain(waiting):
+                n = 0
+                for q in waiting:
+                    n += len(q)
+                    q.clear()
+                return n
+            """,
+            "RL114",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def tally(arrays, now):
+                total = 0
+                for b in arrays.birth:  # repro-lint: disable=RL114
+                    total += now - b
+                return total
+            """,
+            "RL114",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_servedemo_fixture_plants_fire(self):
+        fixture = REPO_ROOT / "tests" / "fixtures" / "servedemo"
+        violations, _ = run_paths(
+            [str(fixture / "src")], root=fixture, select={"RL114"},
+            use_cache=False,
+        )
+        hits = {(Path(v.path).name, v.rule) for v in violations}
+        assert ("kernel.py", "RL114") in hits
+        # three per-element loops + one _Packet reference, and none of the
+        # vectorized negative controls
+        assert len(violations) == 4
+
+
 # -- RL108 process-discipline -------------------------------------------------
 
 

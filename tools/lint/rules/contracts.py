@@ -35,6 +35,7 @@ from tools.lint.core import (
 __all__ = [
     "ContractValidation",
     "FaultDiscipline",
+    "HotLoopDiscipline",
     "ProcessDiscipline",
     "RetryDiscipline",
     "ServeDiscipline",
@@ -621,3 +622,110 @@ class RetryDiscipline(Rule):
                         "the retry timeline unreproducible; thread an "
                         "explicit seed through",
                     )
+
+
+#: ``PacketArrays`` column names — an attribute chain touching one of
+#: these inside a loop iterable marks the loop as per-packet.
+_PACKET_COLUMNS = (
+    "src",
+    "dest",
+    "router",
+    "vc",
+    "in_link",
+    "intermediate",
+    "birth",
+    "hops",
+    "retries",
+    "enq",
+)
+
+
+@register
+class HotLoopDiscipline(Rule):
+    """Hot-loop discipline for the SoA packet kernels.
+
+    ``repro.sim.packet.kernel`` exists so the per-cycle packet math runs
+    as whole-batch NumPy passes; the perf trajectory guarded by
+    ``repro bench packet`` depends on it staying that way.  Two regression
+    shapes are banned:
+
+    1. **Per-element loops over packet arrays** — a ``for`` loop (or
+       comprehension) whose iterable reaches a :class:`PacketArrays`
+       column (``src``/``dest``/``router``/...), including via
+       ``range(len(col))``, ``zip(col, ...)``, ``enumerate(col)`` or
+       ``col.tolist()``.  Each such loop reintroduces the per-packet
+       Python interpreter cost the SoA refactor removed — gather, mask
+       and scatter the whole batch instead.
+    2. **Object-per-packet state** — any reference to a ``_Packet``-style
+       class (the reference engine's per-packet objects).  Kernel code
+       operates on columns keyed by packet slot; attribute-chasing packet
+       objects must stay confined to the pinned scalar reference.
+    """
+
+    code = "RL114"
+    name = "hot-loop-discipline"
+    severity = "error"
+    default_paths = ("src/repro/sim/packet/kernel.py",)
+    description = (
+        "SoA packet kernels must stay batched: no per-element Python "
+        "loops over packet columns and no _Packet-style object state"
+    )
+
+    #: Class-name patterns treated as object-per-packet state.
+    DEFAULT_PACKET_CLASSES = ("_Packet", "Packet")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        columns = tuple(self.option("packet-columns", _PACKET_COLUMNS))
+        classes = tuple(
+            self.option("packet-classes", self.DEFAULT_PACKET_CLASSES)
+        )
+        flagged: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                col = self._column_in(node.iter, columns)
+                if col is not None:
+                    yield self.flag(
+                        ctx,
+                        node,
+                        f"per-element for loop over packet column {col!r}; "
+                        "kernel passes must be whole-batch NumPy "
+                        "(gather/mask/scatter), not per-packet Python",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    col = self._column_in(gen.iter, columns)
+                    if col is not None:
+                        yield self.flag(
+                            ctx,
+                            node,
+                            f"per-element comprehension over packet column "
+                            f"{col!r}; kernel passes must be whole-batch "
+                            "NumPy, not per-packet Python",
+                        )
+                        break
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                if id(node) in flagged:
+                    continue
+                name = dotted_name(node)
+                if name is None:
+                    continue
+                leaf = name.rsplit(".", 1)[-1]
+                if leaf in classes:
+                    for sub in ast.walk(node):
+                        flagged.add(id(sub))
+                    yield self.flag(
+                        ctx,
+                        node,
+                        f"object-per-packet class {leaf!r} referenced in a "
+                        "batched kernel; per-packet objects are confined "
+                        "to the scalar reference engine",
+                    )
+
+    @staticmethod
+    def _column_in(iter_node: ast.AST, columns: tuple[str, ...]) -> str | None:
+        """The first packet-column attribute reached by a loop iterable."""
+        for sub in ast.walk(iter_node):
+            if isinstance(sub, ast.Attribute) and sub.attr in columns:
+                return sub.attr
+        return None
