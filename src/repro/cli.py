@@ -19,6 +19,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sim --radix 7 --load 0.3 --fail-links 0.1
     python -m repro faults inject --fail-links 0.1 --fail-nodes 2
     python -m repro faults sweep --topo PS-IQ --out sweep.json
+    python -m repro faults crashpoints --out crash-report.json
     python -m repro run fig14_dynamic --jobs 4 --timeout 120
     python -m repro run fig14_dynamic --jobs 4 --resume  # continue a run
     python -m repro run status                      # list run journals
@@ -44,12 +45,17 @@ summary`` renders such an artifact for humans (see
 ``docs/OBSERVABILITY.md``).  ``faults`` runs fault-injected simulations
 (see ``docs/FAULT_TOLERANCE.md``): ``inject`` for one scenario with
 per-kind knobs, ``sweep`` for the fig14_dynamic delivered-fraction sweep
-with a byte-deterministic ``--out`` JSON artifact.  ``store`` manages the
-content-addressed artifact cache every construction flows through
+with a byte-deterministic ``--out`` JSON artifact, and ``crashpoints``
+to simulate a power cut at every durability-relevant I/O operation of a
+store-populate + journaled-sweep workload and verify the recovery
+invariants (no corrupt artifact served, byte-identical resume, gc never
+deletes live entries — the "Durability contract" in
+``docs/ARCHITECTURE.md``).  ``store`` manages the content-addressed
+artifact cache every construction flows through
 (``docs/ARCHITECTURE.md``): ``ls`` lists on-disk entries, ``warm``
 pre-builds topologies (and, with ``--dist``, their BFS distance tables)
 so later runs skip construction, ``gc`` reclaims broken or excess
-entries.
+entries and reaps stray ``.tmp-*`` files older than ``--reap-tmp-age``.
 """
 
 from __future__ import annotations
@@ -332,6 +338,43 @@ def _cmd_faults_sweep(args) -> int:
     return 0
 
 
+def _cmd_faults_crashpoints(args) -> int:
+    """Crash-point exploration over the durability layer (see
+    :mod:`repro.runtime.crashpoints`)."""
+    import json
+
+    from repro.runtime import atomic_write_text, crashpoints
+
+    report = crashpoints.explore(
+        base_dir=args.workdir, max_points=args.max_points, keep=args.keep
+    )
+    by_op: dict = {}
+    for p in report.points:
+        by_op[p["op"]] = by_op.get(p["op"], 0) + 1
+    ops = ", ".join(f"{k}={v}" for k, v in sorted(by_op.items()))
+    print(
+        f"explored {report.crash_points} crash points over "
+        f"{report.ops} durability ops ({ops})"
+    )
+    bad = [p for p in report.points if p["violations"]]
+    for p in bad:
+        print(
+            f"  VIOLATION at op #{p['seq']} ({p['op']} {p['path']}, "
+            f"mode={p['mode']}): {'; '.join(p['violations'])}",
+            file=sys.stderr,
+        )
+    if args.out:
+        atomic_write_text(
+            args.out, json.dumps(report.to_dict(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.out}")
+    if report.ok:
+        print("every crash point recovered: store clean, resume byte-identical")
+        return 0
+    print(f"{report.violations} invariant violation(s)", file=sys.stderr)
+    return 1
+
+
 def _parse_run_opts(pairs) -> dict:
     """``--opt key=value`` pairs; values parse as JSON, else stay strings."""
     import json
@@ -457,6 +500,12 @@ def _cmd_run(args) -> int:
     mod = runtime.experiment_module(args.experiment)
     merged = mod.merge_trials(plan.opts, report.merge_outcomes())
     print(mod.format_figure(merged))
+    if report.journal_degraded:
+        print(
+            f"warning: journal {journal_path} hit an I/O error mid-run; the "
+            "run finished memory-only and cannot be resumed",
+            file=sys.stderr,
+        )
     quarantined = [o for o in report.outcomes if o.status == "quarantined"]
     print(
         f"\n{counts['done']}/{counts['total']} trials done "
@@ -507,13 +556,19 @@ def _cmd_store(args) -> int:
         return 0
     if args.action == "gc":
         report = s.gc(
-            max_bytes=args.max_bytes, clear=args.clear, dry_run=args.dry_run
+            max_bytes=args.max_bytes,
+            clear=args.clear,
+            dry_run=args.dry_run,
+            reap_tmp_age=args.reap_tmp_age,
         )
         verb = "would remove" if report["dry_run"] else "removed"
-        print(
+        line = (
             f"{verb} {len(report['removed'])} entries "
             f"({report['freed_bytes']} bytes), kept {len(report['kept'])}"
         )
+        if report["reaped_tmp"]:
+            line += f", reaped {len(report['reaped_tmp'])} stray temp file(s)"
+        print(line)
         return 0
     if args.action == "warm":
         from repro.experiments.common import obs_session
@@ -1085,6 +1140,29 @@ def build_parser() -> argparse.ArgumentParser:
     fs.add_argument("--metrics-out", default=None, metavar="PATH")
     fs.set_defaults(fn=_cmd_faults_sweep)
 
+    fc = fsub.add_parser(
+        "crashpoints",
+        help="simulate a power cut at every durability op (store populate + "
+        "journaled sweep) and verify recovery invariants",
+    )
+    fc.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the deterministic crash-point report JSON here",
+    )
+    fc.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="explore only the first N crash points (smoke mode)",
+    )
+    fc.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="sandbox directory (default: a fresh temp dir, removed on exit)",
+    )
+    fc.add_argument(
+        "--keep", action="store_true",
+        help="keep every crash sandbox on disk for post-mortems",
+    )
+    fc.set_defaults(fn=_cmd_faults_crashpoints)
+
     ru = sub.add_parser(
         "run",
         help="run a trial-decomposed experiment on the supervised worker "
@@ -1149,6 +1227,11 @@ def build_parser() -> argparse.ArgumentParser:
     sgc.add_argument("--clear", action="store_true", help="remove every entry")
     sgc.add_argument(
         "--dry-run", action="store_true", help="report only; delete nothing"
+    )
+    sgc.add_argument(
+        "--reap-tmp-age", type=float, default=3600.0, metavar="SECONDS",
+        help="also reap stray .tmp-* files older than this (crashed writers; "
+        "default 1 hour — old enough to never race a live writer)",
     )
     sgc.set_defaults(fn=_cmd_store)
 

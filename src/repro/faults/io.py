@@ -1,0 +1,561 @@
+"""Deterministic I/O fault injection for the durability layer.
+
+This module is the OS-call seam between the durability-critical writers
+(:mod:`repro.store.core`'s disk tier, :mod:`repro.runtime.journal`) and
+the filesystem.  Production code talks to :class:`DiskIo`, a thin,
+faithful wrapper over ``os``-level primitives; tests and the crash-point
+explorer (:mod:`repro.runtime.crashpoints`) substitute :class:`FaultyIo`,
+which routes every durability-relevant operation through an
+:class:`IoPolicy` that can inject EIO, ENOSPC, short (torn) writes,
+fsync failures, or a simulated hard crash — with byte-deterministic
+schedules (same seed → same fault timeline, the same discipline RL105
+enforces for :mod:`repro.faults.model`).
+
+The operation vocabulary (:data:`OP_KINDS`) is exactly the set of calls
+whose ordering decides what survives a power loss::
+
+    create      O_EXCL temp-file creation (the ``.tmp-*`` protocol)
+    open_append append-mode open (the journal's writer)
+    write       buffered write of a byte blob
+    flush       user-space buffer -> page cache
+    fsync       page cache -> media (persists content *and* existence)
+    replace     atomic rename over the destination
+    unlink      file removal
+    fsync_dir   directory fsync (persists renames/unlinks)
+
+:class:`FaultyIo` additionally maintains a *durable-state shadow*: the
+byte contents a crash at this instant is guaranteed to leave on media
+under the standard crash-consistency model (``fsync(file)`` persists the
+file's content and existence; ``replace``/``unlink`` persist at the next
+``fsync_dir`` of the parent, or earlier if the OS happens to flush —
+which is why the explorer tests both outcomes).  After a simulated crash
+:meth:`FaultyIo.materialize_crash_state` rewrites the real sandbox to
+that durable view, so recovery code is exercised against a legal
+post-power-loss filesystem, not a conveniently intact one.
+
+Every injected fault increments the ambient counter
+``io.faults.injected`` (label ``kind``).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO
+
+import numpy as np
+
+from repro import obs
+
+__all__ = [
+    "CRASH_MODES",
+    "DiskIo",
+    "FAULT_KINDS",
+    "FaultyIo",
+    "IoFault",
+    "IoFile",
+    "IoOp",
+    "IoPolicy",
+    "ScriptedPolicy",
+    "SeededPolicy",
+    "SimulatedCrash",
+]
+
+#: Operation kinds a policy can match on (see the module docstring).
+OP_KINDS = (
+    "create",
+    "open_append",
+    "write",
+    "flush",
+    "fsync",
+    "replace",
+    "unlink",
+    "fsync_dir",
+)
+
+#: Fault kinds a policy can inject.
+FAULT_KINDS = ("eio", "enospc", "short_write", "fsync_fail", "crash")
+
+#: What a simulated crash leaves on media:
+#: ``sync``  — only explicitly persisted state (fsync'd content, dir-fsync'd
+#:             renames) survives: the adversarial minimum.
+#: ``flush`` — the OS flushed every cache just before the power cut: all
+#:             volatile writes and pending metadata survive (this is the
+#:             outcome that leaves stray ``.tmp-*`` files behind).
+#: ``torn``  — like ``sync``, but the file targeted by the in-flight write
+#:             additionally lands with its volatile content plus a prefix
+#:             of the new data: the classic torn tail.
+CRASH_MODES = ("sync", "flush", "torn")
+
+
+class SimulatedCrash(BaseException):
+    """A simulated power loss.
+
+    Deliberately **not** an :class:`Exception`: durability code catches
+    ``OSError`` (and sometimes ``Exception``) to degrade gracefully, and a
+    crash must never be degradable — it has to unwind the whole workload
+    like SIGKILL would.
+    """
+
+
+class IoFile:
+    """An open file handle tracked by the seam (path + raw stream)."""
+
+    __slots__ = ("raw", "path")
+
+    def __init__(self, raw: BinaryIO, path: Path) -> None:
+        self.raw = raw
+        self.path = path
+
+    @property
+    def closed(self) -> bool:
+        return self.raw.closed
+
+
+@dataclass(frozen=True)
+class IoOp:
+    """One durability-relevant operation, in program order.
+
+    ``seq`` is the global 0-based operation index; ``kind_seq`` is the
+    0-based index among operations of the same ``kind`` (so policies can
+    say "the 2nd fsync" without counting unrelated ops).
+    """
+
+    seq: int
+    kind: str
+    path: str
+    kind_seq: int
+
+
+@dataclass(frozen=True)
+class IoFault:
+    """A fault to inject, plus the match that selects its victim op.
+
+    Exactly which op it fires on is chosen by ``op_seq`` (global index)
+    and/or ``op_kind``/``nth`` (the nth op of that kind, 0-based;
+    ``nth=None`` means the first op of that kind still unmatched).
+    ``crash_mode`` selects what a ``kind="crash"`` fault leaves on media
+    (see :data:`CRASH_MODES`; non-write ops treat ``torn`` as ``sync``).
+    """
+
+    kind: str
+    op_seq: int | None = None
+    op_kind: str | None = None
+    nth: int | None = None
+    crash_mode: str = "sync"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.crash_mode not in CRASH_MODES:
+            raise ValueError(
+                f"unknown crash mode {self.crash_mode!r}; "
+                f"expected one of {CRASH_MODES}"
+            )
+        if self.op_seq is None and self.op_kind is None:
+            raise ValueError(
+                "IoFault needs a match: set op_seq and/or op_kind (+ nth)"
+            )
+        if self.op_kind is not None and self.op_kind not in OP_KINDS:
+            raise ValueError(
+                f"unknown op kind {self.op_kind!r}; expected one of {OP_KINDS}"
+            )
+
+    def matches(self, op: IoOp) -> bool:
+        if self.op_seq is not None and self.op_seq != op.seq:
+            return False
+        if self.op_kind is not None:
+            if self.op_kind != op.kind:
+                return False
+            if self.nth is not None and self.nth != op.kind_seq:
+                return False
+        return True
+
+
+class IoPolicy:
+    """Decides, per operation, whether to inject a fault (base: never)."""
+
+    def fault_for(self, op: IoOp) -> IoFault | None:
+        return None
+
+
+class ScriptedPolicy(IoPolicy):
+    """Injects an explicit fault list; each fault fires once.
+
+    Faults are consumed in list order: the first still-pending fault that
+    matches the current op fires.  ``remaining`` exposes what never fired
+    (useful for asserting a script was fully consumed).
+    """
+
+    def __init__(self, faults: list[IoFault] | tuple[IoFault, ...]) -> None:
+        self._pending: list[IoFault] = list(faults)
+
+    @property
+    def remaining(self) -> list[IoFault]:
+        return list(self._pending)
+
+    def fault_for(self, op: IoOp) -> IoFault | None:
+        for i, fault in enumerate(self._pending):
+            if fault.matches(op):
+                del self._pending[i]
+                return fault
+        return None
+
+
+class SeededPolicy(IoPolicy):
+    """Seeded random fault injection with a deterministic timeline.
+
+    Draws **exactly one** uniform variate per operation (regardless of
+    whether a fault fires), so the fault timeline depends only on the
+    seed and the op sequence — two runs of the same workload under the
+    same seed inject byte-identical fault schedules.  Probabilities are
+    applied only to the op kinds they make sense for: ``short_write`` to
+    ``write`` ops, ``fsync_fail`` to ``fsync``/``fsync_dir``, and
+    ``eio``/``enospc`` to any mutating op.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        p_eio: float = 0.0,
+        p_enospc: float = 0.0,
+        p_short_write: float = 0.0,
+        p_fsync_fail: float = 0.0,
+    ) -> None:
+        for name, p in (
+            ("p_eio", p_eio),
+            ("p_enospc", p_enospc),
+            ("p_short_write", p_short_write),
+            ("p_fsync_fail", p_fsync_fail),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.seed = seed
+        self.p_eio = p_eio
+        self.p_enospc = p_enospc
+        self.p_short_write = p_short_write
+        self.p_fsync_fail = p_fsync_fail
+        self._rng = np.random.default_rng(seed)
+        #: ``(op_seq, op_kind, fault_kind)`` for every fault that fired.
+        self.timeline: list[tuple[int, str, str]] = []
+
+    def fault_for(self, op: IoOp) -> IoFault | None:
+        u = float(self._rng.random())  # one draw per op, always
+        ladder: list[tuple[str, float]] = [("eio", self.p_eio),
+                                           ("enospc", self.p_enospc)]
+        if op.kind == "write":
+            ladder.append(("short_write", self.p_short_write))
+        if op.kind in ("fsync", "fsync_dir"):
+            ladder.append(("fsync_fail", self.p_fsync_fail))
+        cum = 0.0
+        for kind, p in ladder:
+            cum += p
+            if u < cum:
+                self.timeline.append((op.seq, op.kind, kind))
+                return IoFault(kind, op_seq=op.seq)
+        return None
+
+
+class DiskIo:
+    """The real OS-call implementation of the seam (stateless)."""
+
+    def exclusive_create(self, directory: Path, prefix: str = ".tmp-") -> IoFile:
+        """Create+open a process-unique O_EXCL temp file in *directory*."""
+        fd, name = tempfile.mkstemp(dir=str(directory), prefix=prefix)
+        return IoFile(os.fdopen(fd, "wb"), Path(name))
+
+    def open_append(self, path: Path) -> IoFile:
+        return IoFile(open(path, "ab"), Path(path))
+
+    def write(self, f: IoFile, data: bytes) -> None:
+        f.raw.write(data)
+
+    def flush(self, f: IoFile) -> None:
+        f.raw.flush()
+
+    def fsync(self, f: IoFile) -> None:
+        f.raw.flush()
+        os.fsync(f.raw.fileno())
+
+    def close(self, f: IoFile) -> None:
+        if not f.raw.closed:
+            f.raw.close()
+
+    def replace(self, src: Path, dst: Path) -> None:
+        os.replace(src, dst)
+
+    def unlink(self, path: Path) -> None:
+        os.unlink(path)
+
+    def fsync_dir(self, path: Path) -> None:
+        """fsync a directory so renames/unlinks in it survive power loss."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+def _os_error(code: int, op: IoOp) -> OSError:
+    return OSError(code, f"{os.strerror(code)} [injected at {op.kind} #{op.seq}]")
+
+
+class FaultyIo(DiskIo):
+    """A :class:`DiskIo` that injects policy-driven faults and models
+    what a crash would leave on media.
+
+    Real files are still written (the workload must be able to read its
+    own output), but alongside them the seam tracks, per touched path:
+
+    * ``shadow``  — the volatile view (page cache): every byte written;
+    * ``synced``  — the last explicitly-fsync'd content;
+    * ``durable`` — the guaranteed post-crash content (``None`` = the
+      path is guaranteed absent), advanced by ``fsync`` for file content
+      + existence and by ``fsync_dir`` for pending renames/unlinks.
+
+    A ``crash`` fault freezes ``durable`` according to its mode, marks
+    the seam dead (every later op raises :class:`SimulatedCrash`), and
+    raises :class:`SimulatedCrash`; :meth:`materialize_crash_state` then
+    rewrites the real sandbox to the durable view so recovery runs
+    against a legal post-power-loss filesystem.
+
+    Temp-file names are deterministic (``.tmp-sim-NNNN``) rather than
+    ``mkstemp``-random, so op traces and explorer reports are
+    byte-stable across runs.
+    """
+
+    def __init__(self, policy: IoPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else IoPolicy()
+        self.ops: list[IoOp] = []
+        self.injected: list[tuple[IoOp, str]] = []
+        self.crashed = False
+        self.crash_op: IoOp | None = None
+        self._kind_counts: dict[str, int] = {}
+        self._open: list[IoFile] = []
+        self._shadow: dict[str, bytes] = {}
+        self._synced: dict[str, bytes] = {}
+        self._durable: dict[str, bytes | None] = {}
+        #: metadata ops awaiting a directory fsync: ("replace", src, dst,
+        #: synced-content) or ("unlink", path).
+        self._pending_meta: list[tuple[str, ...]] = []
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _begin(self, kind: str, path: Path) -> IoOp:
+        if self.crashed:
+            raise SimulatedCrash(
+                f"I/O after simulated crash at op #{self.crash_op.seq}"
+                if self.crash_op is not None
+                else "I/O after simulated crash"
+            )
+        kind_seq = self._kind_counts.get(kind, 0)
+        self._kind_counts[kind] = kind_seq + 1
+        op = IoOp(seq=len(self.ops), kind=kind, path=str(path), kind_seq=kind_seq)
+        self.ops.append(op)
+        return op
+
+    def _track(self, path: Path) -> None:
+        """First touch: snapshot the path's pre-existing state as durable."""
+        key = str(path)
+        if key in self._durable:
+            return
+        if path.is_file():
+            content = path.read_bytes()
+            self._durable[key] = content
+            self._synced[key] = content
+            self._shadow[key] = content
+        else:
+            self._durable[key] = None
+
+    def _count_injected(self, kind: str) -> None:
+        obs.get_registry().counter(
+            "io.faults.injected",
+            help="I/O faults injected through the repro.faults.io seam",
+            labels=("kind",),
+        ).labels(kind=kind).inc()
+
+    def _crash(self, op: IoOp, mode: str, data: bytes | None = None) -> None:
+        """Freeze the durable map per *mode* and die."""
+        if mode == "flush":
+            # The OS flushed everything (content + pending metadata) just
+            # before the cut: the real sandbox as-is *is* the durable state.
+            for key in list(self._durable):
+                self._durable[key] = self._shadow.get(key)
+        elif mode == "torn" and op.kind == "write" and data:
+            # Only fsync'd state survives — except the in-flight file, whose
+            # cached pages (old tail + half the new record) hit the platter.
+            torn = self._shadow.get(op.path, b"") + data[: max(1, len(data) // 2)]
+            self._durable[op.path] = torn
+        # mode == "sync": the durable map is already exactly right.
+        self.crashed = True
+        self.crash_op = op
+        self._count_injected("crash")
+        self.injected.append((op, "crash:" + mode))
+        raise SimulatedCrash(f"simulated crash at op #{op.seq} ({op.kind} {op.path})")
+
+    def _inject(self, op: IoOp, data: bytes | None = None) -> bytes | None:
+        """Consult the policy; raise for eio/enospc/fsync_fail/crash.
+
+        Returns the (possibly truncated) data a ``write`` should proceed
+        with: ``short_write`` writes a prefix for real, then raises ENOSPC
+        — the torn-write failure mode where the caller *knows* it failed.
+        """
+        fault = self.policy.fault_for(op)
+        if fault is None:
+            return data
+        if fault.kind == "crash":
+            self._crash(op, fault.crash_mode if op.kind == "write" else
+                        ("sync" if fault.crash_mode == "torn" else fault.crash_mode),
+                        data)
+        self._count_injected(fault.kind)
+        self.injected.append((op, fault.kind))
+        if fault.kind == "eio":
+            raise _os_error(errno.EIO, op)
+        if fault.kind == "enospc":
+            raise _os_error(errno.ENOSPC, op)
+        if fault.kind == "fsync_fail":
+            raise _os_error(errno.EIO, op)
+        # short_write: land a prefix, then fail like a full disk.
+        if op.kind != "write" or data is None:
+            raise _os_error(errno.EIO, op)
+        prefix = data[: max(1, len(data) // 2)]
+        super().write(self._file_for(op), prefix)
+        self._shadow[op.path] = self._shadow.get(op.path, b"") + prefix
+        raise _os_error(errno.ENOSPC, op)
+
+    def _file_for(self, op: IoOp) -> IoFile:
+        for f in self._open:
+            if str(f.path) == op.path and not f.closed:
+                return f
+        raise RuntimeError(f"no open handle for {op.path}")
+
+    # -- the seam ------------------------------------------------------------
+
+    def exclusive_create(self, directory: Path, prefix: str = ".tmp-") -> IoFile:
+        name = f"{prefix}sim-{len(self.ops):04d}"
+        path = Path(directory) / name
+        op = self._begin("create", path)
+        self._track(path)
+        self._inject(op)
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        f = IoFile(os.fdopen(fd, "wb"), path)
+        self._open.append(f)
+        self._shadow[op.path] = b""
+        self._synced[op.path] = b""
+        return f
+
+    def open_append(self, path: Path) -> IoFile:
+        path = Path(path)
+        op = self._begin("open_append", path)
+        self._track(path)
+        self._inject(op)
+        f = IoFile(open(path, "ab"), path)
+        self._open.append(f)
+        self._shadow.setdefault(op.path, b"")
+        self._synced.setdefault(op.path, b"")
+        return f
+
+    def write(self, f: IoFile, data: bytes) -> None:
+        op = self._begin("write", f.path)
+        self._track(f.path)
+        data2 = self._inject(op, data)
+        super().write(f, data2 if data2 is not None else data)
+        self._shadow[op.path] = self._shadow.get(op.path, b"") + data
+
+    def flush(self, f: IoFile) -> None:
+        op = self._begin("flush", f.path)
+        self._inject(op)
+        super().flush(f)
+
+    def fsync(self, f: IoFile) -> None:
+        op = self._begin("fsync", f.path)
+        self._track(f.path)
+        self._inject(op)
+        super().fsync(f)
+        content = self._shadow.get(op.path, b"")
+        self._synced[op.path] = content
+        # fsync persists content *and* existence (the inode reaches the
+        # journal); only renames/unlinks additionally need fsync_dir.
+        self._durable[op.path] = content
+
+    def close(self, f: IoFile) -> None:
+        # Not an op: closing moves no bytes toward the platter, and crash
+        # unwinding must always be able to release handles.
+        super().close(f)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        src, dst = Path(src), Path(dst)
+        op = self._begin("replace", dst)
+        self._track(src)
+        self._track(dst)
+        self._inject(op)
+        super().replace(src, dst)
+        self._shadow[str(dst)] = self._shadow.pop(str(src), b"")
+        moved_synced = self._synced.pop(str(src), b"")
+        self._synced[str(dst)] = moved_synced
+        self._pending_meta.append(("replace", str(src), str(dst), moved_synced))
+
+    def unlink(self, path: Path) -> None:
+        path = Path(path)
+        op = self._begin("unlink", path)
+        self._track(path)
+        self._inject(op)
+        super().unlink(path)
+        self._shadow.pop(op.path, None)
+        self._synced.pop(op.path, None)
+        self._pending_meta.append(("unlink", op.path))
+
+    def fsync_dir(self, path: Path) -> None:
+        path = Path(path)
+        op = self._begin("fsync_dir", path)
+        self._inject(op)
+        super().fsync_dir(path)
+        still_pending: list[tuple[str, ...]] = []
+        for entry in self._pending_meta:
+            target = Path(entry[2] if entry[0] == "replace" else entry[1])
+            if target.parent != path:
+                still_pending.append(entry)
+                continue
+            if entry[0] == "replace":
+                _, src, dst, synced = entry
+                self._durable[dst] = self._synced.get(dst, synced)
+                self._durable[src] = None
+            else:
+                self._durable[entry[1]] = None
+        self._pending_meta = still_pending
+
+    # -- crash-state reconstruction -----------------------------------------
+
+    def durable_state(self) -> dict[str, bytes | None]:
+        """The tracked post-crash contents (``None`` = guaranteed absent)."""
+        return dict(self._durable)
+
+    def materialize_crash_state(self) -> list[str]:
+        """Rewrite the real sandbox to the durable view; returns changed paths.
+
+        Open handles are released first (the process is "dead"; its fds are
+        gone).  Paths whose durable state is ``None`` are removed; the rest
+        are rewritten byte-for-byte.  This runs *outside* the seam — it is
+        the simulated platter, not the simulated process.
+        """
+        for f in self._open:
+            if not f.raw.closed:
+                f.raw.close()
+        changed: list[str] = []
+        for key in sorted(self._durable):
+            path = Path(key)
+            want = self._durable[key]
+            have = path.read_bytes() if path.is_file() else None
+            if want == have:
+                continue
+            changed.append(key)
+            if want is None:
+                path.unlink()
+            else:
+                path.write_bytes(want)
+        return changed

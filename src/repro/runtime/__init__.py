@@ -16,9 +16,11 @@ contract.  Lint rule RL108 confines process-spawning primitives to this
 package.
 """
 
+from repro.runtime.crashpoints import CrashPointReport, explore as explore_crashpoints
 from repro.runtime.journal import (
     Journal,
     JournalError,
+    JournalWriteError,
     atomic_write_text,
     completed_trials,
     load_records,
@@ -46,9 +48,11 @@ from repro.runtime.supervisor import (
 )
 
 __all__ = [
+    "CrashPointReport",
     "DEGRADE_LADDER",
     "Journal",
     "JournalError",
+    "JournalWriteError",
     "ManagedProcess",
     "PLANNED_EXPERIMENTS",
     "Plan",
@@ -64,6 +68,7 @@ __all__ = [
     "completed_trials",
     "execute_trial",
     "experiment_module",
+    "explore_crashpoints",
     "load_records",
     "run_headers",
     "run_plan",

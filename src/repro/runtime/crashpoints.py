@@ -1,0 +1,370 @@
+"""Crash-point exploration: prove every durability op recoverable.
+
+``repro faults crashpoints`` answers, by exhaustive construction, the
+question the durability layer's docs assert: *is there any instant a
+power cut leaves the store or the journal unrecoverable?*
+
+The explorer runs a representative workload — populate the artifact
+store with a few arrays, run a journaled trial sweep over them, and
+commit a final ``--out`` artifact — once under a recording
+:class:`~repro.faults.io.FaultyIo` to enumerate every durability-relevant
+I/O operation, then re-runs it once per *(operation, crash mode)* pair
+with a scripted :class:`~repro.faults.io.SimulatedCrash` at exactly that
+point.  Each crash's durable filesystem state (per the crash-consistency
+model in :mod:`repro.faults.io`: ``sync`` = only fsync'd state survives,
+``flush`` = the OS flushed everything, ``torn`` = half the in-flight
+write landed) is materialized into the sandbox and recovery is verified
+against four invariants:
+
+1. **no corrupt serve** — the store never returns a wrong value for any
+   artifact; torn/partial entries are detected, deleted, counted
+   (``store.corrupt_recovered``) and rebuilt;
+2. **gc is safe** — ``gc`` (with temp-file reaping) never removes an
+   entry that was cleanly loadable, and leaves no ``.tmp-*`` strays;
+3. **resume is exact** — re-running the workload replays every durably
+   checkpointed trial (zero re-execution) and produces a final artifact
+   byte-identical to the uninterrupted run;
+4. **the journal heals** — torn tails are dropped (counted in
+   ``journal.recovered_records``) without losing any complete record.
+
+The report (schema ``repro.faults.crashpoints/v1``) is byte-deterministic:
+op traces use deterministic temp names, paths are sandbox-relative, and
+nothing reads a clock.  CI runs the explorer and fails on any violation
+(see the ``crash-consistency`` job).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.io import (
+    DiskIo,
+    FaultyIo,
+    IoFault,
+    IoOp,
+    ScriptedPolicy,
+    SimulatedCrash,
+)
+from repro.runtime.journal import (
+    Journal,
+    atomic_write_text,
+    completed_trials,
+    load_records,
+)
+from repro.store.codecs import ARRAY, get_codec
+from repro.store.core import CORRUPT_ERRORS, ArtifactStore
+from repro.store.keys import ArtifactKey
+
+__all__ = [
+    "CrashPointReport",
+    "WorkloadResult",
+    "explore",
+    "run_workload",
+]
+
+SCHEMA = "repro.faults.crashpoints/v1"
+
+#: Workload shape: a handful of artifacts and trials is enough to cover
+#: every distinct op pattern (store npz+sidecar commits, journal appends,
+#: resume, final artifact) while keeping the point count tractable.
+N_ARTIFACTS = 3
+N_TRIALS = 4
+
+
+def _artifact_key(i: int) -> ArtifactKey:
+    return ArtifactKey("dist_table", "crashpoints", {"case": i})
+
+
+def _artifact_value(i: int) -> np.ndarray:
+    return (np.arange(24, dtype=np.int32) * (i + 1)).reshape(4, 6)
+
+
+def _trial_digest(t: int) -> str:
+    return hashlib.sha256(f"crashpoints-trial-{t}".encode()).hexdigest()
+
+
+def _trial_result(t: int, value: np.ndarray) -> dict:
+    checksum = hashlib.sha256(value.tobytes() + str(t).encode()).hexdigest()
+    return {"trial": t, "artifact": t % N_ARTIFACTS, "checksum": checksum}
+
+
+@dataclass
+class WorkloadResult:
+    """What one workload pass did (the explorer compares these)."""
+
+    executed: list[int] = field(default_factory=list)  # trials run this pass
+    rebuilt: list[int] = field(default_factory=list)  # artifacts (re)built
+    out_bytes: bytes = b""
+
+
+def run_workload(sandbox: Path, io: DiskIo) -> WorkloadResult:
+    """Store populate + journaled sweep + final artifact, through *io*.
+
+    Idempotent by construction: artifacts resolve through the store,
+    trials are skipped when the journal already has their ``done``
+    record, and the final artifact is derived purely from the journal —
+    so running it again after any interruption is exactly ``--resume``.
+    """
+    result = WorkloadResult()
+    store_root = sandbox / "store"
+    run_dir = sandbox / "run"
+    store_root.mkdir(parents=True, exist_ok=True)
+    run_dir.mkdir(parents=True, exist_ok=True)
+
+    store = ArtifactStore(root=store_root, io=io)
+    values: dict[int, np.ndarray] = {}
+    for i in range(N_ARTIFACTS):
+        def build(i: int = i) -> np.ndarray:
+            result.rebuilt.append(i)
+            return _artifact_value(i)
+
+        values[i] = store.get_or_build(_artifact_key(i), build, ARRAY)
+
+    journal_path = run_dir / "journal.jsonl"
+    done = completed_trials(load_records(journal_path))
+    with Journal(journal_path, io=io) as journal:
+        journal.append(
+            {"type": "run", "experiment": "crashpoints", "trials": N_TRIALS}
+        )
+        for t in range(N_TRIALS):
+            digest = _trial_digest(t)
+            if digest in done:
+                continue
+            journal.append(
+                {
+                    "type": "trial",
+                    "trial": digest,
+                    "status": "done",
+                    "attempt": 1,
+                    "result": _trial_result(t, values[t % N_ARTIFACTS]),
+                }
+            )
+            result.executed.append(t)
+        journal.append({"type": "complete", "trials": N_TRIALS})
+
+    done = completed_trials(load_records(journal_path))
+    out = {
+        "schema": "repro.faults.crashpoints.workload/v1",
+        "results": {d: rec["result"] for d, rec in sorted(done.items())},
+    }
+    out_path = sandbox / "out.json"
+    atomic_write_text(
+        out_path, json.dumps(out, sort_keys=True, indent=1) + "\n", io=io
+    )
+    result.out_bytes = out_path.read_bytes()
+    return result
+
+
+def _probe_loadable(store_root: Path) -> set[str]:
+    """Digests of entries that decode cleanly, *without* mutating the store.
+
+    This is the explorer's read-only twin of ``ArtifactStore._disk_load``
+    (which deletes what it cannot read): the pre-gc "live set" that gc
+    must never shrink.
+    """
+    loadable: set[str] = set()
+    for meta_path in sorted(store_root.glob("*.json")):
+        digest = meta_path.name[: -len(".json")]
+        try:
+            meta = json.loads(meta_path.read_text())
+            codec = get_codec(meta["codec"])
+            arrays: dict = {}
+            if meta.get("has_arrays"):
+                with np.load(
+                    store_root / (digest + ".npz"), allow_pickle=False
+                ) as npz:
+                    arrays = {k: npz[k] for k in npz.files}
+            codec.decode(arrays, meta.get("payload", {}))
+        except CORRUPT_ERRORS:
+            continue
+        loadable.add(digest)
+    return loadable
+
+
+def _verify_recovery(
+    sandbox: Path, golden: WorkloadResult
+) -> tuple[list[str], dict]:
+    """Restart "after the crash" and check the four recovery invariants."""
+    violations: list[str] = []
+    io = DiskIo()
+    store_root = sandbox / "store"
+    journal_path = sandbox / "run" / "journal.jsonl"
+
+    # Invariant 2: gc never deletes a cleanly loadable entry, and reaps
+    # every stray temp file the crash left behind (age 0 = reap all now).
+    loadable_before = _probe_loadable(store_root)
+    gc_store = ArtifactStore(root=store_root, io=io)
+    gc_report = gc_store.gc(reap_tmp_age=0.0)
+    for digest in gc_report["removed"]:
+        if digest in loadable_before:
+            violations.append(f"gc removed live entry {digest[:16]}")
+    strays = sorted(p.name for p in store_root.glob(".tmp-*"))
+    if strays:
+        violations.append(f"stray temp files survived gc: {strays}")
+
+    # Zero re-execution: trials durably checkpointed before the restart
+    # must be replayed, never run again.
+    durably_done = completed_trials(load_records(journal_path))
+
+    # Invariants 1 + 3: the resumed workload serves only correct artifact
+    # values (rebuilding anything corrupt) and converges to the golden
+    # final artifact byte-for-byte.
+    resumed = run_workload(sandbox, io)
+    for t in resumed.executed:
+        if _trial_digest(t) in durably_done:
+            violations.append(f"re-executed durably checkpointed trial {t}")
+    if resumed.out_bytes != golden.out_bytes:
+        violations.append("resumed out.json is not byte-identical to golden")
+
+    # Every artifact the resumed pass decoded must be the true value; a
+    # wrong value would have poisoned the trial checksums above, but check
+    # directly too so the report pins the failure to the store.
+    check_store = ArtifactStore(root=store_root, io=io)
+    for i in range(N_ARTIFACTS):
+        value = check_store.get_or_build(
+            _artifact_key(i), lambda i=i: _artifact_value(i), ARRAY
+        )
+        if not np.array_equal(value, _artifact_value(i)):
+            violations.append(f"store served wrong value for artifact {i}")
+
+    # Invariant 4: after recovery the journal must hold one clean done
+    # record per trial, each carrying the golden checksum.
+    final_done = completed_trials(load_records(journal_path))
+    for t in range(N_TRIALS):
+        rec = final_done.get(_trial_digest(t))
+        if rec is None:
+            violations.append(f"trial {t} missing from recovered journal")
+        elif rec.get("result", {}).get("checksum") != _trial_result(
+            t, _artifact_value(t % N_ARTIFACTS)
+        )["checksum"]:
+            violations.append(f"trial {t} result drifted after recovery")
+
+    detail = {
+        "rebuilt": len(resumed.rebuilt),
+        "reexecuted": len(resumed.executed),
+        "gc_removed": len(gc_report["removed"]),
+        "gc_reaped_tmp": len(gc_report["reaped_tmp"]),
+    }
+    return violations, detail
+
+
+@dataclass
+class CrashPointReport:
+    """The explorer's full result (serialize with :meth:`to_dict`)."""
+
+    ops: int
+    crash_points: int
+    violations: int
+    points: list[dict]
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "workload": {
+                "artifacts": N_ARTIFACTS,
+                "trials": N_TRIALS,
+                "ops": self.ops,
+            },
+            "crash_points": self.crash_points,
+            "violations": self.violations,
+            "ok": self.ok,
+            "points": self.points,
+        }
+
+
+def _crash_modes(op: IoOp) -> tuple[str, ...]:
+    # Every op gets the adversarial minimum ("sync") and the
+    # everything-flushed maximum ("flush"); writes additionally get the
+    # torn half-record. Between them these bracket every durable state a
+    # real power cut can leave at this boundary.
+    return ("sync", "flush", "torn") if op.kind == "write" else ("sync", "flush")
+
+
+def explore(
+    base_dir: str | Path | None = None,
+    max_points: int | None = None,
+    keep: bool = False,
+) -> CrashPointReport:
+    """Enumerate every crash point of the workload and verify recovery.
+
+    ``max_points`` truncates the exploration (smoke tests); ``keep``
+    leaves the sandboxes on disk for post-mortems.  Returns the
+    :class:`CrashPointReport`; it is the caller's job to gate on
+    ``report.ok``.
+    """
+    own_base = base_dir is None
+    base = Path(base_dir) if base_dir is not None else Path(
+        tempfile.mkdtemp(prefix="repro-crashpoints-")
+    )
+    try:
+        golden_io = FaultyIo()
+        golden_dir = base / "golden"
+        golden = run_workload(golden_dir, golden_io)
+        if golden_io.injected:
+            raise RuntimeError("golden pass must not inject faults")
+
+        specs: list[tuple[IoOp, str]] = [
+            (op, mode) for op in golden_io.ops for mode in _crash_modes(op)
+        ]
+        if max_points is not None:
+            specs = specs[:max_points]
+
+        points: list[dict] = []
+        total_violations = 0
+        for op, mode in specs:
+            sandbox = base / f"cp-{op.seq:04d}-{mode}"
+            policy = ScriptedPolicy(
+                [IoFault("crash", op_seq=op.seq, crash_mode=mode)]
+            )
+            crash_io = FaultyIo(policy)
+            crashed = True
+            try:
+                run_workload(sandbox, crash_io)
+                crashed = False
+            except SimulatedCrash:
+                pass
+            violations: list[str]
+            detail: dict = {}
+            if not crashed:
+                violations = [f"workload never reached op #{op.seq}"]
+            else:
+                crash_io.materialize_crash_state()
+                violations, detail = _verify_recovery(sandbox, golden)
+            total_violations += len(violations)
+            rel_path = op.path
+            golden_root = str(golden_dir)
+            if rel_path.startswith(golden_root):
+                rel_path = rel_path[len(golden_root):].lstrip("/")
+            points.append(
+                {
+                    "seq": op.seq,
+                    "op": op.kind,
+                    "path": rel_path,
+                    "mode": mode,
+                    "violations": violations,
+                    **detail,
+                }
+            )
+            if not keep and not violations:
+                shutil.rmtree(sandbox, ignore_errors=True)
+
+        return CrashPointReport(
+            ops=len(golden_io.ops),
+            crash_points=len(specs),
+            violations=total_violations,
+            points=points,
+        )
+    finally:
+        if own_base and not keep:
+            shutil.rmtree(base, ignore_errors=True)

@@ -9,12 +9,22 @@ single source of truth for resume: a trial whose latest record says
 ``done`` is never re-executed — its journaled result is replayed, which is
 what makes a resumed run byte-identical to an uninterrupted one.
 
-Durability contract: every :meth:`Journal.append` writes one canonical
-JSON line, flushes, and ``fsync``\\ s, so a SIGKILL at any instant loses at
-most the line being written.  :func:`load_records` tolerates exactly that
-failure mode — an undecodable (truncated) line is dropped with a warning —
-and :class:`Journal` repairs a missing trailing newline before appending,
-so a record written after a crash never fuses with the partial line.
+Durability contract (see the table in ``docs/ARCHITECTURE.md``): every
+:meth:`Journal.append` writes one canonical JSON line, flushes, and
+``fsync``\\ s, so a SIGKILL or power cut at any instant loses at most the
+line being written.  :func:`load_records` tolerates exactly that failure
+mode — an undecodable (truncated) line is dropped with a warning and
+counted in ``journal.recovered_records``; every complete line before
+*and after* it is kept — and :class:`Journal` repairs a missing trailing
+newline before appending, so a record written after a crash never fuses
+with the partial line.  An append the disk refuses (ENOSPC, EIO) raises
+the typed :class:`JournalWriteError` instead of corrupting the file; the
+supervisor catches it and degrades to a memory-only run (see
+``docs/RUNTIME.md``).
+
+All writes go through the :class:`repro.faults.io.DiskIo` seam so
+``repro faults crashpoints`` and the fault-injection tests can substitute
+:class:`repro.faults.io.FaultyIo`.
 """
 
 from __future__ import annotations
@@ -24,9 +34,13 @@ import logging
 import os
 from pathlib import Path
 
+from repro import obs
+from repro.faults.io import DiskIo, IoFile
+
 __all__ = [
     "Journal",
     "JournalError",
+    "JournalWriteError",
     "atomic_write_text",
     "completed_trials",
     "load_records",
@@ -40,22 +54,48 @@ class JournalError(RuntimeError):
     """The journal on disk does not match the run being attempted."""
 
 
-def atomic_write_text(path: str | Path, text: str) -> None:
-    """Write *text* to *path* via a same-directory temp file + ``os.replace``.
+class JournalWriteError(JournalError):
+    """A record could not be made durable (disk full, I/O error).
 
-    Output artifacts (``--out`` files) must never be observable half-written:
-    a ctrl-C mid-dump either leaves the previous file intact or the new one
-    complete, nothing in between.
+    Raised by :meth:`Journal.append` instead of letting a raw ``OSError``
+    escape mid-record: the caller learns *which* record failed and that
+    the journal can no longer be trusted for resume, and can choose to
+    degrade (the supervisor continues memory-only) rather than crash.
     """
+
+    def __init__(self, message: str, errno_code: int | None = None) -> None:
+        super().__init__(message)
+        self.errno = errno_code
+
+
+def atomic_write_text(
+    path: str | Path, text: str, io: DiskIo | None = None
+) -> None:
+    """Durably write *text* to *path* via a temp file + atomic rename.
+
+    Output artifacts (``--out`` files) must never be observable
+    half-written: a ctrl-C or power cut mid-dump either leaves the
+    previous file intact or the new one complete, nothing in between.
+    The temp file is fsync'd before the rename and the parent directory
+    after it, so the committed file also survives power loss.
+    """
+    io = io if io is not None else DiskIo()
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp-" + str(os.getpid()))
+    f = io.exclusive_create(path.parent, prefix=path.name + ".tmp-")
+    tmp = f.path
     try:
-        tmp.write_text(text)
-        os.replace(tmp, path)
+        io.write(f, text.encode("utf-8"))
+        io.fsync(f)
+        io.close(f)
+        io.replace(tmp, path)
+        io.fsync_dir(path.parent)
     except BaseException:
+        io.close(f)
         try:
-            os.unlink(tmp)
+            io.unlink(tmp)
+        except FileNotFoundError:
+            pass  # already renamed into place (failure was post-replace)
         except OSError:
             logger.warning("journal: stray temp file left behind: %s", tmp)
         raise
@@ -64,9 +104,11 @@ def atomic_write_text(path: str | Path, text: str) -> None:
 def load_records(path: str | Path) -> list[dict]:
     """Parse a journal file into its record dicts.
 
-    Undecodable lines — the partial line a SIGKILL mid-``write`` leaves
+    Undecodable lines — the partial line a SIGKILL or torn write leaves
     behind — are dropped with a warning rather than failing the resume;
-    every complete line before and after them is kept.
+    every complete line before and after them is kept.  Each dropped
+    line increments the ambient counter ``journal.recovered_records``
+    (the journal was *recovered past* that record).
     """
     path = Path(path)
     if not path.is_file():
@@ -81,6 +123,10 @@ def load_records(path: str | Path) -> list[dict]:
             logger.warning(
                 "journal %s:%d: dropping undecodable (partial) record", path, lineno
             )
+            obs.get_registry().counter(
+                "journal.recovered_records",
+                help="undecodable (torn) journal lines dropped during recovery",
+            ).inc()
             continue
         if isinstance(rec, dict):
             records.append(rec)
@@ -104,11 +150,12 @@ def run_headers(records: list[dict]) -> list[dict]:
 class Journal:
     """Append-only, fsync-per-record JSONL writer for one run."""
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, io: DiskIo | None = None):
         self.path = Path(path)
+        self._io = io if io is not None else DiskIo()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._repair_trailing_newline()
-        self._fh = open(self.path, "a", encoding="utf-8")
+        self._f: IoFile = self._io.open_append(self.path)
 
     def _repair_trailing_newline(self) -> None:
         """Terminate a partial last line so the next record starts clean."""
@@ -122,21 +169,36 @@ class Journal:
             fh.seek(-1, os.SEEK_END)
             last = fh.read(1)
         if last != b"\n":
-            with open(self.path, "ab") as fh:
-                fh.write(b"\n")
-                fh.flush()
-                os.fsync(fh.fileno())
+            f = self._io.open_append(self.path)
+            try:
+                self._io.write(f, b"\n")
+                self._io.flush(f)
+                self._io.fsync(f)
+            finally:
+                self._io.close(f)
 
     def append(self, record: dict) -> None:
-        """Durably append one record (canonical JSON, flush, fsync)."""
+        """Durably append one record (canonical JSON, flush, fsync).
+
+        Raises :class:`JournalWriteError` if the disk refuses the record;
+        the journal file itself stays recoverable (at worst a torn tail,
+        which :func:`load_records` drops).
+        """
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self._fh.write(line + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        try:
+            self._io.write(self._f, (line + "\n").encode("utf-8"))
+            self._io.flush(self._f)
+            self._io.fsync(self._f)
+        except OSError as exc:
+            raise JournalWriteError(
+                f"journal append of {record.get('type', '?')!r} record failed "
+                f"({type(exc).__name__}: {exc}); the journal can no longer "
+                "checkpoint this run",
+                errno_code=exc.errno,
+            ) from exc
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        self._io.close(self._f)
 
     def __enter__(self) -> "Journal":
         return self

@@ -53,6 +53,7 @@ from typing import Any
 import numpy as np
 
 from repro import obs
+from repro.faults.io import DiskIo
 from repro.runtime import journal as journal_mod
 from repro.runtime.plan import DEGRADE_LADDER, Plan, TrialSpec
 from repro.runtime.pool import (
@@ -83,6 +84,46 @@ MAX_POOL_RESETS = 3
 
 class RunInterrupted(RuntimeError):
     """The run was stopped by SIGINT/SIGTERM after a clean journal flush."""
+
+
+class _DegradingJournal:
+    """Journal wrapper that turns write failures into a memory-only run.
+
+    The journal is an *optimization* (resume) layered on a run that is
+    otherwise pure compute — so a full disk mid-run (ENOSPC, EIO) must
+    not kill hours of work.  The first :class:`~repro.runtime.journal.
+    JournalWriteError` flips ``degraded``: the failure is logged and
+    counted (``runtime.journal.degraded``), every later append becomes a
+    no-op (no point hammering a dead disk once per trial), the run
+    finishes on in-memory state alone, and the report carries
+    ``journal_degraded=True`` so the CLI can warn that *this* run cannot
+    be resumed.
+    """
+
+    def __init__(self, journal: journal_mod.Journal) -> None:
+        self._journal = journal
+        self.degraded = False
+
+    @property
+    def path(self) -> Path:
+        return self._journal.path
+
+    def append(self, record: dict) -> None:
+        if self.degraded:
+            return
+        try:
+            self._journal.append(record)
+        except journal_mod.JournalWriteError as exc:
+            self.degraded = True
+            obs.get_registry().counter(
+                "runtime.journal.degraded",
+                help="runs whose journal hit an I/O error and continued "
+                "memory-only (not resumable)",
+            ).inc()
+            logger.error(
+                "runtime: %s — continuing without checkpoints; this run "
+                "cannot be resumed", exc,
+            )
 
 
 def runs_root() -> Path:
@@ -148,6 +189,7 @@ class RunReport:
     worker_restarts: int = 0
     pool_resets: int = 0
     interrupted: bool = False
+    journal_degraded: bool = False  # journal lost to I/O error; not resumable
 
     def counts(self) -> dict[str, int]:
         c = {"total": len(self.outcomes), "done": 0, "quarantined": 0,
@@ -183,6 +225,7 @@ class RunReport:
             "worker_restarts": self.worker_restarts,
             "pool_resets": self.pool_resets,
             "interrupted": self.interrupted,
+            "journal_degraded": self.journal_degraded,
             "trials": {
                 o.digest[:16]: {
                     "status": o.status,
@@ -218,7 +261,10 @@ class Supervisor:
     """Runs one plan's pending trials on a supervised worker pool."""
 
     def __init__(
-        self, plan: Plan, journal: journal_mod.Journal, config: PoolConfig
+        self,
+        plan: Plan,
+        journal: journal_mod.Journal | _DegradingJournal,
+        config: PoolConfig,
     ) -> None:
         self.plan = plan
         self.journal = journal
@@ -647,6 +693,7 @@ def run_plan(
     journal_path: str | Path,
     config: PoolConfig | None = None,
     resume: bool = False,
+    io: DiskIo | None = None,
 ) -> RunReport:
     """Execute *plan* under supervision, checkpointing into *journal_path*.
 
@@ -655,6 +702,11 @@ def run_plan(
     completed trials are replayed from the journal and only the remainder
     executes.  Returns the :class:`RunReport`; raises
     :class:`RunInterrupted` on first-signal shutdown.
+
+    *io* is the journal's OS-call seam (fault-injection tests pass a
+    :class:`repro.faults.io.FaultyIo`).  A journal append the disk
+    refuses does **not** kill the run: the supervisor degrades to a
+    memory-only run and stamps ``journal_degraded`` into the report.
     """
     config = config or PoolConfig()
     records = journal_mod.load_records(journal_path)
@@ -684,7 +736,8 @@ def run_plan(
             labels=("status",),
         ).labels(status="skipped").inc()
 
-    with journal_mod.Journal(journal_path) as journal:
+    with journal_mod.Journal(journal_path, io=io) as raw_journal:
+        journal = _DegradingJournal(raw_journal)
         journal.append(
             {
                 "type": "run",
@@ -797,6 +850,7 @@ def run_plan(
         worker_restarts=supervisor.worker_restarts,
         pool_resets=supervisor.pool_resets,
         interrupted=interrupted,
+        journal_degraded=journal.degraded,
     )
     if interrupted:
         raise RunInterruptedWithReport(report)

@@ -16,6 +16,13 @@ through two tiers:
    :mod:`repro.runtime` leans on this — N workers warming one topology
    cost one build each at worst, never a corrupt entry).
 
+All disk-tier OS calls go through the :class:`repro.faults.io.DiskIo`
+seam (temp file is fsync'd before the rename, the parent directory
+after it — the full commit protocol is the "Durability contract" table
+in ``docs/ARCHITECTURE.md``), so tests and ``repro faults crashpoints``
+can substitute :class:`repro.faults.io.FaultyIo` and prove every crash
+point recoverable.
+
 On a miss the builder runs once and the result is persisted to both tiers
 (disk only when the codec can round-trip it — see
 :class:`~repro.store.codecs.TopologyCodec`).  A corrupted disk entry is
@@ -37,20 +44,23 @@ from __future__ import annotations
 import json
 import logging
 import os
-import tempfile
+import time
 import zipfile
 from collections import OrderedDict
+from io import BytesIO
 from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
 from repro import obs
+from repro.faults.io import DiskIo
 from repro.store.codecs import Codec, get_codec
 from repro.store.keys import ArtifactKey
 
 __all__ = [
     "ArtifactStore",
+    "CORRUPT_ERRORS",
     "StoreEntry",
     "configure",
     "default_root",
@@ -106,24 +116,33 @@ class StoreEntry:
             return 0.0
 
 
-#: Exceptions treated as "this disk entry is corrupt" rather than bugs.
-_CORRUPT_ERRORS = (
+#: Exceptions treated as "this disk entry is corrupt" rather than bugs
+#: (public so the crash-point explorer can probe entries read-only).
+CORRUPT_ERRORS = (
     OSError,
     ValueError,
     KeyError,
     json.JSONDecodeError,
     zipfile.BadZipFile,
 )
+_CORRUPT_ERRORS = CORRUPT_ERRORS
 
 
 class ArtifactStore:
     """Two-tier (memory LRU + on-disk) content-addressed artifact cache."""
 
-    def __init__(self, root: str | Path | None = None, memory_items: int = 256) -> None:
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        memory_items: int = 256,
+        io: DiskIo | None = None,
+    ) -> None:
         if memory_items < 1:
             raise ValueError("memory_items must be >= 1")
         self.root = Path(root) if root is not None else None
         self.memory_items = memory_items
+        #: the OS-call seam; tests inject :class:`repro.faults.io.FaultyIo`.
+        self._io = io if io is not None else DiskIo()
         self._memory: OrderedDict[str, object] = OrderedDict()
         #: digest -> key.describe() + resolution tier, in first-touch order.
         self._resolved: OrderedDict[str, dict] = OrderedDict()
@@ -210,6 +229,11 @@ class ArtifactStore:
                 type(exc).__name__,
                 exc,
             )
+            obs.get_registry().counter(
+                "store.corrupt_recovered",
+                help="corrupt disk entries detected on load, deleted and rebuilt",
+                labels=("kind",),
+            ).labels(kind=key.kind).inc()
             self._delete_entry(key.digest)
             return None
         self._count_bytes("read", nread)
@@ -241,12 +265,12 @@ class ArtifactStore:
             meta["has_arrays"] = bool(arrays)
             nwritten = 0
             if arrays:
-                nwritten += self._atomic_write(
-                    data_path, lambda fh: np.savez(fh, **arrays)
-                )
+                buf = BytesIO()
+                np.savez(buf, **arrays)
+                nwritten += self._atomic_write(data_path, buf.getvalue())
             # Sidecar last: its presence marks the entry complete.
             blob = json.dumps(meta, sort_keys=True, indent=1).encode("utf-8")
-            nwritten += self._atomic_write(meta_path, lambda fh: fh.write(blob))
+            nwritten += self._atomic_write(meta_path, blob)
             self._count_bytes("write", nwritten)
         except OSError as exc:
             # A read-only or full store root degrades to memory-only caching.
@@ -258,24 +282,33 @@ class ArtifactStore:
                 exc,
             )
 
-    def _atomic_write(self, path: Path, write: Callable) -> int:
-        """Write via a process-unique temp file + atomic rename.
+    def _atomic_write(self, path: Path, blob: bytes) -> int:
+        """Durably publish *blob* at *path* via temp file + atomic rename.
 
-        ``mkstemp`` opens the temp name with O_EXCL, so concurrent writers
-        can never interleave into one file; ``os.replace`` makes the final
-        publish atomic (readers see the old entry, the new one, never a
-        torn one).  The temp file is unlinked on any failure.
+        The full commit protocol (the "Durability contract" in
+        ``docs/ARCHITECTURE.md``): an O_EXCL temp file (concurrent writers
+        can never interleave into one file), ``fsync`` of the temp so the
+        *content* is on media before it becomes reachable, an atomic
+        ``replace`` (readers see the old entry, the new one, never a torn
+        one), then ``fsync`` of the parent directory so the *rename*
+        itself survives power loss.  The temp file is unlinked on any
+        failure; one a crash strands anyway is reaped by :meth:`gc`.
         """
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+        f = self._io.exclusive_create(path.parent, prefix=".tmp-")
+        tmp = f.path
         try:
-            with os.fdopen(fd, "wb") as fh:
-                write(fh)
-            size = os.path.getsize(tmp)
-            os.replace(tmp, path)
-            return size
+            self._io.write(f, blob)
+            self._io.fsync(f)
+            self._io.close(f)
+            self._io.replace(tmp, path)
+            self._io.fsync_dir(path.parent)
+            return len(blob)
         except BaseException:
+            self._io.close(f)
             try:
-                os.unlink(tmp)
+                self._io.unlink(tmp)
+            except FileNotFoundError:
+                pass  # already renamed into place (failure was post-replace)
             except OSError:
                 logger.warning("store: stray temp file left behind: %s", tmp)
             raise
@@ -285,7 +318,9 @@ class ArtifactStore:
             return
         for p in self._paths(digest):
             try:
-                p.unlink(missing_ok=True)
+                self._io.unlink(p)
+            except FileNotFoundError:
+                pass
             except OSError as exc:
                 logger.warning("store: could not delete %s: %s", p, exc)
 
@@ -355,6 +390,7 @@ class ArtifactStore:
         max_bytes: int | None = None,
         clear: bool = False,
         dry_run: bool = False,
+        reap_tmp_age: float = 3600.0,
     ) -> dict:
         """Reclaim disk entries; returns a report dict.
 
@@ -363,6 +399,12 @@ class ArtifactStore:
         is missing.  ``max_bytes`` additionally evicts
         least-recently-modified complete entries until the store fits.
         ``clear`` removes everything.  ``dry_run`` only reports.
+
+        Stray ``.tmp-*`` files older than ``reap_tmp_age`` seconds — left
+        behind by writers that crashed between temp-file creation and the
+        atomic rename — are reaped too (all of them under ``clear``) and
+        reported under ``reaped_tmp``.  The age guard keeps gc from ever
+        yanking a temp file out from under a live concurrent writer.
         """
         removed: list[str] = []
         kept: list[str] = []
@@ -389,12 +431,43 @@ class ArtifactStore:
                     self._delete_entry(e.digest)
             else:
                 kept.append(e.digest)
+        reaped_tmp, tmp_freed = self._reap_tmp(reap_tmp_age, clear, dry_run)
         return {
             "removed": removed,
             "kept": kept,
-            "freed_bytes": sum(doomed[d].size_bytes for d in removed),
+            "reaped_tmp": reaped_tmp,
+            "freed_bytes": sum(doomed[d].size_bytes for d in removed) + tmp_freed,
             "dry_run": dry_run,
         }
+
+    def _reap_tmp(
+        self, max_age: float, clear: bool, dry_run: bool
+    ) -> tuple[list[str], int]:
+        """Collect stray ``.tmp-*`` files older than *max_age* seconds."""
+        if self.root is None or not self.root.is_dir():
+            return [], 0
+        # File-age GC genuinely needs the same clock st_mtime is stamped
+        # with; the cutoff never feeds experiment results.
+        now = time.time()  # repro-lint: disable=RL206
+        reaped: list[str] = []
+        freed = 0
+        for tmp in sorted(self.root.glob(".tmp-*")):
+            try:
+                st = tmp.stat()
+            except OSError:
+                continue  # lost a race with the writer publishing it
+            if not clear and now - st.st_mtime < max_age:
+                continue
+            reaped.append(tmp.name)
+            freed += st.st_size
+            if not dry_run:
+                try:
+                    self._io.unlink(tmp)
+                except FileNotFoundError:
+                    pass
+                except OSError as exc:
+                    logger.warning("store: could not reap %s: %s", tmp, exc)
+        return reaped, freed
 
     def clear_memory(self) -> None:
         """Drop the memory tier (tests; the disk tier is untouched)."""

@@ -1,0 +1,33 @@
+"""Planted RL115 positives: raw write-path OS calls in the store tier.
+
+Every call below bypasses the :mod:`repro.faults.io` seam, so the
+crash-point explorer could never enumerate it and fault injection could
+never reach it.  ``tests/test_lint.py::TestDurabilityDiscipline`` lints
+this tree with the fixture directory as the root and asserts one RL115
+finding per planted call.
+"""
+
+import os
+import tempfile
+from os import rename as mv
+from pathlib import Path
+
+
+def save_table(path, blob, mode):
+    with open(path, "w") as f:  # positive: write-mode open
+        f.write(blob.decode())
+    with open(path, mode) as f:  # positive: dynamic mode
+        f.write(blob.decode())
+
+
+def swap_in(tmp, path):
+    fd, scratch = tempfile.mkstemp(dir=path.parent)  # positive: raw temp file
+    with os.fdopen(fd, "wb") as f:  # positive: write-mode fdopen
+        f.write(b"x")
+        os.fsync(f.fileno())  # positive: raw fsync
+    os.replace(scratch, tmp)  # positive: raw replace
+    mv(tmp, path)  # positive: aliased os.rename
+
+
+def write_sidecar(path: Path, text: str) -> None:
+    path.write_text(text)  # positive: pathlib one-shot writer

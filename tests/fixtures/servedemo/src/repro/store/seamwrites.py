@@ -1,0 +1,34 @@
+"""Negative control for RL115: seam-mediated writes and read-only opens.
+
+A miniature stand-in for the real ``ArtifactStore._atomic_write`` — every
+durability-affecting operation goes through an injected
+``repro.faults.io.DiskIo``-shaped seam object, and the only raw ``open``
+is read-mode.  Linting the fixture tree must produce **no RL115
+findings for this file** (the planted positives live in ``rawdisk.py``).
+"""
+
+
+def atomic_write(io, path, blob):
+    f = io.exclusive_create(path.parent, prefix=".tmp-")
+    tmp = f.path
+    try:
+        io.write(f, blob)
+        io.fsync(f)
+        io.close(f)
+        io.replace(tmp, path)
+        io.fsync_dir(path.parent)
+    except BaseException:
+        io.close(f)
+        io.unlink(tmp)
+        raise
+    return len(blob)
+
+
+def load(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def load_default(path):
+    with open(path) as f:
+        return f.read()

@@ -849,6 +849,177 @@ class TestHotLoopDiscipline:
         assert len(violations) == 4
 
 
+# -- RL115 durability-discipline ----------------------------------------------
+
+
+class TestDurabilityDiscipline:
+    RELPATH = "src/repro/store/core.py"
+
+    def test_write_mode_open_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def save(path, text):
+                with open(path, "w") as f:
+                    f.write(text)
+            """,
+            "RL115",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL115"]
+
+    def test_append_and_plus_modes_trigger(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def touch(path):
+                open(path, "ab").close()
+                open(path, mode="r+b").close()
+            """,
+            "RL115",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL115", "RL115"]
+
+    def test_dynamic_mode_triggers(self, tmp_path):
+        # A mode the linter cannot see is treated as a write.
+        out = lint_source(
+            tmp_path,
+            """
+            def reopen(path, mode):
+                return open(path, mode)
+            """,
+            "RL115",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL115"]
+
+    def test_raw_os_calls_trigger(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import os
+
+            def swap(tmp, path, fd):
+                os.fsync(fd)
+                os.replace(tmp, path)
+            """,
+            "RL115",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL115", "RL115"]
+
+    def test_from_import_alias_triggers(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            from os import replace as swap
+
+            def commit(tmp, path):
+                swap(tmp, path)
+            """,
+            "RL115",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL115"]
+
+    def test_tempfile_and_path_writers_trigger(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import tempfile
+
+            def scratch(path, text):
+                fd, tmp = tempfile.mkstemp(dir=path.parent)
+                path.write_text(text)
+                return fd, tmp
+            """,
+            "RL115",
+            relpath=self.RELPATH,
+        )
+        assert codes(out) == ["RL115", "RL115"]
+
+    def test_read_mode_opens_pass(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def load(path):
+                with open(path, "rb") as f:
+                    return f.read()
+
+            def load_default(path):
+                with open(path) as f:
+                    return f.read()
+            """,
+            "RL115",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_seam_calls_pass(self, tmp_path):
+        # The sanctioned path: every durable op through the injected seam.
+        out = lint_source(
+            tmp_path,
+            """
+            def atomic_write(io, path, blob):
+                f = io.exclusive_create(path.parent, prefix=".tmp-")
+                io.write(f, blob)
+                io.fsync(f)
+                io.close(f)
+                io.replace(f.path, path)
+                io.fsync_dir(path.parent)
+            """,
+            "RL115",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_outside_durability_layer_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            import os
+
+            def save(path, text):
+                with open(path, "w") as f:
+                    f.write(text)
+                os.fsync(f.fileno())
+            """,
+            "RL115",
+            relpath="src/repro/experiments/mod.py",
+        )
+        assert out == []
+
+    def test_suppression_comment_passes(self, tmp_path):
+        out = lint_source(
+            tmp_path,
+            """
+            def save(path, text):
+                with open(path, "w") as f:  # repro-lint: disable=RL115
+                    f.write(text)
+            """,
+            "RL115",
+            relpath=self.RELPATH,
+        )
+        assert out == []
+
+    def test_servedemo_fixture_plants_fire(self):
+        fixture = REPO_ROOT / "tests" / "fixtures" / "servedemo"
+        violations, _ = run_paths(
+            [str(fixture / "src")], root=fixture, select={"RL115"},
+            use_cache=False,
+        )
+        hits = {(Path(v.path).name, v.rule) for v in violations}
+        assert ("rawdisk.py", "RL115") in hits
+        # the seam-mediated negative control must stay silent
+        assert all(
+            Path(v.path).name != "seamwrites.py" for v in violations
+        )
+        # write-mode open, dynamic-mode open, mkstemp, fdopen, fsync,
+        # replace, aliased rename, Path.write_text
+        assert len(violations) == 8
+
+
 # -- RL108 process-discipline -------------------------------------------------
 
 

@@ -34,6 +34,7 @@ from tools.lint.core import (
 
 __all__ = [
     "ContractValidation",
+    "DurabilityDiscipline",
     "FaultDiscipline",
     "HotLoopDiscipline",
     "ProcessDiscipline",
@@ -729,3 +730,115 @@ class HotLoopDiscipline(Rule):
             if isinstance(sub, ast.Attribute) and sub.attr in columns:
                 return sub.attr
         return None
+
+
+#: ``os``-level mutations that decide crash durability; outside the
+#: sanctioned helpers each is a hand-rolled commit protocol.
+_DURABILITY_OS_FNS = ("replace", "rename", "fsync", "fdatasync")
+
+#: Raw temp-file factories (the O_EXCL temp + rename protocol lives in
+#: ``repro.faults.io.DiskIo.exclusive_create``).
+_DURABILITY_TEMP_FNS = ("mkstemp", "mktemp", "NamedTemporaryFile")
+
+#: ``pathlib`` one-shot writers: atomic-looking, durable-on-crash never.
+_PATH_WRITER_ATTRS = ("write_text", "write_bytes")
+
+
+@register
+class DurabilityDiscipline(Rule):
+    """Raw write-path OS calls are confined to the sanctioned helpers.
+
+    The durability layer has exactly four blessed write paths — the
+    :class:`repro.faults.io.DiskIo` seam, ``ArtifactStore._atomic_write``
+    built on it, ``Journal.append`` and ``atomic_write_text`` — and the
+    crash-point explorer proves *those* recoverable at every operation
+    boundary.  A raw ``open(..., "w")``, ``os.replace``, ``os.fsync`` or
+    ``Path.write_text`` inside ``repro.store``/``repro.runtime`` is a
+    write the explorer cannot see and fault tests cannot reach: it
+    silently re-opens the torn-write/power-loss hole PR 10 closed.
+    Genuinely read-only opens (``"r"``/``"rb"``) are fine; anything that
+    must bypass the seam carries ``# repro-lint: disable=RL115`` with a
+    reason.
+    """
+
+    code = "RL115"
+    name = "durability-discipline"
+    severity = "error"
+    default_paths = ("src/repro/store", "src/repro/runtime")
+    description = (
+        "raw write-mode open/os.replace/os.fsync/Path.write_* in the "
+        "durability layer; write through the repro.faults.io seam or the "
+        "sanctioned helpers (_atomic_write, Journal.append, "
+        "atomic_write_text) so crash-point exploration covers it"
+    )
+
+    @staticmethod
+    def _mode_of(node: ast.Call) -> str | None:
+        """The statically-known file mode of an ``open``-style call
+        (``None`` = dynamic, treated as a write)."""
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                if isinstance(kw.value, ast.Constant) and isinstance(
+                    kw.value.value, str
+                ):
+                    return kw.value.value
+                return None
+        if len(node.args) >= 2:
+            arg = node.args[1]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return arg.value
+            return None
+        return "r"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        # Names bound by `from os import replace [as rp]` / `from tempfile
+        # import mkstemp` — aliasing must not dodge the rule.
+        bare: dict[str, str] = {}
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.module == "os":
+                for alias in node.names:
+                    if alias.name in _DURABILITY_OS_FNS:
+                        bare[alias.asname or alias.name] = f"os.{alias.name}"
+            elif node.module == "tempfile":
+                for alias in node.names:
+                    if alias.name in _DURABILITY_TEMP_FNS:
+                        bare[alias.asname or alias.name] = (
+                            f"tempfile.{alias.name}"
+                        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None:
+                continue
+            leaf = callee.rsplit(".", 1)[-1]
+            offender: str | None = None
+            if callee in ("open", "os.fdopen"):
+                mode = self._mode_of(node)
+                if mode is None or any(c in mode for c in "wax+"):
+                    offender = (
+                        f"{callee}(..., {mode!r})" if mode is not None
+                        else f"{callee}(...) with a dynamic mode"
+                    )
+            elif callee in bare:
+                offender = f"{bare[callee]}()"
+            elif "." in callee:
+                base = callee.rsplit(".", 1)[0]
+                if base == "os" and leaf in _DURABILITY_OS_FNS:
+                    offender = f"{callee}()"
+                elif base == "tempfile" and leaf in _DURABILITY_TEMP_FNS:
+                    offender = f"{callee}()"
+                elif leaf in _PATH_WRITER_ATTRS:
+                    offender = f"{callee}()"
+            if offender is not None:
+                yield self.flag(
+                    ctx,
+                    node,
+                    f"raw durability-affecting call {offender} outside the "
+                    "sanctioned helpers; route it through the "
+                    "repro.faults.io seam (DiskIo/_atomic_write/"
+                    "Journal.append/atomic_write_text) so crash-point "
+                    "exploration and fault injection cover it",
+                )
